@@ -1,0 +1,393 @@
+// Benchmarks: one per table and figure of the paper's evaluation section,
+// plus the DESIGN.md §4 ablations. Each benchmark executes the same code
+// path as the corresponding `poibench <id>` command (which prints the full
+// row/series output) and reports headline metrics via b.ReportMetric so a
+// single `go test -bench=. -benchmem` run records both cost and quality.
+//
+// Figure/table mapping:
+//
+//	BenchmarkFig6WorkerQuality        — Fig. 6  worker-quality histogram
+//	BenchmarkFig7DistanceWorker       — Fig. 7  distance impact per worker
+//	BenchmarkFig8DistancePOI          — Fig. 8  distance impact per POI tier
+//	BenchmarkTable1CaseStudy          — Table I case study
+//	BenchmarkFig9InferenceAccuracy    — Fig. 9  MV/EM/IM accuracy sweep
+//	BenchmarkFig10Convergence         — Fig. 10 EM convergence
+//	BenchmarkFig11AssignmentAccuracy  — Fig. 11 + Table II assignment sweep
+//	BenchmarkFig12InferenceTime       — Fig. 12 inference elapsed time
+//	BenchmarkFig13InferenceScalability — Fig. 13 inference scalability
+//	BenchmarkFig14AssignmentScalability — Fig. 14 assignment scalability
+package poilabel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/baseline"
+	"poilabel/internal/core"
+	"poilabel/internal/experiment"
+	"poilabel/internal/model"
+)
+
+const benchSeed = 7
+
+func BenchmarkFig6WorkerQuality(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFig6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7DistanceWorker(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFig7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8DistancePOI(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFig8(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1CaseStudy(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunTable1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.TaskAccuracy
+	}
+	b.ReportMetric(100*acc, "caseAcc%")
+}
+
+func BenchmarkFig9InferenceAccuracy(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var r *experiment.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunFig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Budgets) - 1
+	b.ReportMetric(100*r.MV[last], "MV%")
+	b.ReportMetric(100*r.EM[last], "EM%")
+	b.ReportMetric(100*r.IM[last], "IM%")
+}
+
+func BenchmarkFig10Convergence(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var r *experiment.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunFig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.ItersTo005), "itersTo.005")
+}
+
+func BenchmarkFig11AssignmentAccuracy(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var r *experiment.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunFig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(experiment.Budgets) - 1
+	for _, run := range r.Runs {
+		b.ReportMetric(100*run.Accuracy[last], string(run.Assigner)+"%")
+	}
+}
+
+func BenchmarkFig12InferenceTime(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFig12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13InferenceScalability(b *testing.B) {
+	// The paper sweeps 10k..50k answers; one mid-scale point keeps the
+	// benchmark honest while `poibench fig13` runs the full sweep.
+	var r *experiment.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunFig13(benchSeed, []int{20000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Seconds[0], "fitSec")
+	b.ReportMetric(float64(r.Iterations[0]), "iters")
+}
+
+func BenchmarkFig14AssignmentScalability(b *testing.B) {
+	var r *experiment.Fig14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunFig14(benchSeed, []int{4000}, []int{40})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TaskMs[0], "assignMs@4k")
+	b.ReportMetric(r.WorkerMs[0], "assignMs@10k/40w")
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblationAlpha(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFunctionSetSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblationFuncSet(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUpdatePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblationUpdatePolicy(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGreedyVsExhaustive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblationGreedy(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkEMIteration measures one full E/M pass over the paper-scale
+// answer log (1000 answers x 10 labels).
+func BenchmarkEMIteration(b *testing.B) {
+	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+	answers, err := env.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.Scenario.ModelConfig
+	cfg.MaxIter = 1
+	m, err := core.NewModel(env.Data.Tasks, env.Workers, env.Data.Normalizer(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range answers.All() {
+		if err := m.Observe(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Fit() // exactly one iteration at MaxIter=1
+	}
+}
+
+// BenchmarkIncrementalUpdate measures the Section III-D per-answer update.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+	answers, err := env.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := env.NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range answers.All() {
+		if err := m.Observe(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.Fit()
+	// Pre-generate fresh (worker, task) answers not in the warm log.
+	var fresh []model.Answer
+	for wi := range env.Workers {
+		for ti := range env.Data.Tasks {
+			w, task := model.WorkerID(wi), model.TaskID(ti)
+			if !m.Answers().Has(w, task) {
+				fresh = append(fresh, env.Sim.Answer(w, task))
+			}
+		}
+	}
+	if len(fresh) == 0 {
+		b.Fatal("no fresh pairs available")
+	}
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j >= len(fresh) {
+			// Exhausted the fresh pool: restart from the warm log.
+			b.StopTimer()
+			m2, err := env.NewModel()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, a := range answers.All() {
+				if err := m2.Observe(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m2.Fit()
+			m = m2
+			j = 0
+			b.StartTimer()
+		}
+		if err := m.Update(fresh[j]); err != nil {
+			b.Fatal(err)
+		}
+		j++
+	}
+}
+
+// BenchmarkAccOptAssign measures one paper-scale assignment round (200
+// tasks, 5 workers, h=2) on a warm model.
+func BenchmarkAccOptAssign(b *testing.B) {
+	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+	answers, err := env.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _, err := env.FitModel(answers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := env.Sim.SampleAvailable(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.AccOpt{}.Assign(m, workers, 2)
+	}
+}
+
+// BenchmarkDawidSkene measures the baseline EM at paper scale.
+func BenchmarkDawidSkene(b *testing.B) {
+	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+	answers, err := env.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *model.Result
+	for i := 0; i < b.N; i++ {
+		res = baseline.DawidSkene{}.Infer(env.Data.Tasks, answers)
+	}
+	b.ReportMetric(100*model.Accuracy(res, env.Data.Truth), "acc%")
+}
+
+// BenchmarkMajorityVote measures the trivial baseline for reference.
+func BenchmarkMajorityVote(b *testing.B) {
+	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+	answers, err := env.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.MajorityVote{}.Infer(env.Data.Tasks, answers)
+	}
+}
+
+// BenchmarkParallelEM compares a 10-iteration full-EM fit on the
+// paper-scale answer log across E-step parallelism levels. The E-step
+// fans out over goroutines with deterministic chunk merging; on a
+// single-core host (like the CI box this repo was built on) the levels
+// tie within overhead, on multi-core hosts p>1 wins at scale.
+func BenchmarkParallelEM(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+			answers, err := env.Collect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := env.Scenario.ModelConfig
+			cfg.MaxIter = 10
+			cfg.Parallelism = par
+			m, err := core.NewModel(env.Data.Tasks, env.Workers, env.Data.Normalizer(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, a := range answers.All() {
+				if err := m.Observe(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Fit()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEarlyStopping measures the budget-aware stopping sweep.
+func BenchmarkAblationEarlyStopping(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var r *experiment.StoppingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunStopping(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Consumed[0]), "budget@tau0")
+}
+
+// BenchmarkAblationCalibration measures the calibration comparison.
+func BenchmarkAblationCalibration(b *testing.B) {
+	s := experiment.DefaultScenario("Beijing", benchSeed)
+	var r *experiment.CalibrationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunCalibration(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.IM.ECE(), "imECE")
+	b.ReportMetric(r.EM.ECE(), "emECE")
+}
+
+// BenchmarkAblationRobustness measures the noise and adversary sweeps.
+func BenchmarkAblationRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblationNoise(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiment.RunAblationAdversary(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

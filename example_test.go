@@ -1,0 +1,79 @@
+package poilabel_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"poilabel"
+)
+
+// Example demonstrates the full assign/answer loop on a toy city: two
+// reliable workers and one spammer label three POIs under a budget, and the
+// framework identifies the correct labels and the spammer.
+func Example() {
+	tasks := []poilabel.Task{
+		{ID: 0, Name: "park", Location: poilabel.Pt(1, 1), Labels: []string{"green", "mall"}},
+		{ID: 1, Name: "tower", Location: poilabel.Pt(4, 4), Labels: []string{"view", "beach"}},
+		{ID: 2, Name: "museum", Location: poilabel.Pt(2, 3), Labels: []string{"art", "ski"}},
+	}
+	truth := [][]bool{{true, false}, {true, false}, {true, false}}
+	workers := []poilabel.Worker{
+		{ID: 0, Name: "ada", Locations: []poilabel.Point{poilabel.Pt(1, 2)}},
+		{ID: 1, Name: "bob", Locations: []poilabel.Point{poilabel.Pt(3, 3)}},
+		{ID: 2, Name: "spam", Locations: []poilabel.Point{poilabel.Pt(0, 5)}},
+	}
+
+	fw, err := poilabel.New(tasks, workers, poilabel.Options{Budget: 9, TasksPerRequest: 3})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for fw.RemainingBudget() > 0 {
+		assigned, err := fw.RequestTasks([]poilabel.WorkerID{0, 1, 2})
+		if err != nil {
+			break
+		}
+		n := 0
+		for w, ts := range assigned {
+			for _, t := range ts {
+				p := 0.95
+				if workers[w].Name == "spam" {
+					p = 0.5
+				}
+				sel := make([]bool, len(tasks[t].Labels))
+				for k := range sel {
+					if rng.Float64() < p {
+						sel[k] = truth[t][k]
+					} else {
+						sel[k] = !truth[t][k]
+					}
+				}
+				if err := fw.SubmitAnswer(poilabel.Answer{Worker: w, Task: t, Selected: sel}); err != nil {
+					panic(err)
+				}
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+
+	res := fw.Results()
+	for t := range tasks {
+		for k, label := range tasks[t].Labels {
+			if res.Inferred[t][k] {
+				fmt.Printf("%s: %s\n", tasks[t].Name, label)
+			}
+		}
+	}
+	gt := &poilabel.GroundTruth{Truth: truth}
+	fmt.Printf("accuracy: %.0f%%\n", 100*poilabel.Accuracy(res, gt))
+
+	// Output:
+	// park: green
+	// tower: view
+	// museum: art
+	// accuracy: 100%
+}

@@ -1,0 +1,107 @@
+// Quickstart shows the minimal end-to-end use of the public poilabel API:
+// define POI tasks and workers, run the alternating assign/answer loop with
+// a toy crowd, and read the inferred labels.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"poilabel"
+)
+
+func main() {
+	// Three POIs in a small city grid, each with three candidate labels.
+	tasks := []poilabel.Task{
+		{ID: 0, Name: "Olympic Forest Park", Location: poilabel.Pt(2, 8),
+			Labels: []string{"park", "olympics", "business"}},
+		{ID: 1, Name: "Night Market", Location: poilabel.Pt(7, 3),
+			Labels: []string{"food", "shopping", "museum"}},
+		{ID: 2, Name: "Old Observatory", Location: poilabel.Pt(5, 5),
+			Labels: []string{"history", "science", "nightlife"}},
+	}
+	// The (hidden) true labels, used here only to script the toy crowd.
+	truth := [][]bool{
+		{true, true, false},
+		{true, true, false},
+		{true, true, false},
+	}
+
+	// Four workers: three reliable locals and one spammer.
+	workers := []poilabel.Worker{
+		{ID: 0, Name: "ana", Locations: []poilabel.Point{poilabel.Pt(2, 7)}},
+		{ID: 1, Name: "bo", Locations: []poilabel.Point{poilabel.Pt(6, 4)}},
+		{ID: 2, Name: "cy", Locations: []poilabel.Point{poilabel.Pt(5, 6)}},
+		{ID: 3, Name: "spam-bot", Locations: []poilabel.Point{poilabel.Pt(0, 0)}},
+	}
+
+	fw, err := poilabel.New(tasks, workers, poilabel.Options{
+		Budget:          12, // total paid assignments
+		TasksPerRequest: 2,  // h: tasks handed to each arriving worker
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The crowd: reliable workers answer 90% of labels correctly, the
+	// spammer flips coins.
+	rng := rand.New(rand.NewSource(1))
+	askWorker := func(w poilabel.WorkerID, t poilabel.TaskID) poilabel.Answer {
+		p := 0.9
+		if workers[w].Name == "spam-bot" {
+			p = 0.5
+		}
+		sel := make([]bool, len(tasks[t].Labels))
+		for k := range sel {
+			if rng.Float64() < p {
+				sel[k] = truth[t][k]
+			} else {
+				sel[k] = !truth[t][k]
+			}
+		}
+		return poilabel.Answer{Worker: w, Task: t, Selected: sel}
+	}
+
+	// The alternating protocol: workers arrive, the assigner picks their
+	// tasks, answers flow back into the inference model.
+	for fw.RemainingBudget() > 0 {
+		arrived := []poilabel.WorkerID{0, 1, 2, 3}
+		assigned, err := fw.RequestTasks(arrived)
+		if err != nil {
+			break
+		}
+		handed := 0
+		for w, ts := range assigned {
+			for _, t := range ts {
+				if err := fw.SubmitAnswer(askWorker(w, t)); err != nil {
+					panic(err)
+				}
+				handed++
+			}
+		}
+		if handed == 0 {
+			break
+		}
+	}
+
+	// Read the inference.
+	res := fw.Results()
+	for t := range tasks {
+		fmt.Printf("%s:\n", tasks[t].Name)
+		for k, label := range tasks[t].Labels {
+			mark := " "
+			if res.Inferred[t][k] {
+				mark = "x"
+			}
+			fmt.Printf("  [%s] %-10s P(correct) = %.2f\n", mark, label, res.Prob[t][k])
+		}
+	}
+	fmt.Println("\nestimated worker quality:")
+	for _, w := range workers {
+		fmt.Printf("  %-9s %.2f\n", w.Name, fw.WorkerQuality(w.ID))
+	}
+}

@@ -1,0 +1,164 @@
+package assign
+
+import (
+	"math"
+
+	"poilabel/internal/core"
+	"poilabel/internal/model"
+)
+
+// AccOpt is the paper's greedy assignment algorithm (Algorithm 1). Each
+// round it repeatedly picks the (worker, task) pair with the largest
+// expected accuracy improvement (Equation 20), extends the task's accuracy
+// state with the chosen worker (Lemma 2), refreshes the improvement entries
+// of that task for the remaining workers, and stops when every available
+// worker holds h tasks.
+//
+// Following the paper's pseudocode, the improvement matrix stores the total
+// improvement of the bundle Ŵ(t) ∪ {w} rather than the marginal gain of w;
+// diminishing (and eventually negative) per-worker increments are what
+// spreads assignments across tasks. A marginal-gain variant is available as
+// MarginalGreedy for the ablation benchmarks.
+type AccOpt struct{}
+
+// Name implements Assigner.
+func (AccOpt) Name() string { return "AccOpt" }
+
+// Assign implements Assigner.
+func (AccOpt) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return greedyAssign(m, workers, h, false)
+}
+
+// MarginalGreedy is an ablation variant of AccOpt whose improvement matrix
+// stores the marginal gain Δ(Ŵ(t) ∪ {w}) − Δ(Ŵ(t)) of adding w, the
+// textbook greedy for a submodular-style objective.
+type MarginalGreedy struct{}
+
+// Name implements Assigner.
+func (MarginalGreedy) Name() string { return "AccOpt-marginal" }
+
+// Assign implements Assigner.
+func (MarginalGreedy) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return greedyAssign(m, workers, h, true)
+}
+
+var unavailable = math.Inf(-1)
+
+func greedyAssign(m *core.Model, workers []model.WorkerID, h int, marginal bool) Assignment {
+	est := NewEstimator(m)
+	tasks := m.Tasks()
+	answers := m.Answers()
+	params := m.Params()
+	nT := len(tasks)
+	nW := len(workers)
+
+	out := make(Assignment, nW)
+
+	// Per-task accuracy state (lazily we could defer, but the init pass
+	// touches every pair anyway) and the bundle's current total delta.
+	taskAcc := make([]*LabelAcc, nT)
+	taskDelta := make([]float64, nT) // Δ of current bundle Ŵ(t); 0 when empty
+	for t := 0; t < nT; t++ {
+		taskAcc[t] = est.TaskAcc(model.TaskID(t))
+	}
+
+	// p[i][t]: agreement probability of workers[i] on task t.
+	// delta[i][t]: matrix entry per Algorithm 1 (bundle total, or marginal
+	// gain in the ablation variant). unavailable marks pairs that cannot
+	// be assigned (already answered, or assigned this round).
+	p := make([][]float64, nW)
+	delta := make([][]float64, nW)
+	for i, w := range workers {
+		p[i] = make([]float64, nT)
+		delta[i] = make([]float64, nT)
+		for t := 0; t < nT; t++ {
+			tid := model.TaskID(t)
+			if answers.Has(w, tid) {
+				delta[i][t] = unavailable
+				continue
+			}
+			p[i][t] = est.Agreement(w, tid)
+			delta[i][t] = taskAcc[t].SingleDelta(params.PZ[t], p[i][t])
+		}
+	}
+
+	// Per-worker cached best entry.
+	bestT := make([]int, nW)
+	bestD := make([]float64, nW)
+	active := make([]bool, nW)
+	rescan := func(i int) {
+		bestT[i] = -1
+		bestD[i] = unavailable
+		row := delta[i]
+		for t := 0; t < nT; t++ {
+			if row[t] > bestD[i] {
+				bestD[i] = row[t]
+				bestT[i] = t
+			}
+		}
+		if bestT[i] < 0 {
+			active[i] = false
+		}
+	}
+	for i := range workers {
+		active[i] = true
+		rescan(i)
+	}
+
+	assigned := make([]int, nW)
+	for {
+		// Pick the active worker whose cached best is globally largest.
+		imax := -1
+		for i := range workers {
+			if !active[i] {
+				continue
+			}
+			if imax < 0 || bestD[i] > bestD[imax] {
+				imax = i
+			}
+		}
+		if imax < 0 {
+			break // nobody can take more tasks
+		}
+		tmax := bestT[imax]
+		w := workers[imax]
+
+		out[w] = append(out[w], model.TaskID(tmax))
+		assigned[imax]++
+		delta[imax][tmax] = unavailable
+
+		// Extend the chosen task's bundle with the chosen worker.
+		taskAcc[tmax].Extend(p[imax][tmax])
+		taskDelta[tmax] = taskAcc[tmax].Delta(params.PZ[tmax])
+
+		// Refresh the tmax column for every other active worker and fix
+		// their cached best entries. Entries for other tasks are
+		// untouched, so a full row rescan is needed only when a worker's
+		// cached best was tmax and its entry shrank.
+		for i := range workers {
+			if !active[i] || i == imax {
+				continue
+			}
+			if delta[i][tmax] != unavailable {
+				d := taskAcc[tmax].SingleDelta(params.PZ[tmax], p[i][tmax])
+				if marginal {
+					d -= taskDelta[tmax]
+				}
+				delta[i][tmax] = d
+			}
+			if delta[i][tmax] > bestD[i] {
+				bestD[i] = delta[i][tmax]
+				bestT[i] = tmax
+			} else if bestT[i] == tmax {
+				rescan(i)
+			}
+		}
+
+		if assigned[imax] >= h {
+			active[imax] = false
+		} else {
+			rescan(imax)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package assign implements the paper's online task assignment (Section
+// IV): estimating how much a task's inference accuracy would improve if
+// assigned to a set of the currently available workers (Equations 15–20,
+// Lemmas 1–2), and the greedy AccOpt algorithm (Algorithm 1) that maximizes
+// the overall expected accuracy improvement. The Random and Spatial-First
+// baselines of the paper's Section V-D live here too, along with an
+// exhaustive optimal assigner used to validate the greedy on small
+// instances (the exact problem is NP-hard, Lemma 3).
+package assign
+
+import (
+	"math/rand"
+	"sort"
+
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// Assignment maps each available worker to the h tasks chosen for them,
+// i.e. A(W) = {A(w) | w ∈ W}.
+type Assignment map[model.WorkerID][]model.TaskID
+
+// TotalTasks returns the number of (worker, task) pairs in the assignment,
+// the number of budget units it will consume.
+func (a Assignment) TotalTasks() int {
+	n := 0
+	for _, ts := range a {
+		n += len(ts)
+	}
+	return n
+}
+
+// Assigner chooses h tasks for each available worker, given the current
+// state of the inference model (answer history, estimated qualities).
+// Implementations must not assign a worker a task they already answered,
+// and must not assign the same task twice to one worker in a round.
+type Assigner interface {
+	// Name returns the short display name used in experiment tables.
+	Name() string
+	// Assign returns the chosen tasks. Workers may receive fewer than h
+	// tasks only when fewer than h undone tasks remain for them.
+	Assign(m *core.Model, workers []model.WorkerID, h int) Assignment
+}
+
+// Random assigns h undone tasks uniformly at random to each worker — the
+// paper's RANDOM baseline.
+type Random struct {
+	Rand *rand.Rand
+}
+
+// Name implements Assigner.
+func (Random) Name() string { return "Random" }
+
+// Assign implements Assigner.
+func (r Random) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	out := make(Assignment, len(workers))
+	tasks := m.Tasks()
+	answers := m.Answers()
+	for _, w := range workers {
+		var avail []model.TaskID
+		for t := range tasks {
+			if !answers.Has(w, model.TaskID(t)) {
+				avail = append(avail, model.TaskID(t))
+			}
+		}
+		r.Rand.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+		if len(avail) > h {
+			avail = avail[:h]
+		}
+		out[w] = avail
+	}
+	return out
+}
+
+// SpatialFirst assigns each worker the h closest undone tasks — the paper's
+// SF baseline, which optimizes worker–task distance and nothing else. It
+// uses a uniform grid index over task locations and takes, for workers with
+// several locations, the minimum distance over all of them.
+type SpatialFirst struct {
+	grid *geo.Grid
+}
+
+// NewSpatialFirst builds the task-location index for the given tasks.
+func NewSpatialFirst(tasks []model.Task) *SpatialFirst {
+	pts := make([]geo.Point, len(tasks))
+	for i := range tasks {
+		pts[i] = tasks[i].Location
+	}
+	return &SpatialFirst{grid: geo.NewGrid(pts)}
+}
+
+// Name implements Assigner.
+func (*SpatialFirst) Name() string { return "SF" }
+
+// Assign implements Assigner.
+func (s *SpatialFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	out := make(Assignment, len(workers))
+	answers := m.Answers()
+	allWorkers := m.Workers()
+	tasks := m.Tasks()
+	for _, w := range workers {
+		accept := func(i int) bool { return !answers.Has(w, model.TaskID(i)) }
+		// Query the nearest candidates from each of the worker's
+		// locations, then merge by true (minimum-over-locations) distance.
+		seen := make(map[int]bool)
+		type cand struct {
+			idx  int
+			dist float64
+		}
+		var cands []cand
+		for _, loc := range allWorkers[w].Locations {
+			for _, idx := range s.grid.Nearest(loc, h, accept) {
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				d := geo.MinDist(allWorkers[w].Locations, tasks[idx].Location)
+				cands = append(cands, cand{idx: idx, dist: d})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		if len(cands) > h {
+			cands = cands[:h]
+		}
+		ts := make([]model.TaskID, len(cands))
+		for i, c := range cands {
+			ts[i] = model.TaskID(c.idx)
+		}
+		out[w] = ts
+	}
+	return out
+}

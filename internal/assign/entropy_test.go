@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/model"
+)
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := binaryEntropy(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("H(0.5) = %v, want 1", got)
+	}
+	if binaryEntropy(0) != 0 || binaryEntropy(1) != 0 {
+		t.Error("H at the boundary must be 0")
+	}
+	if binaryEntropy(0.9) >= binaryEntropy(0.6) {
+		t.Error("entropy must fall toward the boundary")
+	}
+	// Symmetry.
+	if math.Abs(binaryEntropy(0.3)-binaryEntropy(0.7)) > 1e-12 {
+		t.Error("entropy must be symmetric around 0.5")
+	}
+}
+
+func TestEntropyFirstPicksUncertainTasks(t *testing.T) {
+	m := smallWorld(t, 6, 3, 70)
+	rng := rand.New(rand.NewSource(71))
+	// Make tasks 0..3 confidently settled by consistent answers; tasks 4
+	// and 5 stay at the uncertain prior.
+	var pairs [][2]int
+	for ti := 0; ti < 4; ti++ {
+		for wi := 0; wi < 2; wi++ {
+			pairs = append(pairs, [2]int{wi, ti})
+		}
+	}
+	warm(t, m, pairs, rng)
+
+	a := EntropyFirst{}.Assign(m, []model.WorkerID{2}, 2)
+	if len(a[2]) != 2 {
+		t.Fatalf("assigned %d tasks, want 2", len(a[2]))
+	}
+	got := map[model.TaskID]bool{}
+	for _, tid := range a[2] {
+		got[tid] = true
+	}
+	if !got[4] || !got[5] {
+		t.Errorf("entropy assigner picked %v, want the unanswered tasks 4 and 5", a[2])
+	}
+}
+
+func TestEntropyFirstInvariants(t *testing.T) {
+	m := smallWorld(t, 10, 4, 72)
+	rng := rand.New(rand.NewSource(73))
+	warm(t, m, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}}, rng)
+	workers := allWorkers(4)
+	a := EntropyFirst{}.Assign(m, workers, 3)
+	checkAssignment(t, m, a, workers, 3)
+	for _, w := range workers {
+		if len(a[w]) != 3 {
+			t.Errorf("worker %d got %d tasks, want 3", w, len(a[w]))
+		}
+	}
+}
+
+func TestEntropyFirstSkipsDone(t *testing.T) {
+	m := smallWorld(t, 3, 1, 74)
+	rng := rand.New(rand.NewSource(75))
+	warm(t, m, [][2]int{{0, 0}, {0, 1}}, rng)
+	a := EntropyFirst{}.Assign(m, []model.WorkerID{0}, 3)
+	if len(a[0]) != 1 || a[0][0] != 2 {
+		t.Errorf("assignment = %v, want just task 2", a[0])
+	}
+}
+
+func TestEntropyFirstName(t *testing.T) {
+	if (EntropyFirst{}).Name() != "Entropy" {
+		t.Error("name wrong")
+	}
+}

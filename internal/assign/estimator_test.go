@@ -1,0 +1,240 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// testWorld builds a model with a few answered tasks so estimator paths see
+// both warm and cold workers/tasks.
+func testWorld(t *testing.T, seed int64) (*core.Model, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var tasks []model.Task
+	var pts []geo.Point
+	for i := 0; i < 12; i++ {
+		loc := geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		tasks = append(tasks, model.Task{ID: model.TaskID(i), Location: loc, Labels: make([]string, 4)})
+		pts = append(pts, loc)
+	}
+	var workers []model.Worker
+	for i := 0; i < 6; i++ {
+		loc := geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		workers = append(workers, model.Worker{ID: model.WorkerID(i), Locations: []geo.Point{loc}})
+		pts = append(pts, loc)
+	}
+	m, err := core.NewModel(tasks, workers, geo.NormalizerFor(pts), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm workers 0..3 on tasks 0..7.
+	for ti := 0; ti < 8; ti++ {
+		for wi := 0; wi < 4; wi++ {
+			sel := make([]bool, 4)
+			for k := range sel {
+				sel[k] = rng.Intn(2) == 0
+			}
+			if err := m.Observe(model.Answer{Worker: model.WorkerID(wi), Task: model.TaskID(ti), Selected: sel}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Fit()
+	return m, rng
+}
+
+func TestAgreementColdPairsAreOptimistic(t *testing.T) {
+	m, _ := testWorld(t, 1)
+	est := NewEstimator(m)
+	// Worker 5 has no answers; task 11 has no answers: the paper's
+	// footnote-3 prior applies (best quality, widest influence).
+	set := m.Config().FuncSet
+	d := m.Distance(5, 11)
+	want := set.Func(set.WidestIndex()).Eval(d) // pi=1 so 0.5(1-pi) vanishes
+	if got := est.Agreement(5, 11); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cold-pair agreement = %v, want optimistic %v", got, want)
+	}
+	// Cold workers must look at least as good as warm ones on the same
+	// cold task (exploration priority).
+	warm := est.Agreement(0, 11)
+	if got := est.Agreement(5, 11); got < warm-1e-9 {
+		t.Errorf("cold worker (%v) less optimistic than warm (%v)", got, warm)
+	}
+}
+
+func TestAgreementWarmPairMatchesModel(t *testing.T) {
+	m, _ := testWorld(t, 2)
+	est := NewEstimator(m)
+	// Worker 0 and task 0 both have history: the estimator must agree with
+	// the model's Equation 9.
+	if got, want := est.Agreement(0, 0), m.AgreementProb(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("warm agreement = %v, want %v", got, want)
+	}
+}
+
+func TestTaskAccInitialState(t *testing.T) {
+	m, _ := testWorld(t, 3)
+	est := NewEstimator(m)
+	la := est.TaskAcc(0)
+	pz := m.Params().PZ[0]
+	if la.N != m.Answers().TaskAnswerCount(0) {
+		t.Errorf("N = %d, want current answer count %d", la.N, m.Answers().TaskAnswerCount(0))
+	}
+	for k := range pz {
+		if la.Acc1[k] != pz[k] || la.Acc0[k] != 1-pz[k] {
+			t.Errorf("label %d branches = (%v, %v), want (%v, %v)",
+				k, la.Acc1[k], la.Acc0[k], pz[k], 1-pz[k])
+		}
+	}
+}
+
+// bruteExpectedAcc computes the expected accuracy branch by enumerating all
+// 2^n realized answer vectors and applying the paper's single-answer update
+// sequentially — the definition Lemma 2's recursion compresses.
+func bruteExpectedAcc(acc float64, n0 int, probs []float64) float64 {
+	if len(probs) == 0 {
+		return acc
+	}
+	p := probs[0]
+	agree := (float64(n0)*acc + p) / float64(n0+1)
+	disagree := (float64(n0)*acc + (1 - p)) / float64(n0+1)
+	return p*bruteExpectedAcc(agree, n0+1, probs[1:]) +
+		(1-p)*bruteExpectedAcc(disagree, n0+1, probs[1:])
+}
+
+func TestExtendMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n0 := rng.Intn(5)
+		nw := 1 + rng.Intn(6)
+		probs := make([]float64, nw)
+		for i := range probs {
+			probs[i] = 0.5 + 0.5*rng.Float64()
+		}
+		acc := rng.Float64()
+
+		la := &LabelAcc{Acc1: []float64{acc}, Acc0: []float64{1 - acc}, N: n0}
+		for _, p := range probs {
+			la.Extend(p)
+		}
+		want1 := bruteExpectedAcc(acc, n0, probs)
+		want0 := bruteExpectedAcc(1-acc, n0, probs)
+		if math.Abs(la.Acc1[0]-want1) > 1e-10 || math.Abs(la.Acc0[0]-want0) > 1e-10 {
+			t.Fatalf("trial %d: Extend = (%v, %v), brute force = (%v, %v)",
+				trial, la.Acc1[0], la.Acc0[0], want1, want0)
+		}
+	}
+}
+
+// Lemma 1: the order of workers' answers does not change the estimate.
+func TestExtendOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		nw := 2 + rng.Intn(5)
+		probs := make([]float64, nw)
+		for i := range probs {
+			probs[i] = 0.5 + 0.5*rng.Float64()
+		}
+		acc := rng.Float64()
+		n0 := rng.Intn(4)
+
+		forward := &LabelAcc{Acc1: []float64{acc}, Acc0: []float64{1 - acc}, N: n0}
+		for _, p := range probs {
+			forward.Extend(p)
+		}
+		shuffled := &LabelAcc{Acc1: []float64{acc}, Acc0: []float64{1 - acc}, N: n0}
+		perm := rng.Perm(nw)
+		for _, i := range perm {
+			shuffled.Extend(probs[i])
+		}
+		if math.Abs(forward.Acc1[0]-shuffled.Acc1[0]) > 1e-10 {
+			t.Fatalf("trial %d: order changed the estimate: %v vs %v",
+				trial, forward.Acc1[0], shuffled.Acc1[0])
+		}
+	}
+}
+
+func TestExtendedLeavesOriginal(t *testing.T) {
+	la := &LabelAcc{Acc1: []float64{0.6}, Acc0: []float64{0.4}, N: 2}
+	ext := la.Extended(0.9)
+	if la.N != 2 || la.Acc1[0] != 0.6 {
+		t.Error("Extended mutated the receiver")
+	}
+	if ext.N != 3 {
+		t.Errorf("Extended N = %d, want 3", ext.N)
+	}
+}
+
+func TestSingleDeltaMatchesExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		nk := 1 + rng.Intn(4)
+		pz := make([]float64, nk)
+		la := &LabelAcc{Acc1: make([]float64, nk), Acc0: make([]float64, nk), N: rng.Intn(5)}
+		for k := 0; k < nk; k++ {
+			pz[k] = rng.Float64()
+			la.Acc1[k] = pz[k]
+			la.Acc0[k] = 1 - pz[k]
+		}
+		p := 0.5 + 0.5*rng.Float64()
+		fast := la.SingleDelta(pz, p)
+		slow := la.Extended(p).Delta(pz)
+		if math.Abs(fast-slow) > 1e-10 {
+			t.Fatalf("trial %d: SingleDelta = %v, Extended+Delta = %v", trial, fast, slow)
+		}
+	}
+}
+
+// Paper Example 2: |W(t)| = 2, P(z=1) = 0.59, worker accuracy 0.87.
+func TestPaperExample2(t *testing.T) {
+	la := &LabelAcc{Acc1: []float64{0.59}, Acc0: []float64{0.41}, N: 2}
+	la.Extend(0.87)
+	if math.Abs(la.Acc1[0]-0.65) > 0.005 {
+		t.Errorf("PE(z=1|w2) = %v, paper says 0.65", la.Acc1[0])
+	}
+	if math.Abs(la.Acc0[0]-0.53) > 0.005 {
+		t.Errorf("PE(z=0|w2) = %v, paper says 0.53", la.Acc0[0])
+	}
+	// Example 4: the expected improvement is 0.08.
+	la2 := &LabelAcc{Acc1: []float64{0.59}, Acc0: []float64{0.41}, N: 2}
+	// Example 4 rounds intermediate values; the unrounded delta is 0.086.
+	delta := la2.SingleDelta([]float64{0.59}, 0.87)
+	if math.Abs(delta-0.0846) > 0.005 {
+		t.Errorf("delta = %v, paper Example 4 computes 0.0846 (prints 0.08)", delta)
+	}
+}
+
+// Paper Example 3 extends Example 2's state with a second worker at
+// accuracy 0.86. Note the paper prints PE(z=1) = 0.69 and PE(z=0) = 0.61,
+// but evaluating its own formula — (0.65·3 + 0.86)/4 · 0.86 +
+// (0.65·3 + 0.14)/4 · 0.14 — gives 0.677 and 0.587; the printed numbers are
+// arithmetic slips. We pin the formula's value.
+func TestPaperExample3(t *testing.T) {
+	la := &LabelAcc{Acc1: []float64{0.59}, Acc0: []float64{0.41}, N: 2}
+	la.Extend(0.87)
+	la.Extend(0.86)
+	if math.Abs(la.Acc1[0]-0.678) > 0.005 {
+		t.Errorf("PE(z=1|w2,w3) = %v, want 0.678 (paper's formula)", la.Acc1[0])
+	}
+	if math.Abs(la.Acc0[0]-0.588) > 0.005 {
+		t.Errorf("PE(z=0|w2,w3) = %v, want 0.588 (paper's formula)", la.Acc0[0])
+	}
+}
+
+// An answer from a worker with accuracy above the coin-flip floor must not
+// decrease the expected accuracy of an uncertain label.
+func TestDeltaNonNegativeOnUncertainLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		la := &LabelAcc{Acc1: []float64{0.5}, Acc0: []float64{0.5}, N: rng.Intn(6)}
+		p := 0.5 + 0.5*rng.Float64()
+		if d := la.SingleDelta([]float64{0.5}, p); d < -1e-12 {
+			t.Fatalf("trial %d: delta %v < 0 for uncertain label, p=%v", trial, d, p)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package baseline implements the result-inference baselines the paper
+// compares against (Section V-C):
+//
+//   - MV, majority voting [3,15]: each label's result is the majority of
+//     worker votes, with no notion of worker quality.
+//   - EM, the Dawid–Skene confusion-matrix estimator [5]: iteratively
+//     estimates a per-worker 2×2 confusion matrix and the per-label truth
+//     posterior, capturing average worker quality but neither distance nor
+//     POI influence.
+//   - WeightedVote: a one-shot quality-weighted vote used as an additional
+//     reference point and as the initializer for Dawid–Skene.
+package baseline
+
+import (
+	"poilabel/internal/model"
+)
+
+// Inferencer is a result-inference algorithm: given the task set and the
+// answer log, produce a yes/no decision (and a probability) per label.
+type Inferencer interface {
+	// Name returns the short display name used in experiment tables.
+	Name() string
+	// Infer computes inference results for all tasks.
+	Infer(tasks []model.Task, answers *model.AnswerSet) *model.Result
+}
+
+// MajorityVote is the MV baseline: label k of task t is inferred correct
+// when at least half of the votes on it are "yes". Labels with no answers
+// fall back to probability 0.5 (inferred "yes"), matching the P(z) ≥ 0.5
+// decision rule the probabilistic models use.
+type MajorityVote struct{}
+
+// Name implements Inferencer.
+func (MajorityVote) Name() string { return "MV" }
+
+// Infer implements Inferencer.
+func (MajorityVote) Infer(tasks []model.Task, answers *model.AnswerSet) *model.Result {
+	res := model.NewResult(tasks)
+	for t := range tasks {
+		idxs := answers.ByTask(model.TaskID(t))
+		nk := len(tasks[t].Labels)
+		yes := make([]int, nk)
+		for _, idx := range idxs {
+			a := answers.Answer(idx)
+			for k, r := range a.Selected {
+				if r {
+					yes[k]++
+				}
+			}
+		}
+		for k := 0; k < nk; k++ {
+			var frac float64
+			if len(idxs) == 0 {
+				frac = 0.5
+			} else {
+				frac = float64(yes[k]) / float64(len(idxs))
+			}
+			res.Prob[t][k] = frac
+			res.Inferred[t][k] = frac >= 0.5
+		}
+	}
+	return res
+}
+
+// WeightedVote weights each worker's votes by an externally supplied quality
+// in [0, 1]. A nil or missing quality defaults to 1 (plain voting). The
+// experiment harness uses it with qualities estimated by the inference
+// model to demonstrate the value of quality-aware aggregation.
+type WeightedVote struct {
+	// Quality maps worker ID to vote weight. Nil means uniform weights.
+	Quality map[model.WorkerID]float64
+}
+
+// Name implements Inferencer.
+func (WeightedVote) Name() string { return "WV" }
+
+// Infer implements Inferencer.
+func (v WeightedVote) Infer(tasks []model.Task, answers *model.AnswerSet) *model.Result {
+	res := model.NewResult(tasks)
+	for t := range tasks {
+		idxs := answers.ByTask(model.TaskID(t))
+		nk := len(tasks[t].Labels)
+		yes := make([]float64, nk)
+		var total float64
+		for _, idx := range idxs {
+			a := answers.Answer(idx)
+			w := 1.0
+			if v.Quality != nil {
+				if q, ok := v.Quality[a.Worker]; ok {
+					w = q
+				}
+			}
+			total += w
+			for k, r := range a.Selected {
+				if r {
+					yes[k] += w
+				}
+			}
+		}
+		for k := 0; k < nk; k++ {
+			frac := 0.5
+			if total > 0 {
+				frac = yes[k] / total
+			}
+			res.Prob[t][k] = frac
+			res.Inferred[t][k] = frac >= 0.5
+		}
+	}
+	return res
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+func makeTasks(n, labels int) []model.Task {
+	tasks := make([]model.Task, n)
+	for i := range tasks {
+		tasks[i] = model.Task{
+			ID:       model.TaskID(i),
+			Location: geo.Pt(float64(i), 0),
+			Labels:   make([]string, labels),
+		}
+	}
+	return tasks
+}
+
+func vote(w model.WorkerID, t model.TaskID, votes ...bool) model.Answer {
+	return model.Answer{Worker: w, Task: t, Selected: votes}
+}
+
+func TestMajorityVoteBasic(t *testing.T) {
+	tasks := makeTasks(1, 3)
+	answers := model.NewAnswerSet()
+	answers.MustAdd(vote(0, 0, true, false, true))
+	answers.MustAdd(vote(1, 0, true, false, false))
+	answers.MustAdd(vote(2, 0, true, true, false))
+
+	res := MajorityVote{}.Infer(tasks, answers)
+	want := []bool{true, false, false}
+	for k, w := range want {
+		if res.Inferred[0][k] != w {
+			t.Errorf("label %d inferred %v, want %v", k, res.Inferred[0][k], w)
+		}
+	}
+	if res.Prob[0][0] != 1 {
+		t.Errorf("unanimous yes prob = %v, want 1", res.Prob[0][0])
+	}
+}
+
+func TestMajorityVoteTieGoesYes(t *testing.T) {
+	tasks := makeTasks(1, 1)
+	answers := model.NewAnswerSet()
+	answers.MustAdd(vote(0, 0, true))
+	answers.MustAdd(vote(1, 0, false))
+	res := MajorityVote{}.Infer(tasks, answers)
+	if !res.Inferred[0][0] {
+		t.Error("tie did not resolve to yes (P >= 0.5 rule)")
+	}
+}
+
+func TestMajorityVoteNoAnswers(t *testing.T) {
+	tasks := makeTasks(2, 2)
+	answers := model.NewAnswerSet()
+	answers.MustAdd(vote(0, 0, true, true))
+	res := MajorityVote{}.Infer(tasks, answers)
+	// Task 1 has no answers: probability 0.5, inferred yes.
+	if res.Prob[1][0] != 0.5 || !res.Inferred[1][0] {
+		t.Errorf("unanswered label = (%v, %v), want (0.5, true)", res.Prob[1][0], res.Inferred[1][0])
+	}
+}
+
+func TestWeightedVoteDownweightsSpammer(t *testing.T) {
+	tasks := makeTasks(1, 1)
+	answers := model.NewAnswerSet()
+	// Two low-quality workers vote no; one high-quality votes yes.
+	answers.MustAdd(vote(0, 0, false))
+	answers.MustAdd(vote(1, 0, false))
+	answers.MustAdd(vote(2, 0, true))
+
+	plain := WeightedVote{}.Infer(tasks, answers)
+	if plain.Inferred[0][0] {
+		t.Error("uniform weighted vote should follow the majority (no)")
+	}
+
+	weighted := WeightedVote{Quality: map[model.WorkerID]float64{0: 0.1, 1: 0.1, 2: 0.9}}.Infer(tasks, answers)
+	if !weighted.Inferred[0][0] {
+		t.Error("quality-weighted vote should follow the reliable worker (yes)")
+	}
+}
+
+func TestWeightedVoteMissingQualityDefaultsToOne(t *testing.T) {
+	tasks := makeTasks(1, 1)
+	answers := model.NewAnswerSet()
+	answers.MustAdd(vote(0, 0, true))
+	answers.MustAdd(vote(1, 0, false))
+	answers.MustAdd(vote(2, 0, false))
+	// Worker 0 has explicit weight, workers 1 and 2 default to 1.
+	res := WeightedVote{Quality: map[model.WorkerID]float64{0: 0.5}}.Infer(tasks, answers)
+	if res.Inferred[0][0] {
+		t.Error("0.5 vs 2.0 vote should infer no")
+	}
+}
+
+// Dawid–Skene must recover both the truth and the worker qualities on data
+// generated from its own model.
+func TestDawidSkeneRecoversQualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nTasks, nLabels = 60, 6
+	tasks := makeTasks(nTasks, nLabels)
+	truth := make([][]bool, nTasks)
+	for i := range truth {
+		truth[i] = make([]bool, nLabels)
+		for k := range truth[i] {
+			truth[i][k] = rng.Intn(2) == 0
+		}
+	}
+	quals := []float64{0.9, 0.85, 0.8, 0.55, 0.5}
+	answers := model.NewAnswerSet()
+	for ti := 0; ti < nTasks; ti++ {
+		for wi, q := range quals {
+			sel := make([]bool, nLabels)
+			for k := range sel {
+				if rng.Float64() < q {
+					sel[k] = truth[ti][k]
+				} else {
+					sel[k] = !truth[ti][k]
+				}
+			}
+			answers.MustAdd(vote(model.WorkerID(wi), model.TaskID(ti), sel...))
+		}
+	}
+
+	res, estQ := DawidSkene{}.InferWithQuality(tasks, answers)
+	gt := &model.GroundTruth{Truth: truth}
+	if acc := model.Accuracy(res, gt); acc < 0.93 {
+		t.Errorf("DS accuracy = %v, want >= 0.93", acc)
+	}
+	// Estimated qualities must rank the workers correctly.
+	if estQ[0] <= estQ[3] || estQ[0] <= estQ[4] {
+		t.Errorf("quality ranking wrong: best worker %v vs weak %v / %v", estQ[0], estQ[3], estQ[4])
+	}
+	if estQ[0] < 0.8 {
+		t.Errorf("best worker estimated at %v, want >= 0.8", estQ[0])
+	}
+	if estQ[4] > 0.65 {
+		t.Errorf("coin-flip worker estimated at %v, want <= 0.65", estQ[4])
+	}
+}
+
+func TestDawidSkeneBeatsMajorityWithSpammers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const nTasks, nLabels = 80, 5
+	tasks := makeTasks(nTasks, nLabels)
+	truth := make([][]bool, nTasks)
+	for i := range truth {
+		truth[i] = make([]bool, nLabels)
+		for k := range truth[i] {
+			truth[i][k] = rng.Intn(2) == 0
+		}
+	}
+	// 2 excellent workers, 3 near-random ones.
+	quals := []float64{0.95, 0.95, 0.52, 0.52, 0.52}
+	answers := model.NewAnswerSet()
+	for ti := 0; ti < nTasks; ti++ {
+		for wi, q := range quals {
+			sel := make([]bool, nLabels)
+			for k := range sel {
+				if rng.Float64() < q {
+					sel[k] = truth[ti][k]
+				} else {
+					sel[k] = !truth[ti][k]
+				}
+			}
+			answers.MustAdd(vote(model.WorkerID(wi), model.TaskID(ti), sel...))
+		}
+	}
+	gt := &model.GroundTruth{Truth: truth}
+	mv := model.Accuracy(MajorityVote{}.Infer(tasks, answers), gt)
+	ds := model.Accuracy(DawidSkene{}.Infer(tasks, answers), gt)
+	if ds <= mv {
+		t.Errorf("DS (%v) did not beat MV (%v) with spammer majority", ds, mv)
+	}
+}
+
+func TestDawidSkeneEmptyAnswers(t *testing.T) {
+	tasks := makeTasks(2, 3)
+	res := DawidSkene{}.Infer(tasks, model.NewAnswerSet())
+	for ti := range res.Prob {
+		for k := range res.Prob[ti] {
+			if res.Prob[ti][k] != 0.5 {
+				t.Fatalf("empty-answer prob = %v, want 0.5", res.Prob[ti][k])
+			}
+		}
+	}
+}
+
+func TestInferencerNames(t *testing.T) {
+	if (MajorityVote{}).Name() != "MV" {
+		t.Error("MV name wrong")
+	}
+	if (DawidSkene{}).Name() != "EM" {
+		t.Error("DS name wrong (paper calls it EM)")
+	}
+	if (WeightedVote{}).Name() != "WV" {
+		t.Error("WV name wrong")
+	}
+}

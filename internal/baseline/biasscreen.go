@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math"
+
+	"poilabel/internal/model"
+)
+
+// BiasScreen detects systematically biased workers — lazy affirmers who
+// tick (almost) every label or rejecters who tick (almost) none — from the
+// raw answer log, before any truth inference. The paper's inference model
+// represents each worker by a single symmetric agreement probability and
+// therefore cannot express directional bias (see the ablation-adversary
+// experiment in EXPERIMENTS.md); screening such workers out first restores
+// its accuracy.
+//
+// The statistic is each worker's yes-rate: the fraction of ticked labels
+// across all their answers. Workers whose yes-rate deviates from the
+// corpus-wide mean by more than Threshold, with at least MinAnswers
+// answers, are flagged.
+type BiasScreen struct {
+	// Threshold is the maximum allowed |worker yes-rate − corpus
+	// yes-rate|. Zero means DefaultBiasThreshold.
+	Threshold float64
+	// MinAnswers is the minimum number of answers before a worker can be
+	// flagged (rates over tiny samples are noise). Zero means
+	// DefaultMinAnswers.
+	MinAnswers int
+}
+
+// Defaults for BiasScreen fields left at zero. An honest worker's yes-rate
+// stays near the corpus rate regardless of quality (even a coin-flipper
+// ticks ~50%), so a 0.25 deviation cleanly separates all-yes (rate 1.0)
+// and all-no (rate 0.0) workers without touching noisy-but-honest ones.
+const (
+	DefaultBiasThreshold = 0.25
+	DefaultMinAnswers    = 3
+)
+
+func (b BiasScreen) threshold() float64 {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return DefaultBiasThreshold
+}
+
+func (b BiasScreen) minAnswers() int {
+	if b.MinAnswers > 0 {
+		return b.MinAnswers
+	}
+	return DefaultMinAnswers
+}
+
+// YesRates returns each answering worker's fraction of ticked labels and
+// the corpus-wide fraction.
+func (b BiasScreen) YesRates(answers *model.AnswerSet) (perWorker map[model.WorkerID]float64, corpus float64) {
+	perWorker = make(map[model.WorkerID]float64)
+	var totalYes, totalLabels float64
+	for _, w := range answers.Workers() {
+		var yes, n float64
+		for _, idx := range answers.ByWorker(w) {
+			for _, v := range answers.Answer(idx).Selected {
+				n++
+				if v {
+					yes++
+				}
+			}
+		}
+		if n > 0 {
+			perWorker[w] = yes / n
+		}
+		totalYes += yes
+		totalLabels += n
+	}
+	if totalLabels > 0 {
+		corpus = totalYes / totalLabels
+	}
+	return perWorker, corpus
+}
+
+// Flag returns the workers whose yes-rate deviates from the corpus rate by
+// more than the threshold.
+func (b BiasScreen) Flag(answers *model.AnswerSet) []model.WorkerID {
+	rates, corpus := b.YesRates(answers)
+	var flagged []model.WorkerID
+	for _, w := range answers.Workers() {
+		if answers.WorkerAnswerCount(w) < b.minAnswers() {
+			continue
+		}
+		if math.Abs(rates[w]-corpus) > b.threshold() {
+			flagged = append(flagged, w)
+		}
+	}
+	return flagged
+}
+
+// Filter returns a copy of the answer set without the flagged workers'
+// answers, plus the flagged worker IDs. Run inference on the filtered set
+// to neutralize directional bias the downstream model cannot represent.
+func (b BiasScreen) Filter(answers *model.AnswerSet) (*model.AnswerSet, []model.WorkerID) {
+	flagged := b.Flag(answers)
+	bad := make(map[model.WorkerID]bool, len(flagged))
+	for _, w := range flagged {
+		bad[w] = true
+	}
+	out := model.NewAnswerSet()
+	for i := 0; i < answers.Len(); i++ {
+		a := answers.Answer(i)
+		if bad[a.Worker] {
+			continue
+		}
+		dup := *a
+		dup.Selected = append([]bool(nil), a.Selected...)
+		out.MustAdd(dup)
+	}
+	return out, flagged
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/model"
+)
+
+// biasedWorld builds an answer set where workers 0..2 answer honestly at
+// the given accuracy, worker 3 ticks everything, worker 4 ticks nothing.
+func biasedWorld(t *testing.T, seed int64) ([]model.Task, *model.AnswerSet, *model.GroundTruth) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const nTasks, nLabels = 40, 5
+	tasks := makeTasks(nTasks, nLabels)
+	truth := make([][]bool, nTasks)
+	for i := range truth {
+		truth[i] = make([]bool, nLabels)
+		for k := range truth[i] {
+			truth[i][k] = rng.Intn(2) == 0
+		}
+	}
+	answers := model.NewAnswerSet()
+	for ti := 0; ti < nTasks; ti++ {
+		for wi := 0; wi < 3; wi++ {
+			sel := make([]bool, nLabels)
+			for k := range sel {
+				if rng.Float64() < 0.85 {
+					sel[k] = truth[ti][k]
+				} else {
+					sel[k] = !truth[ti][k]
+				}
+			}
+			answers.MustAdd(vote(model.WorkerID(wi), model.TaskID(ti), sel...))
+		}
+		allYes := make([]bool, nLabels)
+		for k := range allYes {
+			allYes[k] = true
+		}
+		answers.MustAdd(vote(3, model.TaskID(ti), allYes...))
+		answers.MustAdd(vote(4, model.TaskID(ti), make([]bool, nLabels)...))
+	}
+	return tasks, answers, &model.GroundTruth{Truth: truth}
+}
+
+func TestBiasScreenFlagsLazyWorkers(t *testing.T) {
+	_, answers, _ := biasedWorld(t, 1)
+	flagged := BiasScreen{}.Flag(answers)
+	got := map[model.WorkerID]bool{}
+	for _, w := range flagged {
+		got[w] = true
+	}
+	if !got[3] || !got[4] {
+		t.Errorf("flagged = %v, want workers 3 (all-yes) and 4 (all-no)", flagged)
+	}
+	for _, w := range []model.WorkerID{0, 1, 2} {
+		if got[w] {
+			t.Errorf("honest worker %d flagged", w)
+		}
+	}
+}
+
+func TestBiasScreenYesRates(t *testing.T) {
+	_, answers, _ := biasedWorld(t, 2)
+	rates, corpus := BiasScreen{}.YesRates(answers)
+	if rates[3] != 1 {
+		t.Errorf("all-yes worker rate = %v, want 1", rates[3])
+	}
+	if rates[4] != 0 {
+		t.Errorf("all-no worker rate = %v, want 0", rates[4])
+	}
+	if corpus <= 0 || corpus >= 1 {
+		t.Errorf("corpus rate = %v", corpus)
+	}
+}
+
+func TestBiasScreenFilterImprovesInference(t *testing.T) {
+	// Two all-yes workers bias the vote in the same direction (unlike the
+	// all-yes/all-no pair of biasedWorld, which cancels under MV).
+	rng := rand.New(rand.NewSource(3))
+	const nTasks, nLabels = 40, 5
+	tasks := makeTasks(nTasks, nLabels)
+	rows := make([][]bool, nTasks)
+	answers := model.NewAnswerSet()
+	for ti := 0; ti < nTasks; ti++ {
+		rows[ti] = make([]bool, nLabels)
+		for k := range rows[ti] {
+			rows[ti][k] = rng.Intn(2) == 0
+		}
+		for wi := 0; wi < 3; wi++ {
+			sel := make([]bool, nLabels)
+			for k := range sel {
+				if rng.Float64() < 0.8 {
+					sel[k] = rows[ti][k]
+				} else {
+					sel[k] = !rows[ti][k]
+				}
+			}
+			answers.MustAdd(vote(model.WorkerID(wi), model.TaskID(ti), sel...))
+		}
+		allYes := make([]bool, nLabels)
+		for k := range allYes {
+			allYes[k] = true
+		}
+		answers.MustAdd(vote(3, model.TaskID(ti), allYes...))
+		allYes2 := make([]bool, nLabels)
+		for k := range allYes2 {
+			allYes2[k] = true
+		}
+		answers.MustAdd(vote(4, model.TaskID(ti), allYes2...))
+	}
+	truth := &model.GroundTruth{Truth: rows}
+
+	raw := model.Accuracy(MajorityVote{}.Infer(tasks, answers), truth)
+	filtered, flagged := BiasScreen{}.Filter(answers)
+	if len(flagged) != 2 {
+		t.Fatalf("flagged %d workers, want 2", len(flagged))
+	}
+	clean := model.Accuracy(MajorityVote{}.Infer(tasks, filtered), truth)
+	if clean <= raw {
+		t.Errorf("screened MV accuracy %v not above raw %v", clean, raw)
+	}
+	// Filtered set must contain only honest workers' answers.
+	for i := 0; i < filtered.Len(); i++ {
+		if w := filtered.Answer(i).Worker; w == 3 || w == 4 {
+			t.Fatalf("flagged worker %d survived the filter", w)
+		}
+	}
+}
+
+func TestBiasScreenMinAnswers(t *testing.T) {
+	answers := model.NewAnswerSet()
+	// A single all-yes answer must not flag the worker at MinAnswers 3.
+	answers.MustAdd(vote(0, 0, true, true, true))
+	answers.MustAdd(vote(1, 0, true, false, false))
+	answers.MustAdd(vote(2, 0, false, true, false))
+	if flagged := (BiasScreen{}).Flag(answers); len(flagged) != 0 {
+		t.Errorf("flagged %v on tiny samples", flagged)
+	}
+}
+
+func TestBiasScreenNoBiasNoFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tasks := makeTasks(30, 4)
+	answers := model.NewAnswerSet()
+	for ti := range tasks {
+		for wi := 0; wi < 4; wi++ {
+			sel := make([]bool, 4)
+			for k := range sel {
+				sel[k] = rng.Intn(2) == 0
+			}
+			answers.MustAdd(vote(model.WorkerID(wi), model.TaskID(ti), sel...))
+		}
+	}
+	if flagged := (BiasScreen{}).Flag(answers); len(flagged) != 0 {
+		t.Errorf("flagged %v in an unbiased corpus", flagged)
+	}
+}

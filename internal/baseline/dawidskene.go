@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"math"
+
+	"poilabel/internal/model"
+)
+
+// DawidSkene is the classic EM estimator of observer error-rates [5],
+// specialised to binary labels. Every (task, label) pair is an item with an
+// unknown truth; every worker w has a 2×2 confusion matrix
+//
+//	conf[z][r] = P(worker answers r | truth is z)
+//
+// estimated jointly with the per-item truth posteriors. This is the "EM"
+// baseline of the paper's Figure 9: it models an average per-worker quality
+// but is blind to worker–POI distance and POI influence.
+type DawidSkene struct {
+	// Tol is the convergence threshold on the max change of any truth
+	// posterior between iterations. Zero means DefaultTol.
+	Tol float64
+	// MaxIter caps EM iterations. Zero means DefaultMaxIter.
+	MaxIter int
+	// Smoothing is the Laplace pseudo-count added to confusion-matrix
+	// cells to keep estimates away from the 0/1 boundary. Zero means
+	// DefaultSmoothing.
+	Smoothing float64
+}
+
+// Defaults for DawidSkene fields left at zero.
+const (
+	DefaultTol       = 1e-4
+	DefaultMaxIter   = 100
+	DefaultSmoothing = 0.01
+)
+
+// Name implements Inferencer.
+func (DawidSkene) Name() string { return "EM" }
+
+func (d DawidSkene) tol() float64 {
+	if d.Tol > 0 {
+		return d.Tol
+	}
+	return DefaultTol
+}
+
+func (d DawidSkene) maxIter() int {
+	if d.MaxIter > 0 {
+		return d.MaxIter
+	}
+	return DefaultMaxIter
+}
+
+func (d DawidSkene) smoothing() float64 {
+	if d.Smoothing > 0 {
+		return d.Smoothing
+	}
+	return DefaultSmoothing
+}
+
+// Infer implements Inferencer.
+func (d DawidSkene) Infer(tasks []model.Task, answers *model.AnswerSet) *model.Result {
+	res, _ := d.infer(tasks, answers)
+	return res
+}
+
+// InferWithQuality runs the estimator and additionally returns each worker's
+// scalar quality, defined as the average of the two diagonal confusion
+// entries — the probability the worker answers correctly averaged over both
+// truth values. The experiment harness reports it next to the inference
+// model's worker quality.
+func (d DawidSkene) InferWithQuality(tasks []model.Task, answers *model.AnswerSet) (*model.Result, map[model.WorkerID]float64) {
+	return d.infer(tasks, answers)
+}
+
+func (d DawidSkene) infer(tasks []model.Task, answers *model.AnswerSet) (*model.Result, map[model.WorkerID]float64) {
+	result := model.NewResult(tasks)
+
+	// Initialize truth posteriors with majority voting.
+	mv := MajorityVote{}.Infer(tasks, answers)
+	post := mv.Prob // post[t][k] = P(z=1)
+
+	workers := answers.Workers()
+	conf := make(map[model.WorkerID]*[2][2]float64, len(workers))
+	for _, w := range workers {
+		conf[w] = &[2][2]float64{{0.8, 0.2}, {0.2, 0.8}}
+	}
+
+	smooth := d.smoothing()
+	for iter := 0; iter < d.maxIter(); iter++ {
+		// M-step: confusion matrices from current posteriors.
+		counts := make(map[model.WorkerID]*[2][2]float64, len(workers))
+		for _, w := range workers {
+			counts[w] = &[2][2]float64{{smooth, smooth}, {smooth, smooth}}
+		}
+		for i := 0; i < answers.Len(); i++ {
+			a := answers.Answer(i)
+			c := counts[a.Worker]
+			for k, r := range a.Selected {
+				p1 := post[a.Task][k]
+				ri := 0
+				if r {
+					ri = 1
+				}
+				c[1][ri] += p1
+				c[0][ri] += 1 - p1
+			}
+		}
+		for _, w := range workers {
+			c := counts[w]
+			m := conf[w]
+			for z := 0; z < 2; z++ {
+				row := c[z][0] + c[z][1]
+				m[z][0] = c[z][0] / row
+				m[z][1] = c[z][1] / row
+			}
+		}
+
+		// Class prior from current posteriors.
+		var p1sum, n float64
+		for t := range post {
+			for k := range post[t] {
+				if answers.TaskAnswerCount(model.TaskID(t)) > 0 {
+					p1sum += post[t][k]
+					n++
+				}
+			}
+		}
+		prior1 := 0.5
+		if n > 0 {
+			prior1 = p1sum / n
+		}
+
+		// E-step: truth posteriors from confusion matrices.
+		next := make([][]float64, len(post))
+		for t := range post {
+			next[t] = make([]float64, len(post[t]))
+			copy(next[t], post[t])
+		}
+		var maxDelta float64
+		for t := range tasks {
+			idxs := answers.ByTask(model.TaskID(t))
+			if len(idxs) == 0 {
+				continue
+			}
+			for k := range tasks[t].Labels {
+				l1 := math.Log(prior1)
+				l0 := math.Log(1 - prior1)
+				for _, idx := range idxs {
+					a := answers.Answer(idx)
+					m := conf[a.Worker]
+					ri := 0
+					if a.Selected[k] {
+						ri = 1
+					}
+					l1 += math.Log(m[1][ri])
+					l0 += math.Log(m[0][ri])
+				}
+				// Normalize in log space.
+				mx := math.Max(l1, l0)
+				e1 := math.Exp(l1 - mx)
+				e0 := math.Exp(l0 - mx)
+				p := e1 / (e1 + e0)
+				if d := math.Abs(p - post[t][k]); d > maxDelta {
+					maxDelta = d
+				}
+				next[t][k] = p
+			}
+		}
+		post = next
+		if maxDelta < d.tol() {
+			break
+		}
+	}
+
+	for t := range tasks {
+		for k := range tasks[t].Labels {
+			result.Prob[t][k] = post[t][k]
+			result.Inferred[t][k] = post[t][k] >= 0.5
+		}
+	}
+	quality := make(map[model.WorkerID]float64, len(workers))
+	for _, w := range workers {
+		m := conf[w]
+		quality[w] = (m[0][0] + m[1][1]) / 2
+	}
+	return result, quality
+}

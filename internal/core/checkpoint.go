@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"poilabel/internal/model"
+)
+
+// Checkpoint is a serializable snapshot of a model's learned state: the
+// answer log and every estimated parameter. A long-running labelling
+// deployment can persist its state between processes and resume without
+// re-running EM over history.
+//
+// The checkpoint does not carry the task/worker definitions or the model
+// configuration; Restore validates shape compatibility against the model
+// it is applied to.
+type Checkpoint struct {
+	// Answers is the full answer log in submission order.
+	Answers []model.Answer `json:"answers"`
+	// Params are the estimates at snapshot time.
+	Params *Params `json:"params"`
+}
+
+// Snapshot captures the model's current state.
+func (m *Model) Snapshot() *Checkpoint {
+	answers := m.answers.All()
+	dup := make([]model.Answer, len(answers))
+	for i, a := range answers {
+		dup[i] = a
+		dup[i].Selected = append([]bool(nil), a.Selected...)
+	}
+	return &Checkpoint{Answers: dup, Params: m.params.Clone()}
+}
+
+// Restore replaces the model's answers and parameters with the
+// checkpoint's. The checkpoint must have been taken from a model with the
+// same tasks, workers and function set; shape mismatches are rejected with
+// the model left unchanged.
+func (m *Model) Restore(c *Checkpoint) error {
+	if c == nil || c.Params == nil {
+		return fmt.Errorf("core: nil checkpoint")
+	}
+	if err := m.checkShape(c.Params); err != nil {
+		return err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	answers := model.NewAnswerSet()
+	for _, a := range c.Answers {
+		if int(a.Task) < 0 || int(a.Task) >= len(m.tasks) {
+			return fmt.Errorf("core: restore: answer references unknown task %d", a.Task)
+		}
+		if int(a.Worker) < 0 || int(a.Worker) >= len(m.workers) {
+			return fmt.Errorf("core: restore: answer references unknown worker %d", a.Worker)
+		}
+		if err := a.Validate(&m.tasks[a.Task]); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		if err := answers.Add(a); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+	}
+	m.answers = answers
+	m.params = c.Params.Clone()
+	return nil
+}
+
+// checkShape verifies that p matches this model's dimensions.
+func (m *Model) checkShape(p *Params) error {
+	nf := m.cfg.FuncSet.Len()
+	if len(p.PZ) != len(m.tasks) || len(p.PDT) != len(m.tasks) {
+		return fmt.Errorf("core: checkpoint has %d/%d task rows, model has %d",
+			len(p.PZ), len(p.PDT), len(m.tasks))
+	}
+	if len(p.PI) != len(m.workers) || len(p.PDW) != len(m.workers) {
+		return fmt.Errorf("core: checkpoint has %d/%d worker rows, model has %d",
+			len(p.PI), len(p.PDW), len(m.workers))
+	}
+	for t := range m.tasks {
+		if len(p.PZ[t]) != len(m.tasks[t].Labels) {
+			return fmt.Errorf("core: checkpoint task %d has %d labels, model has %d",
+				t, len(p.PZ[t]), len(m.tasks[t].Labels))
+		}
+		if len(p.PDT[t]) != nf {
+			return fmt.Errorf("core: checkpoint task %d has %d function weights, model has %d",
+				t, len(p.PDT[t]), nf)
+		}
+	}
+	for w := range m.workers {
+		if len(p.PDW[w]) != nf {
+			return fmt.Errorf("core: checkpoint worker %d has %d function weights, model has %d",
+				w, len(p.PDW[w]), nf)
+		}
+	}
+	return nil
+}
+
+// Encode writes the checkpoint as JSON.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpoint reads a checkpoint from JSON.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// SaveCheckpoint writes the model's snapshot to a file.
+func (m *Model) SaveCheckpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := m.Snapshot().Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint restores the model from a checkpoint file.
+func (m *Model) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	c, err := DecodeCheckpoint(f)
+	if err != nil {
+		return err
+	}
+	return m.Restore(c)
+}

@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"poilabel/internal/core"
+	"poilabel/internal/model"
+)
+
+// warmModel builds and fits a model with some answers for checkpoint tests.
+func warmModel(t *testing.T, f *fixture, seed int64) *core.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := f.model(t, core.DefaultConfig())
+	for ti := range f.tasks {
+		for wi := 0; wi < 2 && wi < len(f.workers); wi++ {
+			if err := m.Observe(f.answerAs(model.WorkerID(wi), model.TaskID(ti), 0.85, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Fit()
+	return m
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	f := newFixture(8, 4, 3, 50)
+	m := warmModel(t, f, 51)
+	snap := m.Snapshot()
+
+	// Restore into a fresh model over the same world.
+	m2 := f.model(t, core.DefaultConfig())
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Answers().Len() != m.Answers().Len() {
+		t.Errorf("restored %d answers, want %d", m2.Answers().Len(), m.Answers().Len())
+	}
+	if d := m2.Params().MaxDelta(m.Params()); d != 0 {
+		t.Errorf("restored params differ by %v", d)
+	}
+	// The restored model must produce identical inference.
+	r1, r2 := m.Result(), m2.Result()
+	for ti := range r1.Prob {
+		for k := range r1.Prob[ti] {
+			if r1.Prob[ti][k] != r2.Prob[ti][k] {
+				t.Fatalf("restored inference differs at %d/%d", ti, k)
+			}
+		}
+	}
+	// And must keep evolving identically.
+	rng := rand.New(rand.NewSource(52))
+	a := f.answerAs(2, 0, 0.85, rng)
+	if err := m.Update(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Update(a); err != nil {
+		t.Fatal(err)
+	}
+	if d := m2.Params().MaxDelta(m.Params()); d != 0 {
+		t.Errorf("post-restore update diverged by %v", d)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	f := newFixture(4, 3, 2, 53)
+	m := warmModel(t, f, 54)
+	snap := m.Snapshot()
+	before := snap.Params.PZ[0][0]
+	// Keep fitting the live model; the snapshot must not move.
+	rng := rand.New(rand.NewSource(55))
+	for wi := range f.workers {
+		if !m.Answers().Has(model.WorkerID(wi), 0) {
+			if err := m.Update(f.answerAs(model.WorkerID(wi), 0, 0.9, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Fit()
+	if snap.Params.PZ[0][0] != before {
+		t.Error("snapshot params alias the live model")
+	}
+	snap.Answers[0].Selected[0] = !snap.Answers[0].Selected[0]
+	if m.Answers().Answer(0).Selected[0] == snap.Answers[0].Selected[0] {
+		t.Error("snapshot answers alias the live model")
+	}
+}
+
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	f := newFixture(6, 3, 3, 56)
+	m := warmModel(t, f, 57)
+	var buf bytes.Buffer
+	if err := m.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := f.model(t, core.DefaultConfig())
+	if err := m2.Restore(c); err != nil {
+		t.Fatal(err)
+	}
+	if d := m2.Params().MaxDelta(m.Params()); d > 1e-15 {
+		t.Errorf("JSON round trip changed params by %v", d)
+	}
+}
+
+func TestSaveLoadCheckpointFile(t *testing.T) {
+	f := newFixture(6, 3, 3, 58)
+	m := warmModel(t, f, 59)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := f.model(t, core.DefaultConfig())
+	if err := m2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Answers().Len() != m.Answers().Len() {
+		t.Error("file round trip lost answers")
+	}
+}
+
+func TestRestoreRejectsMismatchedShape(t *testing.T) {
+	f := newFixture(6, 3, 3, 60)
+	m := warmModel(t, f, 61)
+	snap := m.Snapshot()
+
+	other := newFixture(7, 3, 3, 62) // different task count
+	m2 := other.model(t, core.DefaultConfig())
+	if err := m2.Restore(snap); err == nil {
+		t.Error("restore into mismatched task count accepted")
+	}
+
+	other2 := newFixture(6, 3, 4, 63) // different worker count
+	m3 := other2.model(t, core.DefaultConfig())
+	if err := m3.Restore(snap); err == nil {
+		t.Error("restore into mismatched worker count accepted")
+	}
+}
+
+func TestRestoreRejectsCorruptParams(t *testing.T) {
+	f := newFixture(5, 3, 2, 64)
+	m := warmModel(t, f, 65)
+	snap := m.Snapshot()
+	snap.Params.PI[0] = 1.7
+	m2 := f.model(t, core.DefaultConfig())
+	if err := m2.Restore(snap); err == nil {
+		t.Error("restore with invalid params accepted")
+	}
+	if err := m2.Restore(nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+}
+
+func TestRestoreRejectsBadAnswers(t *testing.T) {
+	f := newFixture(5, 3, 2, 66)
+	m := warmModel(t, f, 67)
+	snap := m.Snapshot()
+	snap.Answers = append(snap.Answers, model.Answer{Worker: 0, Task: 99, Selected: []bool{true, true, true}})
+	m2 := f.model(t, core.DefaultConfig())
+	if err := m2.Restore(snap); err == nil {
+		t.Error("restore with out-of-range answer accepted")
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	f := newFixture(4, 2, 2, 68)
+	m := f.model(t, core.DefaultConfig())
+	if err := m.LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Error("loading missing checkpoint succeeded")
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"poilabel/internal/model"
+)
+
+// FitStats reports the outcome of a full EM run.
+type FitStats struct {
+	// Iterations is the number of E/M passes executed.
+	Iterations int
+	// Converged reports whether the max parameter change fell below Tol
+	// before MaxIter was reached.
+	Converged bool
+	// DeltaTrace[i] is the maximum parameter change after iteration i —
+	// the convergence statistic plotted in Figure 10.
+	DeltaTrace []float64
+	// LogLikTrace[i] is the observed-data log-likelihood after iteration i.
+	LogLikTrace []float64
+	// Elapsed is the wall-clock duration of the fit.
+	Elapsed time.Duration
+}
+
+// posterior holds the per-(answer, label) posterior marginals computed by
+// the E-step: the four-case joint of Equation 12 collapsed to the marginals
+// the M-step needs. The joint over (z, i, d_w, d_t) factors so that each
+// marginal costs O(|F|) instead of O(4·|F|²).
+type posterior struct {
+	z1 float64   // P(z_{t,k}=1 | r)
+	i1 float64   // P(i_w=1 | r)
+	dw []float64 // P(d_w=f_j | r)
+	dt []float64 // P(d_t=f_j | r)
+	// lik is the observed likelihood P(r_{w,t,k}) under the current
+	// parameters (the normalizer of the joint posterior).
+	lik float64
+}
+
+func newPosterior(nf int) *posterior {
+	return &posterior{dw: make([]float64, nf), dt: make([]float64, nf)}
+}
+
+// computePosterior evaluates the E-step for one (answer, label) cell.
+//
+//	r   — the worker's vote r_{w,t,k}
+//	pz  — current prior P(z_{t,k}=1)
+//	pi  — current P(i_w=1)
+//	pdw, pdt — current multinomials over F
+//	fv  — precomputed f_j(d(w,t)) for every function in F
+//	alpha — the Equation 8 mixing weight
+//
+// The four cases of Equation 12 are:
+//
+//	(i=0, z)   likelihood 0.5 regardless of d_w, d_t
+//	(i=1, z=1) likelihood q     if r=1, 1−q if r=0
+//	(i=1, z=0) likelihood 1−q   if r=1, q   if r=0
+//
+// with q = α·f_{d_w}(d) + (1−α)·f_{d_t}(d). Because q is affine in the two
+// function values, marginalizing over d_w and d_t is a pair of dot
+// products.
+func computePosterior(r bool, pz, pi float64, pdw, pdt, fv []float64, alpha float64, out *posterior) {
+	var dq, iq float64
+	for j := range fv {
+		dq += pdw[j] * fv[j]
+		iq += pdt[j] * fv[j]
+	}
+	eq := alpha*dq + (1-alpha)*iq // E[q] over (d_w, d_t)
+
+	// a1 = P(r | z=1, i=1) marginalized over d_w, d_t; a0 is the z=0 twin.
+	a1 := eq
+	if !r {
+		a1 = 1 - eq
+	}
+	a0 := 1 - a1
+
+	m10 := 0.5 * pz * (1 - pi)       // z=1, i=0
+	m00 := 0.5 * (1 - pz) * (1 - pi) // z=0, i=0
+	m11 := pz * pi * a1              // z=1, i=1
+	m01 := (1 - pz) * pi * a0        // z=0, i=1
+	z := m10 + m00 + m11 + m01
+	if z <= 0 || math.IsNaN(z) {
+		// Degenerate priors (e.g. pz exactly 0 with a contradicting
+		// answer). Fall back to an uninformative posterior rather than
+		// dividing by zero.
+		out.z1 = pz
+		out.i1 = pi
+		copy(out.dw, pdw)
+		copy(out.dt, pdt)
+		out.lik = math.SmallestNonzeroFloat64
+		return
+	}
+
+	out.lik = z
+	out.z1 = (m10 + m11) / z
+	out.i1 = (m11 + m01) / z
+
+	// Marginal over d_w: P(j) ∝ pdw[j]·[0.5(1−pi) + pi·(pz·b1 + (1−pz)·(1−b1))]
+	// where b1 = P(r | z=1, i=1, d_w=f_j) marginalized over d_t only.
+	base := 0.5 * (1 - pi)
+	for j := range fv {
+		qj := alpha*fv[j] + (1-alpha)*iq
+		b1 := qj
+		if !r {
+			b1 = 1 - qj
+		}
+		out.dw[j] = pdw[j] * (base + pi*(pz*b1+(1-pz)*(1-b1))) / z
+	}
+	for j := range fv {
+		qj := alpha*dq + (1-alpha)*fv[j]
+		c1 := qj
+		if !r {
+			c1 = 1 - qj
+		}
+		out.dt[j] = pdt[j] * (base + pi*(pz*c1+(1-pz)*(1-c1))) / z
+	}
+}
+
+// accumulators collects the M-step sufficient statistics: per-parameter sums
+// of posterior marginals and their denominators (Equation 14).
+type accumulators struct {
+	zSum    [][]float64
+	zCount  [][]float64
+	iSum    []float64
+	iCount  []float64
+	dwSum   [][]float64
+	dtSum   [][]float64
+	dtCount []float64
+	logLik  float64
+}
+
+func (m *Model) newAccumulators() *accumulators {
+	nf := m.cfg.FuncSet.Len()
+	acc := &accumulators{
+		zSum:    make([][]float64, len(m.tasks)),
+		zCount:  make([][]float64, len(m.tasks)),
+		iSum:    make([]float64, len(m.workers)),
+		iCount:  make([]float64, len(m.workers)),
+		dwSum:   make([][]float64, len(m.workers)),
+		dtSum:   make([][]float64, len(m.tasks)),
+		dtCount: make([]float64, len(m.tasks)),
+	}
+	for t := range m.tasks {
+		acc.zSum[t] = make([]float64, len(m.tasks[t].Labels))
+		acc.zCount[t] = make([]float64, len(m.tasks[t].Labels))
+		acc.dtSum[t] = make([]float64, nf)
+	}
+	for w := range m.workers {
+		acc.dwSum[w] = make([]float64, nf)
+	}
+	return acc
+}
+
+// reset zeroes acc for reuse across EM iterations, avoiding the per-
+// iteration reallocation of O(|T|·|L|) slices that dominates at scale.
+func (acc *accumulators) reset() {
+	for t := range acc.zSum {
+		zero(acc.zSum[t])
+		zero(acc.zCount[t])
+		zero(acc.dtSum[t])
+	}
+	zero(acc.iSum)
+	zero(acc.iCount)
+	for w := range acc.dwSum {
+		zero(acc.dwSum[w])
+	}
+	zero(acc.dtCount)
+	acc.logLik = 0
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// accumulate runs the E-step for one answer under params p and adds its
+// posterior marginals into acc.
+func (m *Model) accumulate(a *model.Answer, p *Params, acc *accumulators, post *posterior) {
+	w, t := a.Worker, a.Task
+	fv := m.fvals(w, t)
+	pdw, pdt := p.PDW[w], p.PDT[t]
+	pi := p.PI[w]
+	for k, r := range a.Selected {
+		computePosterior(r, p.PZ[t][k], pi, pdw, pdt, fv, m.cfg.Alpha, post)
+		acc.zSum[t][k] += post.z1
+		acc.zCount[t][k]++
+		acc.iSum[w] += post.i1
+		acc.iCount[w]++
+		for j := range post.dw {
+			acc.dwSum[w][j] += post.dw[j]
+			acc.dtSum[t][j] += post.dt[j]
+		}
+		acc.dtCount[t]++
+		acc.logLik += math.Log(post.lik)
+	}
+}
+
+// estimate converts accumulated statistics into a fresh parameter set,
+// keeping the previous value wherever a parameter received no evidence
+// (unanswered task, inactive worker).
+func (m *Model) estimate(prev *Params, acc *accumulators) *Params {
+	next := prev.Clone()
+	for t := range m.tasks {
+		for k := range next.PZ[t] {
+			if acc.zCount[t][k] > 0 {
+				next.PZ[t][k] = m.blend(acc.zSum[t][k], acc.zCount[t][k], m.cfg.InitPZ)
+			}
+		}
+		if acc.dtCount[t] > 0 {
+			m.normalizeSmoothed(next.PDT[t], acc.dtSum[t])
+		}
+	}
+	for w := range m.workers {
+		if acc.iCount[w] > 0 {
+			next.PI[w] = m.blend(acc.iSum[w], acc.iCount[w], m.cfg.InitPI)
+			m.normalizeSmoothed(next.PDW[w], acc.dwSum[w])
+		}
+	}
+	return next
+}
+
+// blend applies the MAP pseudo-count to a Bernoulli estimate: the posterior
+// sum is mixed with Smoothing pseudo-observations at the prior value.
+func (m *Model) blend(sum, count, prior float64) float64 {
+	s := m.cfg.Smoothing
+	return (sum + s*prior) / (count + s)
+}
+
+// normalizeSmoothed writes src, plus a symmetric Dirichlet pseudo-count of
+// Smoothing split across the components, normalized to sum 1 into dst.
+// A zero-sum unsmoothed source leaves dst untouched.
+func (m *Model) normalizeSmoothed(dst, src []float64) {
+	s := m.cfg.Smoothing
+	var sum float64
+	for _, v := range src {
+		sum += v
+	}
+	if sum+s <= 0 {
+		return
+	}
+	pseudo := s / float64(len(src))
+	for j := range dst {
+		dst[j] = (src[j] + pseudo) / (sum + s)
+	}
+}
+
+// Fit runs the full EM of Section III-C over all observed answers until the
+// maximum parameter change drops below Tol or MaxIter is reached. With
+// Config.Parallelism > 1 the E-step fans out over that many goroutines.
+func (m *Model) Fit() FitStats {
+	start := time.Now()
+	stats := FitStats{}
+	post := newPosterior(m.cfg.FuncSet.Len())
+	parallel := m.cfg.Parallelism > 1 && m.answers.Len() >= 2*m.cfg.Parallelism
+	if parallel {
+		// The shared f-value cache is written on miss; warm it serially so
+		// the parallel E-step only reads it.
+		for i := 0; i < m.answers.Len(); i++ {
+			a := m.answers.Answer(i)
+			m.fvals(a.Worker, a.Task)
+		}
+	}
+	var serialAcc *accumulators
+	var pool *accPool
+	if parallel {
+		pool = m.newAccPool()
+	} else {
+		serialAcc = m.newAccumulators()
+	}
+	for iter := 0; iter < m.cfg.MaxIter; iter++ {
+		var acc *accumulators
+		if parallel {
+			acc = m.estepParallel(pool)
+		} else {
+			serialAcc.reset()
+			acc = serialAcc
+			for i := 0; i < m.answers.Len(); i++ {
+				m.accumulate(m.answers.Answer(i), m.params, acc, post)
+			}
+		}
+		next := m.estimate(m.params, acc)
+		delta := next.MaxDelta(m.params)
+		m.params = next
+		stats.Iterations++
+		stats.DeltaTrace = append(stats.DeltaTrace, delta)
+		stats.LogLikTrace = append(stats.LogLikTrace, acc.logLik)
+		if delta < m.cfg.Tol {
+			stats.Converged = true
+			break
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+// accPool holds the per-goroutine accumulators and posterior buffers a
+// parallel fit reuses across iterations.
+type accPool struct {
+	accs  []*accumulators
+	posts []*posterior
+	total *accumulators
+}
+
+func (m *Model) newAccPool() *accPool {
+	p := m.cfg.Parallelism
+	pool := &accPool{
+		accs:  make([]*accumulators, p),
+		posts: make([]*posterior, p),
+		total: m.newAccumulators(),
+	}
+	for g := 0; g < p; g++ {
+		pool.accs[g] = m.newAccumulators()
+		pool.posts[g] = newPosterior(m.cfg.FuncSet.Len())
+	}
+	return pool
+}
+
+// estepParallel runs one E-step over all answers using Parallelism
+// goroutines with per-goroutine accumulators, merged in chunk order so the
+// result is deterministic for a fixed Parallelism.
+func (m *Model) estepParallel(pool *accPool) *accumulators {
+	p := m.cfg.Parallelism
+	n := m.answers.Len()
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	used := 0
+	for g := 0; g < p; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		pool.accs[g].reset()
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				m.accumulate(m.answers.Answer(i), m.params, pool.accs[g], pool.posts[g])
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+
+	pool.total.reset()
+	for g := 0; g < used; g++ {
+		pool.total.merge(pool.accs[g])
+	}
+	return pool.total
+}
+
+// merge adds other's sufficient statistics into acc.
+func (acc *accumulators) merge(other *accumulators) {
+	for t := range acc.zSum {
+		for k := range acc.zSum[t] {
+			acc.zSum[t][k] += other.zSum[t][k]
+			acc.zCount[t][k] += other.zCount[t][k]
+		}
+		for j := range acc.dtSum[t] {
+			acc.dtSum[t][j] += other.dtSum[t][j]
+		}
+		acc.dtCount[t] += other.dtCount[t]
+	}
+	for w := range acc.iSum {
+		acc.iSum[w] += other.iSum[w]
+		acc.iCount[w] += other.iCount[w]
+		for j := range acc.dwSum[w] {
+			acc.dwSum[w][j] += other.dwSum[w][j]
+		}
+	}
+	acc.logLik += other.logLik
+}
+
+// LogLikelihood returns the observed-data log-likelihood of all answers
+// under the current parameters: Σ log P(r_{w,t,k}).
+func (m *Model) LogLikelihood() float64 {
+	post := newPosterior(m.cfg.FuncSet.Len())
+	var ll float64
+	for i := 0; i < m.answers.Len(); i++ {
+		a := m.answers.Answer(i)
+		fv := m.fvals(a.Worker, a.Task)
+		for k, r := range a.Selected {
+			computePosterior(r, m.params.PZ[a.Task][k], m.params.PI[a.Worker],
+				m.params.PDW[a.Worker], m.params.PDT[a.Task], fv, m.cfg.Alpha, post)
+			ll += math.Log(post.lik)
+		}
+	}
+	return ll
+}

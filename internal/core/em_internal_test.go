@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brutePosterior computes the Equation 12 posterior by enumerating the full
+// joint over (z, i, d_w, d_t) — the reference the factored O(|F|)
+// implementation must match exactly.
+func brutePosterior(r bool, pz, pi float64, pdw, pdt, fv []float64, alpha float64) *posterior {
+	nf := len(fv)
+	out := newPosterior(nf)
+	var total float64
+	var z1, i1 float64
+	dw := make([]float64, nf)
+	dt := make([]float64, nf)
+	for _, z := range []int{0, 1} {
+		pzv := pz
+		if z == 0 {
+			pzv = 1 - pz
+		}
+		for _, i := range []int{0, 1} {
+			piv := pi
+			if i == 0 {
+				piv = 1 - pi
+			}
+			for jw := 0; jw < nf; jw++ {
+				for jt := 0; jt < nf; jt++ {
+					var lik float64
+					if i == 0 {
+						lik = 0.5
+					} else {
+						q := alpha*fv[jw] + (1-alpha)*fv[jt]
+						agree := (r && z == 1) || (!r && z == 0)
+						if agree {
+							lik = q
+						} else {
+							lik = 1 - q
+						}
+					}
+					w := pzv * piv * pdw[jw] * pdt[jt] * lik
+					total += w
+					if z == 1 {
+						z1 += w
+					}
+					if i == 1 {
+						i1 += w
+					}
+					dw[jw] += w
+					dt[jt] += w
+				}
+			}
+		}
+	}
+	out.lik = total
+	out.z1 = z1 / total
+	out.i1 = i1 / total
+	for j := 0; j < nf; j++ {
+		out.dw[j] = dw[j] / total
+		out.dt[j] = dt[j] / total
+	}
+	return out
+}
+
+func randDist(rng *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = rng.Float64() + 0.01
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func TestComputePosteriorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		nf := 1 + rng.Intn(4)
+		pdw := randDist(rng, nf)
+		pdt := randDist(rng, nf)
+		fv := make([]float64, nf)
+		for i := range fv {
+			fv[i] = 0.5 + 0.5*rng.Float64()
+		}
+		pz := 0.01 + 0.98*rng.Float64()
+		pi := 0.01 + 0.98*rng.Float64()
+		alpha := rng.Float64()
+		r := rng.Intn(2) == 1
+
+		got := newPosterior(nf)
+		computePosterior(r, pz, pi, pdw, pdt, fv, alpha, got)
+		want := brutePosterior(r, pz, pi, pdw, pdt, fv, alpha)
+
+		approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-10 }
+		if !approx(got.z1, want.z1) || !approx(got.i1, want.i1) || !approx(got.lik, want.lik) {
+			t.Fatalf("trial %d: got (z1=%v i1=%v lik=%v), want (%v %v %v)",
+				trial, got.z1, got.i1, got.lik, want.z1, want.i1, want.lik)
+		}
+		for j := 0; j < nf; j++ {
+			if !approx(got.dw[j], want.dw[j]) || !approx(got.dt[j], want.dt[j]) {
+				t.Fatalf("trial %d: dw/dt[%d] mismatch: got (%v, %v), want (%v, %v)",
+					trial, j, got.dw[j], got.dt[j], want.dw[j], want.dt[j])
+			}
+		}
+	}
+}
+
+func TestComputePosteriorMarginalsNormalized(t *testing.T) {
+	f := func(seed int64, r bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 1 + rng.Intn(4)
+		pdw := randDist(rng, nf)
+		pdt := randDist(rng, nf)
+		fv := make([]float64, nf)
+		for i := range fv {
+			fv[i] = 0.5 + 0.5*rng.Float64()
+		}
+		post := newPosterior(nf)
+		computePosterior(r, rng.Float64(), rng.Float64(), pdw, pdt, fv, rng.Float64(), post)
+		if post.z1 < -1e-12 || post.z1 > 1+1e-12 || post.i1 < -1e-12 || post.i1 > 1+1e-12 {
+			return false
+		}
+		var sw, st float64
+		for j := 0; j < nf; j++ {
+			sw += post.dw[j]
+			st += post.dt[j]
+		}
+		return math.Abs(sw-1) < 1e-9 && math.Abs(st-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// An agreeing answer from a credible worker must raise the truth posterior;
+// a disagreeing one must lower it.
+func TestComputePosteriorDirection(t *testing.T) {
+	fv := []float64{0.9, 0.8, 0.7}
+	pdw := []float64{0.4, 0.3, 0.3}
+	pdt := []float64{0.2, 0.5, 0.3}
+	post := newPosterior(3)
+
+	computePosterior(true, 0.5, 0.9, pdw, pdt, fv, 0.5, post)
+	if post.z1 <= 0.5 {
+		t.Errorf("yes-vote posterior = %v, want > 0.5", post.z1)
+	}
+	computePosterior(false, 0.5, 0.9, pdw, pdt, fv, 0.5, post)
+	if post.z1 >= 0.5 {
+		t.Errorf("no-vote posterior = %v, want < 0.5", post.z1)
+	}
+}
+
+// A worker whose quality is exactly the coin-flip floor conveys nothing.
+func TestComputePosteriorUninformativeWorker(t *testing.T) {
+	fv := []float64{0.5} // the function floor: q = 0.5 regardless
+	post := newPosterior(1)
+	computePosterior(true, 0.37, 0.8, []float64{1}, []float64{1}, fv, 0.5, post)
+	if math.Abs(post.z1-0.37) > 1e-12 {
+		t.Errorf("posterior moved from prior on an uninformative answer: %v", post.z1)
+	}
+}
+
+func TestComputePosteriorDegeneratePrior(t *testing.T) {
+	// pz = 0 with an agreeing answer and pi = 1, q = 1 gives zero mass on
+	// every branch matching the answer; the fallback must not NaN.
+	fv := []float64{1}
+	post := newPosterior(1)
+	computePosterior(true, 0, 1, []float64{1}, []float64{1}, fv, 1, post)
+	if math.IsNaN(post.z1) || math.IsNaN(post.i1) {
+		t.Error("degenerate prior produced NaN marginals")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"poilabel/internal/model"
+)
+
+// Update performs the incremental EM of Section III-D after a single answer
+// submission: instead of re-running EM over the whole answer set, it
+// re-estimates only the parameters the new answer touches — the submitting
+// worker's quality (P(i_w), P(d_w)) from that worker's answers, and the
+// answered task's inferred results (P(z_{t,k})) and POI influence (P(d_t))
+// from that task's answers. All other parameters are held fixed, which is
+// exactly the partial E-step justified by Neal & Hinton's incremental EM
+// view [18].
+//
+// The answer is observed (appended to the log) and then IncrementalSweeps
+// local E/M sweeps run over the affected slices.
+func (m *Model) Update(a model.Answer) error {
+	if err := m.Observe(a); err != nil {
+		return err
+	}
+	m.refreshLocal(a.Worker, a.Task)
+	return nil
+}
+
+// refreshLocal runs the localized E/M sweeps for one (worker, task) pair.
+func (m *Model) refreshLocal(w model.WorkerID, t model.TaskID) {
+	post := newPosterior(m.cfg.FuncSet.Len())
+	for sweep := 0; sweep < m.cfg.IncrementalSweeps; sweep++ {
+		m.refreshWorker(w, post)
+		m.refreshTask(t, post)
+	}
+}
+
+// refreshWorker re-estimates P(i_w) and P(d_w) from all of w's answers under
+// the current values of every other parameter.
+func (m *Model) refreshWorker(w model.WorkerID, post *posterior) {
+	idxs := m.answers.ByWorker(w)
+	if len(idxs) == 0 {
+		return
+	}
+	nf := m.cfg.FuncSet.Len()
+	var iSum, n float64
+	dwSum := make([]float64, nf)
+	for _, idx := range idxs {
+		a := m.answers.Answer(idx)
+		fv := m.fvals(w, a.Task)
+		for k, r := range a.Selected {
+			computePosterior(r, m.params.PZ[a.Task][k], m.params.PI[w],
+				m.params.PDW[w], m.params.PDT[a.Task], fv, m.cfg.Alpha, post)
+			iSum += post.i1
+			n++
+			for j := range post.dw {
+				dwSum[j] += post.dw[j]
+			}
+		}
+	}
+	if n > 0 {
+		m.params.PI[w] = m.blend(iSum, n, m.cfg.InitPI)
+		m.normalizeSmoothed(m.params.PDW[w], dwSum)
+	}
+}
+
+// refreshTask re-estimates P(z_{t,k}) for every label of t and P(d_t) from
+// all answers on t under the current values of every other parameter.
+func (m *Model) refreshTask(t model.TaskID, post *posterior) {
+	idxs := m.answers.ByTask(t)
+	if len(idxs) == 0 {
+		return
+	}
+	nf := m.cfg.FuncSet.Len()
+	nk := len(m.tasks[t].Labels)
+	zSum := make([]float64, nk)
+	zCount := make([]float64, nk)
+	dtSum := make([]float64, nf)
+	for _, idx := range idxs {
+		a := m.answers.Answer(idx)
+		fv := m.fvals(a.Worker, t)
+		for k, r := range a.Selected {
+			computePosterior(r, m.params.PZ[t][k], m.params.PI[a.Worker],
+				m.params.PDW[a.Worker], m.params.PDT[t], fv, m.cfg.Alpha, post)
+			zSum[k] += post.z1
+			zCount[k]++
+			for j := range post.dt {
+				dtSum[j] += post.dt[j]
+			}
+		}
+	}
+	for k := 0; k < nk; k++ {
+		if zCount[k] > 0 {
+			m.params.PZ[t][k] = m.blend(zSum[k], zCount[k], m.cfg.InitPZ)
+		}
+	}
+	m.normalizeSmoothed(m.params.PDT[t], dtSum)
+}
+
+// UpdatePolicy decides when the framework runs the expensive full EM versus
+// the cheap incremental update (Section III-D: "run the complete EM
+// algorithm only if there are 100 submissions" with incremental EM in
+// between).
+type UpdatePolicy struct {
+	// FullEMInterval is the number of submissions between full EM runs.
+	// A value of 1 runs full EM on every submission; 0 disables full EM
+	// entirely (incremental only).
+	FullEMInterval int
+	// Incremental enables the incremental update between full runs.
+	Incremental bool
+
+	sinceFull int
+}
+
+// DefaultUpdatePolicy matches the paper: full EM every 100 submissions,
+// incremental EM in between.
+func DefaultUpdatePolicy() *UpdatePolicy {
+	return &UpdatePolicy{FullEMInterval: 100, Incremental: true}
+}
+
+// String implements fmt.Stringer.
+func (p *UpdatePolicy) String() string {
+	return fmt.Sprintf("UpdatePolicy{full every %d, incremental %v}", p.FullEMInterval, p.Incremental)
+}
+
+// Apply routes one submitted answer into the model according to the policy.
+// It returns true when a full EM run was triggered.
+func (p *UpdatePolicy) Apply(m *Model, a model.Answer) (fullEM bool, err error) {
+	p.sinceFull++
+	runFull := p.FullEMInterval > 0 && p.sinceFull >= p.FullEMInterval
+	if runFull {
+		if err := m.Observe(a); err != nil {
+			return false, err
+		}
+		m.Fit()
+		p.sinceFull = 0
+		return true, nil
+	}
+	if p.Incremental {
+		return false, m.Update(a)
+	}
+	return false, m.Observe(a)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"poilabel/internal/distfunc"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// Config controls the inference model. The zero value is not usable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Alpha is the mixing weight between the worker's distance-aware
+	// quality and the POI influence in Equation 8. The paper uses 0.5.
+	Alpha float64
+	// FuncSet is the distance-function set F. The paper uses {f100, f10,
+	// f0.1}.
+	FuncSet *distfunc.Set
+	// Tol is the convergence threshold on the maximum parameter change
+	// between successive EM iterations. The paper uses 0.005.
+	Tol float64
+	// MaxIter caps the number of EM iterations of a full fit.
+	MaxIter int
+	// InitPI is the initial P(i_w = 1) for every worker. A value above 0.5
+	// encodes the healthy-market assumption that most workers are
+	// qualified.
+	InitPI float64
+	// InitPZ is the initial P(z_{t,k} = 1) prior before any evidence.
+	InitPZ float64
+	// IncrementalSweeps is the number of local E/M sweeps an incremental
+	// update performs over the affected worker's and task's answers.
+	IncrementalSweeps int
+	// Parallelism is the number of goroutines the full-EM E-step fans out
+	// to. Values below 2 run serially. The E-step is embarrassingly
+	// parallel over answers; results are deterministic for a fixed
+	// Parallelism value (chunks merge in order) but may differ from the
+	// serial result in the last few floating-point bits.
+	Parallelism int
+	// Smoothing is the MAP pseudo-count mixed into every M-step estimate
+	// (Beta prior on P(z) and P(i), symmetric Dirichlet on P(d_w) and
+	// P(d_t)). It keeps estimates off the 0/1 boundary, where the model
+	// has a known non-identifiability (a pure spammer is explained equally
+	// well by i_w = 0 and by i_w = 1 with the steepest distance function),
+	// and regularizes workers and tasks with few answers. Zero disables
+	// smoothing, reproducing Equation 14 exactly.
+	Smoothing float64
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:             0.5,
+		FuncSet:           distfunc.PaperSet(),
+		Tol:               0.005,
+		MaxIter:           100,
+		InitPI:            0.7,
+		InitPZ:            0.5,
+		IncrementalSweeps: 2,
+		Smoothing:         1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v out of [0,1]", c.Alpha)
+	}
+	if c.FuncSet == nil || c.FuncSet.Len() == 0 {
+		return fmt.Errorf("core: nil or empty function set")
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("core: non-positive tolerance %v", c.Tol)
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("core: non-positive MaxIter %d", c.MaxIter)
+	}
+	if c.InitPI <= 0 || c.InitPI >= 1 {
+		return fmt.Errorf("core: InitPI %v out of (0,1)", c.InitPI)
+	}
+	if c.InitPZ <= 0 || c.InitPZ >= 1 {
+		return fmt.Errorf("core: InitPZ %v out of (0,1)", c.InitPZ)
+	}
+	if c.IncrementalSweeps <= 0 {
+		return fmt.Errorf("core: non-positive IncrementalSweeps %d", c.IncrementalSweeps)
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("core: negative Smoothing %v", c.Smoothing)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative Parallelism %d", c.Parallelism)
+	}
+	return nil
+}
+
+// Model is the location-aware inference model bound to a fixed set of tasks
+// and workers. It accumulates answers and exposes the estimated parameters,
+// inference results, and answer-accuracy predictions the task assigner
+// consumes.
+//
+// Model is not safe for concurrent use; the framework serializes inference
+// and assignment, matching the paper's alternating protocol.
+type Model struct {
+	cfg     Config
+	tasks   []model.Task
+	workers []model.Worker
+	norm    geo.Normalizer
+	answers *model.AnswerSet
+	params  *Params
+
+	// dist[w][t] is the normalized worker-task distance, computed lazily.
+	dist    [][]float64
+	distSet [][]bool
+	// fcache[w*len(tasks)+t][j] caches f_j(d(w,t)) for answered pairs.
+	fcache map[int][]float64
+}
+
+// NewModel creates a model for the given tasks and workers. The distance
+// normalizer should span the dataset (for example geo.NormalizerFor over all
+// POI locations), mirroring the paper's normalization by maximum POI
+// distance.
+func NewModel(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: no tasks")
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("core: no workers")
+	}
+	m := &Model{
+		cfg:     cfg,
+		tasks:   tasks,
+		workers: workers,
+		norm:    norm,
+		answers: model.NewAnswerSet(),
+		fcache:  make(map[int][]float64),
+	}
+	m.dist = make([][]float64, len(workers))
+	m.distSet = make([][]bool, len(workers))
+	for w := range workers {
+		m.dist[w] = make([]float64, len(tasks))
+		m.distSet[w] = make([]bool, len(tasks))
+	}
+	m.params = m.initialParams()
+	return m, nil
+}
+
+func (m *Model) initialParams() *Params {
+	p := &Params{
+		PZ:  make([][]float64, len(m.tasks)),
+		PI:  make([]float64, len(m.workers)),
+		PDW: make([][]float64, len(m.workers)),
+		PDT: make([][]float64, len(m.tasks)),
+	}
+	for t := range m.tasks {
+		p.PZ[t] = make([]float64, len(m.tasks[t].Labels))
+		for k := range p.PZ[t] {
+			p.PZ[t][k] = m.cfg.InitPZ
+		}
+		p.PDT[t] = m.cfg.FuncSet.Uniform()
+	}
+	for w := range m.workers {
+		p.PI[w] = m.cfg.InitPI
+		p.PDW[w] = m.cfg.FuncSet.Uniform()
+	}
+	return p
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Tasks returns the task set the model was built over.
+func (m *Model) Tasks() []model.Task { return m.tasks }
+
+// Workers returns the worker set.
+func (m *Model) Workers() []model.Worker { return m.workers }
+
+// Answers returns the accumulated answer set. Callers must not mutate it
+// directly; use Observe.
+func (m *Model) Answers() *model.AnswerSet { return m.answers }
+
+// Params returns the current parameter estimates. The returned pointer
+// aliases the model's state; use Params().Clone() for a snapshot.
+func (m *Model) Params() *Params { return m.params }
+
+// Distance returns the normalized distance between worker w and task t,
+// computing and caching it on first use.
+func (m *Model) Distance(w model.WorkerID, t model.TaskID) float64 {
+	if !m.distSet[w][t] {
+		m.dist[w][t] = m.norm.MinDistance(m.workers[w].Locations, m.tasks[t].Location)
+		m.distSet[w][t] = true
+	}
+	return m.dist[w][t]
+}
+
+// fvals returns the cached vector [f_j(d(w,t))] for the pair (w, t).
+func (m *Model) fvals(w model.WorkerID, t model.TaskID) []float64 {
+	key := int(w)*len(m.tasks) + int(t)
+	if fv, ok := m.fcache[key]; ok {
+		return fv
+	}
+	fv := m.cfg.FuncSet.Eval(m.Distance(w, t), nil)
+	m.fcache[key] = fv
+	return fv
+}
+
+// Observe appends an answer to the model's log without updating any
+// parameter estimates. Call Fit for a full EM run or Update for an
+// incremental one.
+func (m *Model) Observe(a model.Answer) error {
+	if int(a.Task) < 0 || int(a.Task) >= len(m.tasks) {
+		return fmt.Errorf("core: answer references unknown task %d", a.Task)
+	}
+	if int(a.Worker) < 0 || int(a.Worker) >= len(m.workers) {
+		return fmt.Errorf("core: answer references unknown worker %d", a.Worker)
+	}
+	if err := a.Validate(&m.tasks[a.Task]); err != nil {
+		return err
+	}
+	return m.answers.Add(a)
+}
+
+// Reset discards all answers and restores the initial parameters. The
+// experiment harness uses it to replay answer prefixes.
+func (m *Model) Reset() {
+	m.answers = model.NewAnswerSet()
+	m.params = m.initialParams()
+}
+
+// DistanceAwareQuality returns DQ_w(d) for worker w at normalized distance
+// d: the mixture of the function set under the worker's current sensitivity
+// distribution (Definition 5).
+func (m *Model) DistanceAwareQuality(w model.WorkerID, d float64) float64 {
+	return m.cfg.FuncSet.Mixture(m.params.PDW[w], d)
+}
+
+// POIInfluenceQuality returns IQ_t(d) for task t at normalized distance d
+// (Definition 6).
+func (m *Model) POIInfluenceQuality(t model.TaskID, d float64) float64 {
+	return m.cfg.FuncSet.Mixture(m.params.PDT[t], d)
+}
+
+// WorkerQuality returns WQ_w = P(i_w = 1) (Definition 2).
+func (m *Model) WorkerQuality(w model.WorkerID) float64 { return m.params.PI[w] }
+
+// AgreementProb returns P(z_{t,k} = r_{w,t,k}) from Equation 9 — the
+// probability that worker w's answer to any label of task t matches the
+// truth under the current parameters:
+//
+//	P(agree) = 0.5·P(i_w=0) + P(i_w=1)·(α·DQ_w(d) + (1−α)·IQ_t(d))
+//
+// Note the value is label-independent: the model ties one accuracy to the
+// whole (worker, task) pair.
+func (m *Model) AgreementProb(w model.WorkerID, t model.TaskID) float64 {
+	d := m.Distance(w, t)
+	pi := m.params.PI[w]
+	dq := m.DistanceAwareQuality(w, d)
+	iq := m.POIInfluenceQuality(t, d)
+	return 0.5*(1-pi) + pi*(m.cfg.Alpha*dq+(1-m.cfg.Alpha)*iq)
+}
+
+// Result materializes the current inference: label k of task t is inferred
+// correct iff P(z_{t,k} = 1) >= 0.5.
+func (m *Model) Result() *model.Result {
+	res := model.NewResult(m.tasks)
+	for t := range m.tasks {
+		for k := range m.tasks[t].Labels {
+			p := m.params.PZ[t][k]
+			res.Prob[t][k] = p
+			res.Inferred[t][k] = p >= 0.5
+		}
+	}
+	return res
+}

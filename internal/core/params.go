@@ -1,0 +1,135 @@
+// Package core implements the paper's location-aware inference model
+// (Section III): a graphical probability model over
+//
+//	z_{t,k} — the unknown true result of label k of task t (Bernoulli),
+//	i_w     — worker w's inherent quality (Bernoulli),
+//	d_w     — worker w's distance sensitivity (multinomial over the
+//	          distance-function set F),
+//	d_t     — task t's POI influence (multinomial over F),
+//
+// with each observed answer r_{w,t,k} generated from the mixture of
+// Equations 7–9: an unqualified worker (i_w = 0) answers at random, and a
+// qualified worker agrees with the truth with probability
+// q = α·f_{d_w}(d(w,t)) + (1−α)·f_{d_t}(d(w,t)).
+//
+// Parameters are estimated with EM (Section III-C): the E-step computes the
+// per-answer joint posterior over (z, i_w, d_w, d_t) given current
+// parameters (Equation 12), and the M-step re-estimates each parameter as
+// the average of its posterior marginal over the relevant answers
+// (Equation 14). The package also implements the incremental EM variant of
+// Section III-D for cheap per-answer updates between full runs.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds every estimated quantity of the inference model.
+type Params struct {
+	// PZ[t][k] = P(z_{t,k} = 1), the probability that label k of task t is
+	// a correct label.
+	PZ [][]float64
+	// PI[w] = P(i_w = 1), worker w's inherent quality (Definition 2).
+	PI []float64
+	// PDW[w][j] = P(d_w = f_j), worker w's multinomial over the distance
+	// function set (Definition 5).
+	PDW [][]float64
+	// PDT[t][j] = P(d_t = f_j), task t's POI influence multinomial
+	// (Definition 6).
+	PDT [][]float64
+}
+
+// Clone returns a deep copy of p.
+func (p *Params) Clone() *Params {
+	c := &Params{
+		PZ:  make([][]float64, len(p.PZ)),
+		PI:  append([]float64(nil), p.PI...),
+		PDW: make([][]float64, len(p.PDW)),
+		PDT: make([][]float64, len(p.PDT)),
+	}
+	for i := range p.PZ {
+		c.PZ[i] = append([]float64(nil), p.PZ[i]...)
+	}
+	for i := range p.PDW {
+		c.PDW[i] = append([]float64(nil), p.PDW[i]...)
+	}
+	for i := range p.PDT {
+		c.PDT[i] = append([]float64(nil), p.PDT[i]...)
+	}
+	return c
+}
+
+// MaxDelta returns the largest absolute difference between any parameter in
+// p and q — the paper's convergence statistic ("maximum variance of
+// parameters", Figure 10). p and q must have identical shapes.
+func (p *Params) MaxDelta(q *Params) float64 {
+	var m float64
+	upd := func(a, b float64) {
+		if d := math.Abs(a - b); d > m {
+			m = d
+		}
+	}
+	for t := range p.PZ {
+		for k := range p.PZ[t] {
+			upd(p.PZ[t][k], q.PZ[t][k])
+		}
+	}
+	for w := range p.PI {
+		upd(p.PI[w], q.PI[w])
+	}
+	for w := range p.PDW {
+		for j := range p.PDW[w] {
+			upd(p.PDW[w][j], q.PDW[w][j])
+		}
+	}
+	for t := range p.PDT {
+		for j := range p.PDT[t] {
+			upd(p.PDT[t][j], q.PDT[t][j])
+		}
+	}
+	return m
+}
+
+// Validate checks that every stored quantity is a valid probability or
+// probability vector. It is used by tests and by callers that load
+// checkpointed parameters.
+func (p *Params) Validate() error {
+	inUnit := func(v float64) bool { return v >= 0 && v <= 1 && !math.IsNaN(v) }
+	for t := range p.PZ {
+		for k, v := range p.PZ[t] {
+			if !inUnit(v) {
+				return fmt.Errorf("core: PZ[%d][%d] = %v out of [0,1]", t, k, v)
+			}
+		}
+	}
+	for w, v := range p.PI {
+		if !inUnit(v) {
+			return fmt.Errorf("core: PI[%d] = %v out of [0,1]", w, v)
+		}
+	}
+	checkDist := func(name string, i int, dist []float64) error {
+		var sum float64
+		for j, v := range dist {
+			if !inUnit(v) {
+				return fmt.Errorf("core: %s[%d][%d] = %v out of [0,1]", name, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("core: %s[%d] sums to %v, want 1", name, i, sum)
+		}
+		return nil
+	}
+	for w := range p.PDW {
+		if err := checkDist("PDW", w, p.PDW[w]); err != nil {
+			return err
+		}
+	}
+	for t := range p.PDT {
+		if err := checkDist("PDT", t, p.PDT[t]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"poilabel/internal/core"
+)
+
+func sampleParams() *core.Params {
+	return &core.Params{
+		PZ:  [][]float64{{0.2, 0.9}, {0.5}},
+		PI:  []float64{0.7, 0.3},
+		PDW: [][]float64{{0.5, 0.5}, {0.1, 0.9}},
+		PDT: [][]float64{{1, 0}, {0.25, 0.75}},
+	}
+}
+
+func TestParamsCloneIsDeep(t *testing.T) {
+	p := sampleParams()
+	c := p.Clone()
+	c.PZ[0][0] = 0.99
+	c.PI[1] = 0.99
+	c.PDW[1][0] = 0.99
+	c.PDT[0][1] = 0.99
+	if p.PZ[0][0] == 0.99 || p.PI[1] == 0.99 || p.PDW[1][0] == 0.99 || p.PDT[0][1] == 0.99 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestMaxDelta(t *testing.T) {
+	p := sampleParams()
+	q := p.Clone()
+	if got := p.MaxDelta(q); got != 0 {
+		t.Errorf("MaxDelta of identical params = %v, want 0", got)
+	}
+	q.PDT[1][0] = 0.45 // delta 0.2, the largest
+	q.PI[0] = 0.75     // delta 0.05
+	if got := p.MaxDelta(q); got != 0.2 {
+		t.Errorf("MaxDelta = %v, want 0.2", got)
+	}
+	// Symmetry.
+	if got := q.MaxDelta(p); got != 0.2 {
+		t.Errorf("MaxDelta reversed = %v, want 0.2", got)
+	}
+}
+
+func TestParamsValidateAccepts(t *testing.T) {
+	if err := sampleParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	cases := []func(*core.Params){
+		func(p *core.Params) { p.PZ[0][1] = 1.5 },
+		func(p *core.Params) { p.PZ[1][0] = -0.1 },
+		func(p *core.Params) { p.PI[0] = 2 },
+		func(p *core.Params) { p.PDW[0][0] = 0.9 },          // sums to 1.4
+		func(p *core.Params) { p.PDT[1] = []float64{1, 1} }, // sums to 2
+	}
+	for i, mutate := range cases {
+		p := sampleParams()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}

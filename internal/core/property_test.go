@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"poilabel/internal/core"
+	"poilabel/internal/model"
+)
+
+// Property: for any random world and any random answer pattern, a full EM
+// fit leaves every parameter a valid probability (distributions sum to 1)
+// and every inference probability inside [0, 1].
+func TestFitValidityProperty(t *testing.T) {
+	f := func(seed int64, nTasksRaw, nWorkersRaw, nAnswersRaw uint8) bool {
+		nTasks := 2 + int(nTasksRaw%10)
+		nWorkers := 2 + int(nWorkersRaw%6)
+		nAnswers := 1 + int(nAnswersRaw%40)
+
+		fx := newFixture(nTasks, 3, nWorkers, seed)
+		cfg := core.DefaultConfig()
+		cfg.MaxIter = 15
+		m, err := core.NewModel(fx.tasks, fx.workers, fx.norm, cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < nAnswers; i++ {
+			w := model.WorkerID(rng.Intn(nWorkers))
+			task := model.TaskID(rng.Intn(nTasks))
+			if m.Answers().Has(w, task) {
+				continue
+			}
+			// Arbitrary answer quality per answer, including adversarial.
+			p := rng.Float64()
+			if err := m.Observe(fx.answerAs(w, task, p, rng)); err != nil {
+				return false
+			}
+		}
+		m.Fit()
+		if err := m.Params().Validate(); err != nil {
+			t.Logf("params invalid: %v", err)
+			return false
+		}
+		res := m.Result()
+		for ti := range res.Prob {
+			for k := range res.Prob[ti] {
+				if res.Prob[ti][k] < 0 || res.Prob[ti][k] > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: incremental updates preserve parameter validity for arbitrary
+// submission orders.
+func TestIncrementalValidityProperty(t *testing.T) {
+	f := func(seed int64, pattern []uint8) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		if len(pattern) > 50 {
+			pattern = pattern[:50]
+		}
+		fx := newFixture(8, 4, 4, seed)
+		m, err := core.NewModel(fx.tasks, fx.workers, fx.norm, core.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		for _, b := range pattern {
+			w := model.WorkerID(int(b) % 4)
+			task := model.TaskID(int(b/4) % 8)
+			if m.Answers().Has(w, task) {
+				continue
+			}
+			if err := m.Update(fx.answerAs(w, task, 0.5+0.5*rng.Float64(), rng)); err != nil {
+				return false
+			}
+			if err := m.Params().Validate(); err != nil {
+				t.Logf("params invalid after update: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

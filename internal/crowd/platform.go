@@ -1,0 +1,124 @@
+package crowd
+
+import (
+	"fmt"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/core"
+	"poilabel/internal/model"
+)
+
+// Platform drives the paper's alternating protocol (Definition 1): when
+// workers request tasks the assigner chooses h tasks each (if budget
+// remains), the simulated workers answer, and the inference model is
+// updated per the configured policy. The loop continues until the budget —
+// the total number of (worker, task) assignments — runs out.
+type Platform struct {
+	Sim    *Simulator
+	Model  *core.Model
+	Policy *core.UpdatePolicy
+	// Budget is the total number of assignments allowed (the paper uses
+	// 1000 per dataset, at h = 2 tasks per worker request).
+	Budget int
+
+	used int
+}
+
+// NewPlatform assembles a platform. The model must have been built over the
+// same tasks and workers as the simulator.
+func NewPlatform(sim *Simulator, m *core.Model, policy *core.UpdatePolicy, budget int) (*Platform, error) {
+	if len(m.Tasks()) != len(sim.Data.Tasks) {
+		return nil, fmt.Errorf("crowd: model has %d tasks, simulator %d", len(m.Tasks()), len(sim.Data.Tasks))
+	}
+	if len(m.Workers()) != len(sim.Workers) {
+		return nil, fmt.Errorf("crowd: model has %d workers, simulator %d", len(m.Workers()), len(sim.Workers))
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("crowd: non-positive budget %d", budget)
+	}
+	return &Platform{Sim: sim, Model: m, Policy: policy, Budget: budget}, nil
+}
+
+// Used returns the number of assignments consumed so far.
+func (p *Platform) Used() int { return p.used }
+
+// Remaining returns the unspent budget.
+func (p *Platform) Remaining() int { return p.Budget - p.used }
+
+// Round runs one assignment round: the given workers each receive up to h
+// tasks from the assigner, bounded by the remaining budget; their simulated
+// answers are fed to the model per the update policy. It returns the number
+// of assignments consumed this round.
+func (p *Platform) Round(asg assign.Assigner, workers []model.WorkerID, h int) (int, error) {
+	if p.Remaining() <= 0 {
+		return 0, nil
+	}
+	a := asg.Assign(p.Model, workers, h)
+	consumed := 0
+	// Deterministic worker order so runs are reproducible.
+	for _, w := range workers {
+		for _, t := range a[w] {
+			if p.Remaining() <= 0 {
+				return consumed, nil
+			}
+			ans := p.Sim.Answer(w, t)
+			if _, err := p.Policy.Apply(p.Model, ans); err != nil {
+				return consumed, fmt.Errorf("crowd: apply answer: %w", err)
+			}
+			p.used++
+			consumed++
+		}
+	}
+	return consumed, nil
+}
+
+// RunConfig controls a full platform run.
+type RunConfig struct {
+	// WorkersPerRound is how many workers arrive in each round.
+	WorkersPerRound int
+	// TasksPerWorker is h, the HIT size. The paper uses 2.
+	TasksPerWorker int
+	// FinalFullEM forces a complete EM pass after the budget is spent, so
+	// the final inference reflects all answers.
+	FinalFullEM bool
+}
+
+// DefaultRunConfig matches the paper's deployment: 5 concurrent workers per
+// round, h = 2, and a final full EM.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{WorkersPerRound: 5, TasksPerWorker: 2, FinalFullEM: true}
+}
+
+// Run drives rounds until the budget is exhausted or an assigner returns an
+// empty assignment (no undone tasks remain for the arriving workers).
+// It returns the total number of assignments consumed.
+func (p *Platform) Run(asg assign.Assigner, cfg RunConfig) (int, error) {
+	if cfg.WorkersPerRound <= 0 || cfg.TasksPerWorker <= 0 {
+		return 0, fmt.Errorf("crowd: invalid run config %+v", cfg)
+	}
+	total := 0
+	emptyRounds := 0
+	for p.Remaining() > 0 {
+		workers := p.Sim.SampleAvailable(cfg.WorkersPerRound)
+		n, err := p.Round(asg, workers, cfg.TasksPerWorker)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if n == 0 {
+			// Arriving workers had nothing left to do. A few empty rounds
+			// can happen when the sampled workers finished everything;
+			// persistent emptiness means the whole pool is exhausted.
+			emptyRounds++
+			if emptyRounds > 3*len(p.Sim.Workers) {
+				break
+			}
+			continue
+		}
+		emptyRounds = 0
+	}
+	if cfg.FinalFullEM {
+		p.Model.Fit()
+	}
+	return total, nil
+}

@@ -1,0 +1,188 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/core"
+	"poilabel/internal/model"
+)
+
+func testPlatform(t *testing.T, budget int, seed int64) (*Platform, *Simulator) {
+	t.Helper()
+	d := testData()
+	workers, profiles := testPopulation(t, d, seed)
+	sim, err := NewSimulator(d, workers, profiles, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(d.Tasks, workers, d.Normalizer(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := NewPlatform(sim, m, core.DefaultUpdatePolicy(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plat, sim
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	d := testData()
+	workers, profiles := testPopulation(t, d, 30)
+	sim, _ := NewSimulator(d, workers, profiles, 31)
+	m, _ := core.NewModel(d.Tasks, workers, d.Normalizer(), core.DefaultConfig())
+	if _, err := NewPlatform(sim, m, core.DefaultUpdatePolicy(), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	// Mismatched worker pools must be rejected.
+	m2, _ := core.NewModel(d.Tasks, workers[:5], d.Normalizer(), core.DefaultConfig())
+	if _, err := NewPlatform(sim, m2, core.DefaultUpdatePolicy(), 10); err == nil {
+		t.Error("mismatched worker sets accepted")
+	}
+}
+
+func TestPlatformRoundConsumesBudget(t *testing.T) {
+	plat, sim := testPlatform(t, 7, 32)
+	asg := assign.Random{Rand: rand.New(rand.NewSource(33))}
+	workers := sim.SampleAvailable(4)
+	n, err := plat.Round(asg, workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workers x 2 tasks = 8 wanted, but budget caps at 7.
+	if n != 7 {
+		t.Errorf("round consumed %d, want 7 (budget cap)", n)
+	}
+	if plat.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", plat.Remaining())
+	}
+	// Further rounds are no-ops.
+	n, err = plat.Round(asg, workers, 2)
+	if err != nil || n != 0 {
+		t.Errorf("post-budget round = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPlatformRunExhaustsBudget(t *testing.T) {
+	plat, _ := testPlatform(t, 50, 34)
+	total, err := plat.Run(assign.AccOpt{}, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 50 {
+		t.Errorf("run consumed %d, want full budget 50", total)
+	}
+	if plat.Used() != 50 {
+		t.Errorf("Used = %d, want 50", plat.Used())
+	}
+	if plat.Model.Answers().Len() != 50 {
+		t.Errorf("model has %d answers, want 50", plat.Model.Answers().Len())
+	}
+}
+
+func TestPlatformRunStopsWhenTasksExhausted(t *testing.T) {
+	// 40 tasks x 30 workers = 1200 possible pairs; a budget beyond that
+	// can never be filled and Run must terminate anyway.
+	d := testData()
+	workers, profiles := testPopulation(t, d, 36)
+	sim, _ := NewSimulator(d, workers, profiles, 37)
+	m, _ := core.NewModel(d.Tasks, workers, d.Normalizer(), core.DefaultConfig())
+	plat, _ := NewPlatform(sim, m, &core.UpdatePolicy{FullEMInterval: 0, Incremental: false}, 5000)
+	total, err := plat.Run(assign.Random{Rand: rand.New(rand.NewSource(38))}, RunConfig{
+		WorkersPerRound: 10, TasksPerWorker: 4, FinalFullEM: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 40*30 {
+		t.Errorf("run consumed %d, want all %d possible pairs", total, 40*30)
+	}
+}
+
+func TestPlatformRunInvalidConfig(t *testing.T) {
+	plat, _ := testPlatform(t, 10, 39)
+	if _, err := plat.Run(assign.AccOpt{}, RunConfig{}); err == nil {
+		t.Error("zero-value run config accepted")
+	}
+}
+
+func TestPlatformImprovesAccuracyOverPrior(t *testing.T) {
+	plat, _ := testPlatform(t, 400, 40)
+	if _, err := plat.Run(assign.AccOpt{}, DefaultRunConfig()); err != nil {
+		t.Fatal(err)
+	}
+	acc := model.Accuracy(plat.Model.Result(), plat.Sim.Data.Truth)
+	// A prior-only model scores ~0.46 (all labels inferred "yes"); after
+	// 400 quality-driven assignments we must be far above that.
+	if acc < 0.6 {
+		t.Errorf("post-run accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+// Property-style fuzz: for random budgets, round sizes and assigners, the
+// platform never exceeds its budget, never records duplicate (worker, task)
+// pairs, and Used always equals the answer-log length.
+func TestPlatformInvariantsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		budget := 10 + rng.Intn(300)
+		h := 1 + rng.Intn(4)
+		perRound := 1 + rng.Intn(8)
+		seed := rng.Int63()
+
+		d := testData()
+		workers, profiles := testPopulation(t, d, seed)
+		sim, err := NewSimulator(d, workers, profiles, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial%2 == 0 {
+			sim.ZipfActivity(1.3)
+		}
+		m, err := core.NewModel(d.Tasks, workers, d.Normalizer(), core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, err := NewPlatform(sim, m, core.DefaultUpdatePolicy(), budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var asg assign.Assigner
+		switch trial % 3 {
+		case 0:
+			asg = assign.AccOpt{}
+		case 1:
+			asg = assign.NewSpatialFirst(d.Tasks)
+		default:
+			asg = assign.Random{Rand: rand.New(rand.NewSource(seed + 2))}
+		}
+		if _, err := plat.Run(asg, RunConfig{WorkersPerRound: perRound, TasksPerWorker: h, FinalFullEM: false}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		if plat.Used() > budget {
+			t.Fatalf("trial %d: used %d > budget %d", trial, plat.Used(), budget)
+		}
+		if plat.Used() != m.Answers().Len() {
+			t.Fatalf("trial %d: used %d != answers %d", trial, plat.Used(), m.Answers().Len())
+		}
+		// The AnswerSet rejects duplicates internally, so reaching here
+		// without error already proves pair uniqueness; double-check the
+		// index anyway.
+		seen := map[[2]int]bool{}
+		for i := 0; i < m.Answers().Len(); i++ {
+			a := m.Answers().Answer(i)
+			key := [2]int{int(a.Worker), int(a.Task)}
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate pair %v", trial, key)
+			}
+			seen[key] = true
+		}
+		if err := m.Params().Validate(); err != nil {
+			t.Fatalf("trial %d: invalid params after run: %v", trial, err)
+		}
+	}
+}

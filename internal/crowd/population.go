@@ -1,0 +1,247 @@
+// Package crowd is the crowdsourcing-platform substrate. The paper ran on
+// ChinaCrowds with live workers; this package replaces that with a seeded
+// simulator whose workers behave according to the paper's own generative
+// model (Section III, Equations 7–9), which the paper's data analysis
+// (Figures 6–8) validated against real workers:
+//
+//   - each worker has a latent inherent quality (qualified or spammer),
+//   - each qualified worker's accuracy on a task decays with distance
+//     according to a latent bell-function sensitivity λ*_w,
+//   - each POI has a latent influence λ*_t tied to its review count, and
+//   - a qualified worker agrees with the truth with probability
+//     α·f_{λ*_w}(d) + (1−α)·f_{λ*_t}(d), a spammer with probability 0.5.
+//
+// The package also provides the platform driver that alternates task
+// assignment and inference under a budget, reproducing the paper's
+// deployment protocol (Section V-A).
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"poilabel/internal/dataset"
+	"poilabel/internal/distfunc"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// WorkerProfile is the latent (ground-truth) behaviour of a simulated
+// worker. The inference model never sees these fields; experiments compare
+// its estimates against them.
+type WorkerProfile struct {
+	// Qualified is the latent value of i_w.
+	Qualified bool
+	// Lambda is the latent distance sensitivity λ*_w of the worker's
+	// bell-shaped accuracy curve. Small λ means accurate even far away.
+	Lambda float64
+	// BaseAccuracy is the latent per-label accuracy of an unqualified
+	// worker. Real low-quality workers are sloppy rather than perfect
+	// coin-flippers, so the generator draws this near — but not exactly
+	// at — 0.5. Ignored for qualified workers.
+	BaseAccuracy float64
+	// Strategy selects non-probabilistic answering behaviour. The zero
+	// value is the paper's generative model; the adversarial strategies
+	// are used by robustness experiments.
+	Strategy AnswerStrategy
+}
+
+// AnswerStrategy enumerates latent answering behaviours.
+type AnswerStrategy int
+
+const (
+	// StrategyHonest answers each label correctly with the generative
+	// probability — the paper's model.
+	StrategyHonest AnswerStrategy = iota
+	// StrategyAllYes ticks every candidate label ("lazy affirmer"). Such
+	// workers are systematically biased, which the paper's symmetric
+	// agreement model cannot express but a confusion matrix can.
+	StrategyAllYes
+	// StrategyAllNo ticks nothing ("lazy rejecter").
+	StrategyAllNo
+)
+
+// TaskProfile is the latent influence of a POI.
+type TaskProfile struct {
+	// Lambda is the latent influence decay λ*_t: famous POIs (many
+	// reviews) have small λ and receive good answers from afar.
+	Lambda float64
+}
+
+// PopulationConfig controls worker generation.
+type PopulationConfig struct {
+	// NumWorkers is the number of simulated workers.
+	NumWorkers int
+	// Bounds is the area worker locations are drawn from, normally the
+	// dataset bounds.
+	Bounds geo.Rect
+	// QualifiedFrac is the fraction of workers with latent i_w = 1.
+	// The paper's Figure 6 found roughly 80% of real workers gave
+	// high-quality answers to nearby tasks.
+	QualifiedFrac float64
+	// Lambdas are the candidate latent sensitivities and LambdaWeights
+	// their sampling probabilities. Defaults to {100, 10, 0.1} with
+	// weights {0.3, 0.4, 0.3}: a mix of local-knowledge-only workers,
+	// moderate ones, and widely-knowledgeable ones.
+	Lambdas       []float64
+	LambdaWeights []float64
+	// SecondLocationProb is the probability a worker submits a second
+	// location (e.g. office as well as home), exercising the paper's
+	// minimum-distance convention.
+	SecondLocationProb float64
+	// SpammerAccuracyLo and SpammerAccuracyHi bound the latent per-label
+	// accuracy of unqualified workers, drawn uniformly. Defaults to
+	// [0.50, 0.62]: at or slightly above random, as real sloppy workers
+	// are — the paper's model cannot express adversarial (below-random)
+	// workers, and its deployment saw none.
+	SpammerAccuracyLo, SpammerAccuracyHi float64
+	// Anchors, when non-empty, biases worker locations toward these
+	// points: each worker location is drawn by picking a random anchor
+	// and adding gaussian noise of AnchorSpread × the bounds' smaller
+	// side. Passing POI locations as anchors models the reality that
+	// workers live where POIs are (urban districts), which is what gives
+	// distance-aware inference its signal.
+	Anchors []geo.Point
+	// AnchorSpread is the relative scatter around anchors. Zero means 0.1.
+	AnchorSpread float64
+}
+
+// DefaultPopulation returns the population used by the experiment harness:
+// 30 workers (the scale of the paper's live deployment), 80% qualified.
+func DefaultPopulation(bounds geo.Rect) PopulationConfig {
+	return PopulationConfig{
+		NumWorkers:         30,
+		Bounds:             bounds,
+		QualifiedFrac:      0.8,
+		Lambdas:            []float64{100, 10, 0.1},
+		LambdaWeights:      []float64{0.3, 0.4, 0.3},
+		SecondLocationProb: 0.3,
+		SpammerAccuracyLo:  0.50,
+		SpammerAccuracyHi:  0.62,
+	}
+}
+
+func (c PopulationConfig) validate() error {
+	if c.NumWorkers <= 0 {
+		return fmt.Errorf("crowd: NumWorkers %d must be positive", c.NumWorkers)
+	}
+	if c.QualifiedFrac < 0 || c.QualifiedFrac > 1 {
+		return fmt.Errorf("crowd: QualifiedFrac %v out of [0,1]", c.QualifiedFrac)
+	}
+	if len(c.Lambdas) == 0 || len(c.Lambdas) != len(c.LambdaWeights) {
+		return fmt.Errorf("crowd: %d lambdas with %d weights", len(c.Lambdas), len(c.LambdaWeights))
+	}
+	return nil
+}
+
+// GeneratePopulation creates workers with latent profiles, deterministically
+// for a given rng state.
+func GeneratePopulation(cfg PopulationConfig, rng *rand.Rand) ([]model.Worker, []WorkerProfile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	spread := cfg.AnchorSpread
+	if spread == 0 {
+		spread = 0.1
+	}
+	side := cfg.Bounds.Width()
+	if cfg.Bounds.Height() < side {
+		side = cfg.Bounds.Height()
+	}
+	place := func() geo.Point {
+		if len(cfg.Anchors) == 0 {
+			return randomPoint(cfg.Bounds, rng)
+		}
+		a := cfg.Anchors[rng.Intn(len(cfg.Anchors))]
+		return cfg.Bounds.Clamp(geo.Pt(
+			a.X+rng.NormFloat64()*spread*side,
+			a.Y+rng.NormFloat64()*spread*side,
+		))
+	}
+
+	workers := make([]model.Worker, cfg.NumWorkers)
+	profiles := make([]WorkerProfile, cfg.NumWorkers)
+	for i := range workers {
+		locs := []geo.Point{place()}
+		if rng.Float64() < cfg.SecondLocationProb {
+			locs = append(locs, place())
+		}
+		workers[i] = model.Worker{
+			ID:        model.WorkerID(i),
+			Name:      fmt.Sprintf("worker%03d", i),
+			Locations: locs,
+		}
+		lo, hi := cfg.SpammerAccuracyLo, cfg.SpammerAccuracyHi
+		if hi <= lo {
+			lo, hi = 0.5, 0.5
+		}
+		profiles[i] = WorkerProfile{
+			Qualified:    rng.Float64() < cfg.QualifiedFrac,
+			Lambda:       sampleWeighted(cfg.Lambdas, cfg.LambdaWeights, rng),
+			BaseAccuracy: lo + rng.Float64()*(hi-lo),
+		}
+	}
+	return workers, profiles, nil
+}
+
+// TaskProfiles derives latent POI influences from review counts: the four
+// Figure 8 tiers map onto decreasing influence reach.
+func TaskProfiles(tasks []model.Task) []TaskProfile {
+	out := make([]TaskProfile, len(tasks))
+	for i := range tasks {
+		out[i] = TaskProfile{Lambda: tierLambda(dataset.ReviewTier(tasks[i].Reviews))}
+	}
+	return out
+}
+
+// tierLambda maps a review tier (0 = most reviewed) to a latent influence
+// decay: famous POIs stay answerable from far away.
+func tierLambda(tier int) float64 {
+	switch tier {
+	case 0:
+		return 0.1
+	case 1:
+		return 2
+	case 2:
+		return 10
+	default:
+		return 50
+	}
+}
+
+func randomPoint(b geo.Rect, rng *rand.Rand) geo.Point {
+	return geo.Pt(
+		b.Min.X+rng.Float64()*b.Width(),
+		b.Min.Y+rng.Float64()*b.Height(),
+	)
+}
+
+func sampleWeighted(vals, weights []float64, rng *rand.Rand) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return vals[i]
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// trueAgreeProb returns the latent probability that worker w answers any
+// label of task t correctly — the simulator-side twin of Equation 9 using
+// the latent profiles instead of estimates.
+func trueAgreeProb(wp WorkerProfile, tp TaskProfile, d, alpha float64) float64 {
+	if !wp.Qualified {
+		if wp.BaseAccuracy > 0 {
+			return wp.BaseAccuracy
+		}
+		return 0.5
+	}
+	fw := distfunc.New(wp.Lambda).Eval(d)
+	ft := distfunc.New(tp.Lambda).Eval(d)
+	return alpha*fw + (1-alpha)*ft
+}

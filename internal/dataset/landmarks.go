@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// Landmark is a real-world POI defined by geographic coordinates, used to
+// build datasets from actual places instead of synthetic planes. Truth
+// marks which candidate labels are correct.
+type Landmark struct {
+	Name    string     `json:"name"`
+	Coord   geo.LatLon `json:"coord"`
+	Labels  []string   `json:"labels"`
+	Truth   []bool     `json:"truth"`
+	Reviews int        `json:"reviews"`
+}
+
+// FromLandmarks builds a Dataset by projecting the landmarks onto a local
+// kilometre plane centred on their centroid. Every landmark needs at least
+// one label with a matching truth mask.
+func FromLandmarks(name string, landmarks []Landmark) (*Dataset, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("dataset: no landmarks")
+	}
+	coords := make([]geo.LatLon, len(landmarks))
+	for i, lm := range landmarks {
+		if len(lm.Labels) == 0 {
+			return nil, fmt.Errorf("dataset: landmark %q has no labels", lm.Name)
+		}
+		if len(lm.Labels) != len(lm.Truth) {
+			return nil, fmt.Errorf("dataset: landmark %q has %d labels but %d truth entries",
+				lm.Name, len(lm.Labels), len(lm.Truth))
+		}
+		if !lm.Coord.Valid() {
+			return nil, fmt.Errorf("dataset: landmark %q has invalid coordinate %v", lm.Name, lm.Coord)
+		}
+		coords[i] = lm.Coord
+	}
+	proj, err := geo.ProjectorFor(coords)
+	if err != nil {
+		return nil, err
+	}
+
+	tasks := make([]model.Task, len(landmarks))
+	truth := make([][]bool, len(landmarks))
+	pts := make([]geo.Point, len(landmarks))
+	for i, lm := range landmarks {
+		pts[i] = proj.ToPoint(lm.Coord)
+		tasks[i] = model.Task{
+			ID:       model.TaskID(i),
+			Name:     lm.Name,
+			Location: pts[i],
+			Labels:   append([]string(nil), lm.Labels...),
+			Reviews:  lm.Reviews,
+		}
+		truth[i] = append([]bool(nil), lm.Truth...)
+	}
+	return &Dataset{
+		Name:   name,
+		Tasks:  tasks,
+		Truth:  &model.GroundTruth{Truth: truth},
+		Bounds: geo.Bound(pts).Expand(1),
+	}, nil
+}
+
+// BeijingLandmarks returns a small curated set of real Beijing POIs with
+// approximate coordinates, plausible candidate labels, and review counts
+// spanning the paper's influence tiers. It powers the realworld example and
+// tests of the geographic pipeline; the 200-POI synthetic datasets remain
+// the reproduction workload.
+func BeijingLandmarks() []Landmark {
+	yes, no := true, false
+	return []Landmark{
+		{"Olympic Forest Park", geo.LatLon{Lat: 40.016, Lon: 116.391},
+			[]string{"park", "olympics", "sports", "business", "stadium"},
+			[]bool{yes, yes, yes, no, no}, 3200},
+		{"Tiananmen Square", geo.LatLon{Lat: 39.9055, Lon: 116.3976},
+			[]string{"landmark", "history", "flag-raising", "beach", "ski"},
+			[]bool{yes, yes, yes, no, no}, 5200},
+		{"Forbidden City", geo.LatLon{Lat: 39.9163, Lon: 116.3972},
+			[]string{"palace", "museum", "history", "nightclub", "surfing"},
+			[]bool{yes, yes, yes, no, no}, 4800},
+		{"Summer Palace", geo.LatLon{Lat: 39.9999, Lon: 116.2755},
+			[]string{"palace", "lake", "garden", "casino", "subway-depot"},
+			[]bool{yes, yes, yes, no, no}, 2900},
+		{"Temple of Heaven", geo.LatLon{Lat: 39.8822, Lon: 116.4066},
+			[]string{"temple", "park", "history", "aquarium", "racetrack"},
+			[]bool{yes, yes, yes, no, no}, 2600},
+		{"798 Art District", geo.LatLon{Lat: 39.9842, Lon: 116.4974},
+			[]string{"art", "gallery", "cafe", "hot-spring", "harbor"},
+			[]bool{yes, yes, yes, no, no}, 1400},
+		{"Houhai Lake", geo.LatLon{Lat: 39.9402, Lon: 116.3830},
+			[]string{"lake", "bars", "hutong", "desert", "vineyard"},
+			[]bool{yes, yes, yes, no, no}, 1100},
+		{"Beijing Zoo", geo.LatLon{Lat: 39.9390, Lon: 116.3340},
+			[]string{"zoo", "pandas", "family", "opera", "observatory"},
+			[]bool{yes, yes, yes, no, no}, 900},
+		{"Wangfujing Street", geo.LatLon{Lat: 39.9150, Lon: 116.4110},
+			[]string{"shopping", "food", "pedestrian", "forest", "monastery"},
+			[]bool{yes, yes, yes, no, no}, 800},
+		{"Fragrant Hills Park", geo.LatLon{Lat: 39.9881, Lon: 116.1899},
+			[]string{"park", "hiking", "autumn-leaves", "port", "brewery"},
+			[]bool{yes, yes, yes, no, no}, 600},
+		{"Beijing Botanical Garden", geo.LatLon{Lat: 40.0086, Lon: 116.2063},
+			[]string{"garden", "plants", "greenhouse", "arena", "nightlife"},
+			[]bool{yes, yes, yes, no, no}, 350},
+		{"Marco Polo Bridge", geo.LatLon{Lat: 39.8480, Lon: 116.2130},
+			[]string{"bridge", "history", "lions", "beach", "mall"},
+			[]bool{yes, yes, yes, no, no}, 220},
+	}
+}

@@ -1,0 +1,137 @@
+package distfunc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shape is any distance-quality function usable in a Set. The paper
+// introduces the bell-shaped family as one example and notes that "any
+// function satisfying this property can be used" (Section III-B): a Shape
+// must map normalized distance d ∈ [0, 1] into [0.5, 1] and be
+// non-increasing in d. NewCustomSet enforces both properties on a sample
+// grid at construction time.
+type Shape interface {
+	// Eval returns the quality at normalized distance d ∈ [0, 1].
+	Eval(d float64) float64
+	// String names the shape for reports.
+	String() string
+}
+
+// Linear is the straight-line decay shape f(d) = max(0.5, 1 − Rate·d):
+// quality falls linearly and bottoms out at the coin-flip floor.
+type Linear struct {
+	// Rate is the decay slope; quality reaches the 0.5 floor at
+	// d = 0.5/Rate.
+	Rate float64
+}
+
+// Eval implements Shape.
+func (l Linear) Eval(d float64) float64 {
+	if d < 0 {
+		d = 0
+	} else if d > 1 {
+		d = 1
+	}
+	v := 1 - l.Rate*d
+	if v < 0.5 {
+		return 0.5
+	}
+	return v
+}
+
+// String implements Shape.
+func (l Linear) String() string { return fmt.Sprintf("linear(rate=%g)", l.Rate) }
+
+// Step is the local-knowledge shape: perfect quality within Radius, random
+// beyond it. It models a worker who either knows a POI or does not.
+type Step struct {
+	// Radius is the normalized distance within which quality is 1.
+	Radius float64
+}
+
+// Eval implements Shape.
+func (s Step) Eval(d float64) float64 {
+	if d <= s.Radius {
+		return 1
+	}
+	return 0.5
+}
+
+// String implements Shape.
+func (s Step) String() string { return fmt.Sprintf("step(r=%g)", s.Radius) }
+
+// Exponential is the heavy-tailed decay f(d) = 0.5 + 0.5·e^(−d/Scale):
+// slower than the bell at short range, fatter at long range.
+type Exponential struct {
+	// Scale is the e-folding distance.
+	Scale float64
+}
+
+// Eval implements Shape.
+func (e Exponential) Eval(d float64) float64 {
+	if d < 0 {
+		d = 0
+	} else if d > 1 {
+		d = 1
+	}
+	return 0.5 + 0.5*math.Exp(-d/e.Scale)
+}
+
+// String implements Shape.
+func (e Exponential) String() string { return fmt.Sprintf("exp(scale=%g)", e.Scale) }
+
+// shapeValidationGrid is the number of sample points used to check the
+// Shape contract at construction.
+const shapeValidationGrid = 101
+
+// validateShape checks the Definition 3 contract on a sample grid: values
+// in [0.5, 1] and non-increasing in distance.
+func validateShape(s Shape) error {
+	prev := math.Inf(1)
+	for i := 0; i < shapeValidationGrid; i++ {
+		d := float64(i) / float64(shapeValidationGrid-1)
+		v := s.Eval(d)
+		if math.IsNaN(v) || v < 0.5-1e-12 || v > 1+1e-12 {
+			return fmt.Errorf("distfunc: shape %v value %v at d=%v outside [0.5, 1]", s, v, d)
+		}
+		if v > prev+1e-12 {
+			return fmt.Errorf("distfunc: shape %v increases at d=%v", s, d)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// NewCustomSet builds a Set from arbitrary shapes satisfying the Shape
+// contract. Shapes are ordered from most to least distance-sensitive
+// (by their value at d = 1, ascending), so WidestIndex keeps its meaning:
+// the last shape reaches furthest.
+//
+// The inference model works with any such set unchanged: the E-step only
+// consumes the evaluated vector [f_1(d), ..., f_|F|(d)].
+func NewCustomSet(shapes ...Shape) (*Set, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("distfunc: empty custom set")
+	}
+	ordered := append([]Shape(nil), shapes...)
+	for _, s := range ordered {
+		if err := validateShape(s); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Eval(1) < ordered[j].Eval(1)
+	})
+	return &Set{shapes: ordered}, nil
+}
+
+// MustCustomSet is NewCustomSet but panics on error.
+func MustCustomSet(shapes ...Shape) *Set {
+	s, err := NewCustomSet(shapes...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

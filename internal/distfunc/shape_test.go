@@ -1,0 +1,148 @@
+package distfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearShape(t *testing.T) {
+	l := Linear{Rate: 1}
+	if got := l.Eval(0); got != 1 {
+		t.Errorf("linear(0) = %v, want 1", got)
+	}
+	if got := l.Eval(0.25); got != 0.75 {
+		t.Errorf("linear(0.25) = %v, want 0.75", got)
+	}
+	// Floors at 0.5 once 1 - d < 0.5.
+	if got := l.Eval(0.9); got != 0.5 {
+		t.Errorf("linear(0.9) = %v, want floor 0.5", got)
+	}
+	// Clamps inputs.
+	if l.Eval(-1) != 1 || l.Eval(2) != l.Eval(1) {
+		t.Error("linear does not clamp inputs")
+	}
+}
+
+func TestStepShape(t *testing.T) {
+	s := Step{Radius: 0.3}
+	if s.Eval(0.3) != 1 {
+		t.Error("step inside radius != 1")
+	}
+	if s.Eval(0.31) != 0.5 {
+		t.Error("step outside radius != 0.5")
+	}
+}
+
+func TestExponentialShape(t *testing.T) {
+	e := Exponential{Scale: 0.5}
+	if got := e.Eval(0); got != 1 {
+		t.Errorf("exp(0) = %v, want 1", got)
+	}
+	want := 0.5 + 0.5*math.Exp(-2)
+	if got := e.Eval(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("exp(1) = %v, want %v", got, want)
+	}
+}
+
+// Every provided shape must satisfy the Definition 3 contract.
+func TestShapesSatisfyContract(t *testing.T) {
+	shapes := []Shape{
+		Linear{Rate: 0.3}, Linear{Rate: 2},
+		Step{Radius: 0.1}, Step{Radius: 0.9},
+		Exponential{Scale: 0.1}, Exponential{Scale: 2},
+		New(0.1), New(10), New(100),
+	}
+	for _, s := range shapes {
+		if err := validateShape(s); err != nil {
+			t.Errorf("%v violates contract: %v", s, err)
+		}
+	}
+}
+
+func TestShapeRangeProperty(t *testing.T) {
+	shapes := []Shape{Linear{Rate: 1.5}, Step{Radius: 0.4}, Exponential{Scale: 0.3}}
+	f := func(d float64) bool {
+		if math.IsNaN(d) {
+			return true
+		}
+		for _, s := range shapes {
+			v := s.Eval(d)
+			if v < 0.5 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCustomSetOrdering(t *testing.T) {
+	// Deliberately out of order: the wide exponential reaches furthest at
+	// d=1, the step is steepest.
+	s, err := NewCustomSet(Exponential{Scale: 2}, Step{Radius: 0.1}, Linear{Rate: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Ordered by value at d = 1 ascending: step (0.5), linear (0.5... also
+	// 0.5 at d=1 — stable order keeps step first), exponential last.
+	last := s.Func(s.WidestIndex())
+	if _, ok := last.(Exponential); !ok {
+		t.Errorf("widest function = %v, want the exponential", last)
+	}
+	// Values at d=1 must be non-decreasing across the set.
+	for i := 1; i < s.Len(); i++ {
+		if s.Func(i).Eval(1) < s.Func(i-1).Eval(1) {
+			t.Errorf("set not ordered by reach at index %d", i)
+		}
+	}
+}
+
+func TestNewCustomSetRejectsBadShapes(t *testing.T) {
+	if _, err := NewCustomSet(); err == nil {
+		t.Error("empty custom set accepted")
+	}
+	if _, err := NewCustomSet(badShape{}); err == nil {
+		t.Error("contract-violating shape accepted")
+	}
+}
+
+// badShape increases with distance, violating the contract.
+type badShape struct{}
+
+func (badShape) Eval(d float64) float64 { return 0.5 + d/2 }
+func (badShape) String() string         { return "bad" }
+
+func TestCustomSetLambdasNil(t *testing.T) {
+	s := MustCustomSet(Linear{Rate: 1}, Step{Radius: 0.2})
+	if s.Lambdas() != nil {
+		t.Error("custom set Lambdas should be nil")
+	}
+	if names := s.Names(); len(names) != 2 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCustomSetMixture(t *testing.T) {
+	s := MustCustomSet(Step{Radius: 0.2}, Linear{Rate: 0.4})
+	d := 0.5
+	w := s.Uniform()
+	want := (s.Func(0).Eval(d) + s.Func(1).Eval(d)) / 2
+	if got := s.Mixture(w, d); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixture = %v, want %v", got, want)
+	}
+}
+
+func TestMustCustomSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCustomSet with bad shape did not panic")
+		}
+	}()
+	MustCustomSet(badShape{})
+}

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"poilabel/internal/dataset"
+	"poilabel/internal/model"
+	"poilabel/internal/stats"
+)
+
+// Fig6Result is the paper's Figure 6: the distribution of worker quality,
+// measured as each worker's average answer accuracy on tasks within
+// normalized distance 0.2, bucketed into five accuracy ranges.
+type Fig6Result struct {
+	Dataset string
+	// Percent[i] is the share of workers whose near-task accuracy falls in
+	// [20i%, 20(i+1)%).
+	Percent []float64
+	// Workers is the number of workers with at least one near answer.
+	Workers int
+}
+
+// RunFig6 collects the Deployment 1 answer log and buckets workers by their
+// accuracy on near tasks (d ≤ 0.2), eliminating the impact of distance as
+// the paper does.
+func RunFig6(s Scenario) (*Fig6Result, error) {
+	env, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	answers, err := env.Collect()
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make(map[model.WorkerID]float64)
+	counts := make(map[model.WorkerID]int)
+	for i := 0; i < answers.Len(); i++ {
+		a := answers.Answer(i)
+		if env.Sim.Distance(a.Worker, a.Task) > 0.2 {
+			continue
+		}
+		sums[a.Worker] += model.AnswerAccuracy(a, env.Data.Truth)
+		counts[a.Worker]++
+	}
+	hist := stats.NewHistogram(0, 1, 5)
+	for w, n := range counts {
+		hist.Add(sums[w] / float64(n))
+	}
+	return &Fig6Result{Dataset: s.DatasetName, Percent: hist.Percents(), Workers: hist.Total}, nil
+}
+
+// Table renders the figure's series.
+func (r *Fig6Result) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Figure 6 (%s): quality of workers (d<=0.2, %d workers)", r.Dataset, r.Workers),
+		"accuracy range", "percentage of workers")
+	labels := []string{"0-20%", "20-40%", "40-60%", "60-80%", "80-100%"}
+	for i, p := range r.Percent {
+		t.AddRowf(labels[i], fmt.Sprintf("%.1f%%", p))
+	}
+	return t
+}
+
+func (r *Fig6Result) String() string { return r.Table().String() }
+
+// Fig7Result is the paper's Figure 7: average answer accuracy versus
+// distance for the five most active workers, showing that the impact of
+// distance varies per worker.
+type Fig7Result struct {
+	Dataset string
+	// Workers holds the top-5 worker IDs by answer count.
+	Workers []model.WorkerID
+	// Accuracy[i][b] is worker i's average accuracy in distance bin b
+	// (five bins over [0, 1]); NaN marks empty bins.
+	Accuracy [][]float64
+	// Answers[i] is the total answers of worker i.
+	Answers []int
+}
+
+// RunFig7 computes the per-worker accuracy-vs-distance curves.
+func RunFig7(s Scenario) (*Fig7Result, error) {
+	env, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	answers, err := env.Collect()
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank workers by activity.
+	type load struct {
+		w model.WorkerID
+		n int
+	}
+	var loads []load
+	for _, w := range answers.Workers() {
+		loads = append(loads, load{w, answers.WorkerAnswerCount(w)})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].n != loads[j].n {
+			return loads[i].n > loads[j].n
+		}
+		return loads[i].w < loads[j].w
+	})
+	top := 5
+	if len(loads) < top {
+		top = len(loads)
+	}
+
+	res := &Fig7Result{Dataset: s.DatasetName}
+	for _, l := range loads[:top] {
+		var xs, ys []float64
+		for _, idx := range answers.ByWorker(l.w) {
+			a := answers.Answer(idx)
+			xs = append(xs, env.Sim.Distance(a.Worker, a.Task))
+			ys = append(ys, model.AnswerAccuracy(a, env.Data.Truth))
+		}
+		means, _ := stats.BinnedMeans(xs, ys, 0, 1, 5)
+		res.Workers = append(res.Workers, l.w)
+		res.Accuracy = append(res.Accuracy, means)
+		res.Answers = append(res.Answers, l.n)
+	}
+	return res, nil
+}
+
+// Table renders the figure's series.
+func (r *Fig7Result) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Figure 7 (%s): impact of distance on worker quality (top-5 workers)", r.Dataset),
+		"worker", "#answers", "d 0-0.2", "d 0.2-0.4", "d 0.4-0.6", "d 0.6-0.8", "d 0.8-1.0")
+	for i, w := range r.Workers {
+		row := []interface{}{fmt.Sprintf("w%d", w), r.Answers[i]}
+		for _, m := range r.Accuracy[i] {
+			row = append(row, fmtPct(m))
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+func (r *Fig7Result) String() string { return r.Table().String() }
+
+// Fig8Result is the paper's Figure 8: average answer accuracy versus
+// distance for POIs grouped by review count, showing that high-influence
+// POIs receive better answers and are less distance-sensitive.
+type Fig8Result struct {
+	Dataset string
+	// Tiers names the four review tiers.
+	Tiers []string
+	// Accuracy[i][b] is tier i's average accuracy in distance bin b.
+	Accuracy [][]float64
+	// TaskCount[i] is the number of POIs in tier i.
+	TaskCount []int
+}
+
+// RunFig8 computes the per-influence-tier accuracy-vs-distance curves.
+func RunFig8(s Scenario) (*Fig8Result, error) {
+	env, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	answers, err := env.Collect()
+	if err != nil {
+		return nil, err
+	}
+
+	const tiers = 4
+	xs := make([][]float64, tiers)
+	ys := make([][]float64, tiers)
+	taskCount := make([]int, tiers)
+	for i := range env.Data.Tasks {
+		taskCount[dataset.ReviewTier(env.Data.Tasks[i].Reviews)]++
+	}
+	for i := 0; i < answers.Len(); i++ {
+		a := answers.Answer(i)
+		tier := dataset.ReviewTier(env.Data.Tasks[a.Task].Reviews)
+		xs[tier] = append(xs[tier], env.Sim.Distance(a.Worker, a.Task))
+		ys[tier] = append(ys[tier], model.AnswerAccuracy(a, env.Data.Truth))
+	}
+
+	res := &Fig8Result{Dataset: s.DatasetName, TaskCount: taskCount}
+	for tier := 0; tier < tiers; tier++ {
+		means, _ := stats.BinnedMeans(xs[tier], ys[tier], 0, 1, 5)
+		res.Tiers = append(res.Tiers, dataset.TierName(tier))
+		res.Accuracy = append(res.Accuracy, means)
+	}
+	return res, nil
+}
+
+// Table renders the figure's series.
+func (r *Fig8Result) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("Figure 8 (%s): impact of distance on POI influence (by review count)", r.Dataset),
+		"POI tier", "#POIs", "d 0-0.2", "d 0.2-0.4", "d 0.4-0.6", "d 0.6-0.8", "d 0.8-1.0")
+	for i, tier := range r.Tiers {
+		row := []interface{}{tier, r.TaskCount[i]}
+		for _, m := range r.Accuracy[i] {
+			row = append(row, fmtPct(m))
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+func (r *Fig8Result) String() string { return r.Table().String() }
+
+// fmtPct renders a [0,1] mean as a percentage, with "-" for empty bins.
+func fmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"poilabel/internal/model"
+	"poilabel/internal/stats"
+)
+
+// Table1Result is the paper's Table I case study: one POI task examined in
+// depth — the inferred probability of every label, and for each of the
+// workers who answered it their distance, answer, real accuracy against
+// ground truth, the model's estimated accuracy (Equation 9), and their
+// average accuracy across all tasks (what a distance-blind method like
+// Dawid–Skene effectively uses).
+type Table1Result struct {
+	Dataset string
+	Task    model.TaskID
+	Name    string
+	// Labels and the ground truth / inferred state per label.
+	Labels   []string
+	TruthYes []bool
+	InferYes []bool
+	ProbYes  []float64
+	// One row per worker who answered the task.
+	Workers      []model.WorkerID
+	Distances    []float64
+	Answers      [][]bool
+	RealAcc      []float64
+	ModeledAcc   []float64
+	AverageAcc   []float64
+	TaskAccuracy float64
+}
+
+// RunTable1 collects answers, fits the model, and picks the most
+// interesting fully-answered task: the one with the largest spread between
+// its workers' real accuracies (so the quality-weighting story is visible),
+// mirroring the paper's hand-picked "Beijing Olympic Forest Park" example.
+func RunTable1(s Scenario) (*Table1Result, error) {
+	env, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	answers, err := env.Collect()
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := env.FitModel(answers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-worker average accuracy across all their answers.
+	avgAcc := make(map[model.WorkerID]float64)
+	for _, w := range answers.Workers() {
+		var sum float64
+		idxs := answers.ByWorker(w)
+		for _, idx := range idxs {
+			sum += model.AnswerAccuracy(answers.Answer(idx), env.Data.Truth)
+		}
+		avgAcc[w] = sum / float64(len(idxs))
+	}
+
+	// Choose the fully-answered task with the widest worker-accuracy spread.
+	best := model.TaskID(-1)
+	bestSpread := -1.0
+	for t := range env.Data.Tasks {
+		tid := model.TaskID(t)
+		idxs := answers.ByTask(tid)
+		if len(idxs) < s.PerTask {
+			continue
+		}
+		lo, hi := 1.0, 0.0
+		for _, idx := range idxs {
+			acc := model.AnswerAccuracy(answers.Answer(idx), env.Data.Truth)
+			if acc < lo {
+				lo = acc
+			}
+			if acc > hi {
+				hi = acc
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestSpread = spread
+			best = tid
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("experiment: no fully answered task for the case study")
+	}
+
+	task := &env.Data.Tasks[best]
+	res := &Table1Result{
+		Dataset: s.DatasetName,
+		Task:    best,
+		Name:    task.Name,
+		Labels:  task.Labels,
+	}
+	result := m.Result()
+	for k := range task.Labels {
+		res.TruthYes = append(res.TruthYes, env.Data.Truth.Label(best, k))
+		res.InferYes = append(res.InferYes, result.Inferred[best][k])
+		res.ProbYes = append(res.ProbYes, result.Prob[best][k])
+	}
+	idxs := answers.ByTask(best)
+	sort.Slice(idxs, func(i, j int) bool {
+		return answers.Answer(idxs[i]).Worker < answers.Answer(idxs[j]).Worker
+	})
+	for _, idx := range idxs {
+		a := answers.Answer(idx)
+		res.Workers = append(res.Workers, a.Worker)
+		res.Distances = append(res.Distances, m.Distance(a.Worker, best))
+		res.Answers = append(res.Answers, a.Selected)
+		res.RealAcc = append(res.RealAcc, model.AnswerAccuracy(a, env.Data.Truth))
+		res.ModeledAcc = append(res.ModeledAcc, m.AgreementProb(a.Worker, best))
+		res.AverageAcc = append(res.AverageAcc, avgAcc[a.Worker])
+	}
+	match := 0
+	for k := range res.InferYes {
+		if res.InferYes[k] == res.TruthYes[k] {
+			match++
+		}
+	}
+	res.TaskAccuracy = float64(match) / float64(len(res.InferYes))
+	return res, nil
+}
+
+// Table renders both halves of the case study.
+func (r *Table1Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Table I (%s): case study on %q — task accuracy %.0f%%", r.Dataset, r.Name, 100*r.TaskAccuracy),
+		"label", "truth", "P(z=1)", "inferred")
+	for k := range r.Labels {
+		t.AddRowf(fmt.Sprintf("[%d]", k+1), yn(r.TruthYes[k]),
+			fmt.Sprintf("%.2f", r.ProbYes[k]), yn(r.InferYes[k]))
+	}
+	return t
+}
+
+// WorkerTable renders the per-worker half of the case study.
+func (r *Table1Result) WorkerTable() *stats.Table {
+	t := stats.NewTable("Table I (continued): workers on the case-study task",
+		"worker", "distance", "answer (ticked labels)", "real acc", "modeled acc", "avg acc")
+	for i, w := range r.Workers {
+		t.AddRowf(fmt.Sprintf("w%d", w),
+			fmt.Sprintf("%.2f", r.Distances[i]),
+			ticked(r.Answers[i]),
+			fmt.Sprintf("%.0f%%", 100*r.RealAcc[i]),
+			fmt.Sprintf("%.0f%%", 100*r.ModeledAcc[i]),
+			fmt.Sprintf("%.0f%%", 100*r.AverageAcc[i]))
+	}
+	return t
+}
+
+func (r *Table1Result) String() string {
+	return r.Table().String() + "\n" + r.WorkerTable().String()
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func ticked(sel []bool) string {
+	out := "["
+	first := true
+	for k, v := range sel {
+		if !v {
+			continue
+		}
+		if !first {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", k+1)
+		first = false
+	}
+	return out + "]"
+}

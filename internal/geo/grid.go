@@ -1,0 +1,167 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform-cell spatial index over a fixed set of points. It
+// supports k-nearest-neighbour queries by expanding rings of cells around
+// the query point, which is the access path the Spatial-First assigner uses
+// to find the closest unanswered tasks for a worker.
+//
+// The index is immutable after construction; deletions are handled by the
+// caller passing an accept filter to the query (the assigner filters out
+// tasks a worker has already done or been assigned).
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]int // cell -> indices into pts
+	pts      []Point
+}
+
+// NewGrid indexes pts, choosing a cell size so that the average cell holds a
+// handful of points. pts must be non-empty.
+func NewGrid(pts []Point) *Grid {
+	if len(pts) == 0 {
+		panic("geo: NewGrid over empty point set")
+	}
+	bounds := Bound(pts).Expand(1e-9)
+	// Aim for roughly 2 points per cell: cells ~= n/2 arranged in a square.
+	n := float64(len(pts))
+	side := int(math.Max(1, math.Sqrt(n/2)))
+	cellW := bounds.Width() / float64(side)
+	cellH := bounds.Height() / float64(side)
+	cellSize := math.Max(cellW, cellH)
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	cols := int(bounds.Width()/cellSize) + 1
+	rows := int(bounds.Height()/cellSize) + 1
+	g := &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]int, cols*rows),
+		pts:      pts,
+	}
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.cells[c] = append(g.cells[c], i)
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+func (g *Grid) cellCoords(p Point) (cx, cy int) {
+	cx = int((p.X - g.bounds.Min.X) / g.cellSize)
+	cy = int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.cols + cx
+}
+
+// Nearest returns the indices of the k nearest points to q for which
+// accept returns true, ordered by increasing distance. A nil accept accepts
+// every point. Fewer than k indices are returned when the accepted
+// population is smaller than k.
+func (g *Grid) Nearest(q Point, k int, accept func(i int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	var cands []cand
+	qcx, qcy := g.cellCoords(g.bounds.Clamp(q))
+
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	// Expand square rings of cells outward. After we have k candidates we
+	// must still scan one extra ring: a point in the next ring can be closer
+	// than the k-th candidate found so far because cells are coarse.
+	haveEnoughAt := -1
+	for ring := 0; ring <= maxRing; ring++ {
+		if haveEnoughAt >= 0 && ring > haveEnoughAt+1 {
+			break
+		}
+		g.visitRing(qcx, qcy, ring, func(cell int) {
+			for _, i := range g.cells[cell] {
+				if accept != nil && !accept(i) {
+					continue
+				}
+				cands = append(cands, cand{idx: i, dist: q.DistSq(g.pts[i])})
+			}
+		})
+		if haveEnoughAt < 0 && len(cands) >= k {
+			haveEnoughAt = ring
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// visitRing calls fn for every valid cell on the square ring at Chebyshev
+// distance ring from (cx, cy).
+func (g *Grid) visitRing(cx, cy, ring int, fn func(cell int)) {
+	if ring == 0 {
+		fn(cy*g.cols + cx)
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		for _, dy := range ringYs(dx, ring) {
+			x, y := cx+dx, cy+dy
+			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+				continue
+			}
+			fn(y*g.cols + x)
+		}
+	}
+}
+
+// ringYs returns the y offsets belonging to the ring at a given x offset.
+func ringYs(dx, ring int) []int {
+	if dx == -ring || dx == ring {
+		ys := make([]int, 0, 2*ring+1)
+		for dy := -ring; dy <= ring; dy++ {
+			ys = append(ys, dy)
+		}
+		return ys
+	}
+	return []int{-ring, ring}
+}

@@ -1,0 +1,151 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteNearest is the reference implementation the grid must agree with.
+func bruteNearest(pts []Point, q Point, k int, accept func(int) bool) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	var cands []cand
+	for i, p := range pts {
+		if accept != nil && !accept(i) {
+			continue
+		}
+		cands = append(cands, cand{i, q.DistSq(p)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+func randomPoints(n int, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := randomPoints(n, rng)
+		g := NewGrid(pts)
+		q := Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+		k := 1 + rng.Intn(10)
+		got := g.Nearest(q, k, nil)
+		want := bruteNearest(pts, q, k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			// Ties may legitimately order differently; compare distances.
+			if q.DistSq(pts[got[i]]) != q.DistSq(pts[want[i]]) {
+				t.Fatalf("trial %d: result %d has dist %v, want %v",
+					trial, i, q.DistSq(pts[got[i]]), q.DistSq(pts[want[i]]))
+			}
+		}
+	}
+}
+
+func TestGridNearestWithFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(100, rng)
+	g := NewGrid(pts)
+	// Accept only even indices.
+	accept := func(i int) bool { return i%2 == 0 }
+	got := g.Nearest(Pt(50, 50), 7, accept)
+	want := bruteNearest(pts, Pt(50, 50), 7, accept)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for _, idx := range got {
+		if idx%2 != 0 {
+			t.Errorf("filter violated: returned index %d", idx)
+		}
+	}
+}
+
+func TestGridNearestKLargerThanPopulation(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2)}
+	g := NewGrid(pts)
+	got := g.Nearest(Pt(0, 0), 10, nil)
+	if len(got) != 3 {
+		t.Errorf("got %d results, want all 3", len(got))
+	}
+}
+
+func TestGridNearestZeroK(t *testing.T) {
+	g := NewGrid([]Point{Pt(0, 0)})
+	if got := g.Nearest(Pt(0, 0), 0, nil); got != nil {
+		t.Errorf("k=0 returned %v, want nil", got)
+	}
+}
+
+func TestGridNearestAllFiltered(t *testing.T) {
+	g := NewGrid([]Point{Pt(0, 0), Pt(1, 1)})
+	got := g.Nearest(Pt(0, 0), 2, func(int) bool { return false })
+	if len(got) != 0 {
+		t.Errorf("all-filtered query returned %v", got)
+	}
+}
+
+func TestGridOrderedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(300, rng)
+	g := NewGrid(pts)
+	q := Pt(10, 90)
+	got := g.Nearest(q, 20, nil)
+	for i := 1; i < len(got); i++ {
+		if q.DistSq(pts[got[i-1]]) > q.DistSq(pts[got[i]]) {
+			t.Fatalf("results not sorted by distance at %d", i)
+		}
+	}
+}
+
+func TestGridSinglePoint(t *testing.T) {
+	g := NewGrid([]Point{Pt(5, 5)})
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	got := g.Nearest(Pt(100, -100), 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Nearest = %v, want [0]", got)
+	}
+}
+
+func TestGridIdenticalPoints(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1), Pt(1, 1)}
+	g := NewGrid(pts)
+	got := g.Nearest(Pt(1, 1), 4, nil)
+	if len(got) != 4 {
+		t.Errorf("got %d results for identical points, want 4", len(got))
+	}
+}
+
+func TestGridEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(nil) did not panic")
+		}
+	}()
+	NewGrid(nil)
+}

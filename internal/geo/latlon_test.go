@@ -1,0 +1,144 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Well-known city coordinates for ground-truth distances.
+var (
+	beijing     = LatLon{Lat: 39.9042, Lon: 116.4074}
+	shanghai    = LatLon{Lat: 31.2304, Lon: 121.4737}
+	tiananmen   = LatLon{Lat: 39.9055, Lon: 116.3976}
+	olympicPark = LatLon{Lat: 40.0000, Lon: 116.3833}
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   LatLon
+		wantKm float64
+		within float64
+	}{
+		{"same point", beijing, beijing, 0, 1e-9},
+		{"Beijing-Shanghai", beijing, shanghai, 1067, 15},
+		{"Tiananmen-OlympicPark", tiananmen, olympicPark, 10.6, 1},
+		{"equator degree", LatLon{0, 0}, LatLon{0, 1}, 111.2, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := HaversineKm(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.within {
+				t.Errorf("HaversineKm = %v, want %v ± %v", got, tt.wantKm, tt.within)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 int16) bool {
+		a := LatLon{Lat: float64(lat1 % 90), Lon: float64(lon1 % 180)}
+		b := LatLon{Lat: float64(lat2 % 90), Lon: float64(lon2 % 180)}
+		return math.Abs(HaversineKm(a, b)-HaversineKm(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	if !beijing.Valid() {
+		t.Error("Beijing rejected")
+	}
+	for _, c := range []LatLon{{91, 0}, {-91, 0}, {0, 181}, {0, -181}} {
+		if c.Valid() {
+			t.Errorf("%v accepted", c)
+		}
+	}
+}
+
+func TestProjectorValidation(t *testing.T) {
+	if _, err := NewProjector(LatLon{91, 0}); err == nil {
+		t.Error("invalid origin accepted")
+	}
+	if _, err := NewProjector(LatLon{89, 0}); err == nil {
+		t.Error("near-polar origin accepted")
+	}
+	if _, err := ProjectorFor(nil); err == nil {
+		t.Error("empty coordinate set accepted")
+	}
+	if _, err := ProjectorFor([]LatLon{{0, 200}}); err == nil {
+		t.Error("invalid member accepted")
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	p, err := NewProjector(beijing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []LatLon{beijing, tiananmen, olympicPark} {
+		back := p.ToLatLon(p.ToPoint(c))
+		if math.Abs(back.Lat-c.Lat) > 1e-9 || math.Abs(back.Lon-c.Lon) > 1e-9 {
+			t.Errorf("round trip of %v gave %v", c, back)
+		}
+	}
+}
+
+// At city scale the projected euclidean distance must match haversine to
+// well under a percent.
+func TestProjectorDistanceAccuracyCityScale(t *testing.T) {
+	p, err := NewProjector(beijing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]LatLon{
+		{tiananmen, olympicPark},
+		{beijing, tiananmen},
+		{beijing, olympicPark},
+	}
+	for _, pair := range pairs {
+		planar := p.ToPoint(pair[0]).Dist(p.ToPoint(pair[1]))
+		sphere := HaversineKm(pair[0], pair[1])
+		if sphere == 0 {
+			continue
+		}
+		if rel := math.Abs(planar-sphere) / sphere; rel > 0.005 {
+			t.Errorf("planar %v vs haversine %v: relative error %v", planar, sphere, rel)
+		}
+	}
+}
+
+// Even at country scale (Beijing–Shanghai) the equirectangular error stays
+// within a few percent — below the resolution any distance-quality function
+// in this system cares about.
+func TestProjectorDistanceAccuracyCountryScale(t *testing.T) {
+	p, err := ProjectorFor([]LatLon{beijing, shanghai})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planar := p.ToPoint(beijing).Dist(p.ToPoint(shanghai))
+	sphere := HaversineKm(beijing, shanghai)
+	if rel := math.Abs(planar-sphere) / sphere; rel > 0.03 {
+		t.Errorf("country-scale relative error %v > 3%%", rel)
+	}
+}
+
+func TestProjectorOrientation(t *testing.T) {
+	p, err := NewProjector(LatLon{Lat: 40, Lon: 116})
+	if err != nil {
+		t.Fatal(err)
+	}
+	north := p.ToPoint(LatLon{Lat: 41, Lon: 116})
+	if north.Y <= 0 || math.Abs(north.X) > 1e-9 {
+		t.Errorf("north point projected to %v, want +Y axis", north)
+	}
+	east := p.ToPoint(LatLon{Lat: 40, Lon: 117})
+	if east.X <= 0 || math.Abs(east.Y) > 1e-9 {
+		t.Errorf("east point projected to %v, want +X axis", east)
+	}
+	if got := p.Origin(); got != (LatLon{40, 116}) {
+		t.Errorf("Origin = %v", got)
+	}
+}

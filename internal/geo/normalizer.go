@@ -1,0 +1,53 @@
+package geo
+
+import "fmt"
+
+// Normalizer maps raw distances into the unit interval [0, 1] by dividing by
+// a fixed maximum distance, as the paper does with the maximum distance
+// between POIs (Section III-B, footnote 2). Distances beyond the maximum are
+// clamped to 1 so that a worker arbitrarily far away is simply "maximally
+// distant" rather than out of range.
+type Normalizer struct {
+	max float64
+}
+
+// NewNormalizer returns a Normalizer that divides by max.
+// It panics if max is not strictly positive: a zero diameter means the
+// dataset collapsed to a single point and distance carries no signal.
+func NewNormalizer(max float64) Normalizer {
+	if max <= 0 {
+		panic(fmt.Sprintf("geo: non-positive normalization constant %v", max))
+	}
+	return Normalizer{max: max}
+}
+
+// NormalizerFor returns a Normalizer derived from the bounding box of pts,
+// using the box diagonal as the maximum distance.
+func NormalizerFor(pts []Point) Normalizer {
+	return NewNormalizer(Bound(pts).Diameter())
+}
+
+// Max returns the normalization constant.
+func (n Normalizer) Max() float64 { return n.max }
+
+// Normalize maps a raw distance into [0, 1].
+func (n Normalizer) Normalize(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if d >= n.max {
+		return 1
+	}
+	return d / n.max
+}
+
+// Distance returns the normalized distance between two points.
+func (n Normalizer) Distance(p, q Point) float64 {
+	return n.Normalize(p.Dist(q))
+}
+
+// MinDistance returns the normalized minimum distance from any point in pts
+// to q, the paper's convention for workers with several locations.
+func (n Normalizer) MinDistance(pts []Point, q Point) float64 {
+	return n.Normalize(MinDist(pts, q))
+}

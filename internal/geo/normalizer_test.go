@@ -1,0 +1,91 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizerBasics(t *testing.T) {
+	n := NewNormalizer(10)
+	tests := []struct {
+		d, want float64
+	}{
+		{0, 0},
+		{-3, 0}, // negative clamps to 0
+		{5, 0.5},
+		{10, 1},
+		{25, 1}, // beyond max clamps to 1
+	}
+	for _, tt := range tests {
+		if got := n.Normalize(tt.d); got != tt.want {
+			t.Errorf("Normalize(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	if n.Max() != 10 {
+		t.Errorf("Max = %v, want 10", n.Max())
+	}
+}
+
+func TestNormalizerRejectsNonPositive(t *testing.T) {
+	for _, max := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewNormalizer(%v) did not panic", max)
+				}
+			}()
+			NewNormalizer(max)
+		}()
+	}
+}
+
+func TestNormalizerRangeProperty(t *testing.T) {
+	n := NewNormalizer(7.5)
+	f := func(d float64) bool {
+		if math.IsNaN(d) {
+			return true
+		}
+		v := n.Normalize(d)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerMonotone(t *testing.T) {
+	n := NewNormalizer(3)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return n.Normalize(a) <= n.Normalize(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerFor(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(3, 4)}
+	n := NormalizerFor(pts)
+	if n.Max() != 5 {
+		t.Errorf("NormalizerFor diameter = %v, want 5", n.Max())
+	}
+	if got := n.Distance(Pt(0, 0), Pt(3, 4)); got != 1 {
+		t.Errorf("Distance across diameter = %v, want 1", got)
+	}
+}
+
+func TestNormalizerMinDistance(t *testing.T) {
+	n := NewNormalizer(10)
+	locs := []Point{Pt(0, 0), Pt(8, 0)}
+	got := n.MinDistance(locs, Pt(9, 0))
+	if got != 0.1 {
+		t.Errorf("MinDistance = %v, want 0.1 (nearest location wins)", got)
+	}
+}

@@ -1,0 +1,85 @@
+// Package geo provides the spatial primitives used throughout the POI
+// labelling system: points, distances, bounding boxes, normalization by a
+// dataset diameter, and a uniform grid index for nearest-neighbour queries.
+//
+// The paper normalizes every worker–task distance into [0, 1] by the maximum
+// pairwise distance in the dataset (Section III-B, footnote 2), and measures
+// the distance from a worker with several locations (home, office, ...) to a
+// task as the minimum over those locations. Both conventions are implemented
+// here.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in a 2-D plane. Coordinates are abstract "map units";
+// the datasets in internal/dataset use kilometre-scaled planes so that
+// euclidean distance is a faithful stand-in for geographic distance at city
+// and country scales.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Dist returns the euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// DistSq returns the squared euclidean distance between p and q. It avoids
+// the square root for comparison-only callers such as the grid index.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// MinDist returns the minimum distance from any point in pts to q.
+// The paper measures a worker's distance to a task as the minimum over all
+// of the worker's submitted locations. MinDist panics if pts is empty,
+// because a worker without a location is a caller bug.
+func MinDist(pts []Point, q Point) float64 {
+	if len(pts) == 0 {
+		panic("geo: MinDist over empty point set")
+	}
+	best := pts[0].Dist(q)
+	for _, p := range pts[1:] {
+		if d := p.Dist(q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Centroid returns the arithmetic mean of pts. It panics if pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geo: Centroid over empty point set")
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	n := float64(len(pts))
+	return Point{c.X / n, c.Y / n}
+}

@@ -1,0 +1,138 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 2), Pt(1, 2), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5 triangle", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointDistSqMatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		d := a.Dist(b)
+		return math.Abs(a.DistSq(b)-d*d) <= 1e-9*math.Max(1, d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	if got := p.Add(Pt(3, -1)); got != Pt(4, 1) {
+		t.Errorf("Add = %v, want (4,1)", got)
+	}
+	if got := p.Sub(Pt(1, 2)); got != Pt(0, 0) {
+		t.Errorf("Sub = %v, want origin", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(5, 5)}
+	q := Pt(9, 1)
+	want := Pt(10, 0).Dist(q)
+	if got := MinDist(pts, q); got != want {
+		t.Errorf("MinDist = %v, want %v", got, want)
+	}
+}
+
+func TestMinDistSingle(t *testing.T) {
+	if got := MinDist([]Point{Pt(3, 4)}, Pt(0, 0)); got != 5 {
+		t.Errorf("MinDist single = %v, want 5", got)
+	}
+}
+
+func TestMinDistEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinDist over empty set did not panic")
+		}
+	}()
+	MinDist(nil, Pt(0, 0))
+}
+
+func TestMinDistNeverAboveEach(t *testing.T) {
+	f := func(coords []float64) bool {
+		if len(coords) < 4 {
+			return true
+		}
+		pts := make([]Point, 0, len(coords)/2-1)
+		for i := 2; i+1 < len(coords); i += 2 {
+			pts = append(pts, Pt(coords[i], coords[i+1]))
+		}
+		q := Pt(coords[0], coords[1])
+		min := MinDist(pts, q)
+		for _, p := range pts {
+			if min > p.Dist(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); got != Pt(1, 1) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Centroid over empty set did not panic")
+		}
+	}()
+	Centroid(nil)
+}

@@ -1,0 +1,108 @@
+package geo
+
+import "fmt"
+
+// Rect is an axis-aligned bounding box. Min is the lower-left corner and Max
+// the upper-right corner; a valid Rect has Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min Point `json:"min"`
+	Max Point `json:"max"`
+}
+
+// NewRect returns the rectangle with the given corners, swapping coordinates
+// as needed so the result is valid.
+func NewRect(a, b Point) Rect {
+	r := Rect{Min: a, Max: b}
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v - %v]", r.Min, r.Max) }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Diameter returns the length of the diagonal of r, the maximum possible
+// distance between two points inside it. The datasets use it as the
+// distance-normalization constant.
+func (r Rect) Diameter() float64 { return r.Min.Dist(r.Max) }
+
+// Contains reports whether p lies inside r (inclusive of the boundary).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the nearest point to p inside r.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.Min.X {
+		p.X = r.Min.X
+	}
+	if p.X > r.Max.X {
+		p.X = r.Max.X
+	}
+	if p.Y < r.Min.Y {
+		p.Y = r.Min.Y
+	}
+	if p.Y > r.Max.Y {
+		p.Y = r.Max.Y
+	}
+	return p
+}
+
+// Expand returns r grown by margin on every side.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - margin, r.Min.Y - margin},
+		Max: Point{r.Max.X + margin, r.Max.Y + margin},
+	}
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if s.Min.X < r.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if s.Min.Y < r.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if s.Max.X > r.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if s.Max.Y > r.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	return r
+}
+
+// Bound returns the smallest rectangle containing all pts.
+// It panics if pts is empty.
+func Bound(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geo: Bound over empty point set")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}

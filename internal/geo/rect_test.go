@@ -1,0 +1,120 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Pt(5, 1), Pt(2, 7))
+	if r.Min != Pt(2, 1) || r.Max != Pt(5, 7) {
+		t.Errorf("NewRect swapped corners wrong: %v", r)
+	}
+}
+
+func TestRectDims(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(3, 4))
+	if r.Width() != 3 || r.Height() != 4 {
+		t.Errorf("dims = %v x %v, want 3 x 4", r.Width(), r.Height())
+	}
+	if r.Diameter() != 5 {
+		t.Errorf("Diameter = %v, want 5", r.Diameter())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},   // boundary inclusive
+		{Pt(10, 10), true}, // boundary inclusive
+		{Pt(-0.1, 5), false},
+		{Pt(5, 10.1), false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectClampIsInside(t *testing.T) {
+	r := NewRect(Pt(-3, 2), Pt(9, 8))
+	f := func(x, y float64) bool {
+		return r.Contains(r.Clamp(Pt(x, y)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectClampFixedPoint(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(1, 1))
+	p := Pt(0.5, 0.25)
+	if got := r.Clamp(p); got != p {
+		t.Errorf("Clamp of interior point = %v, want %v", got, p)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 2)).Expand(1)
+	if r.Min != Pt(-1, -1) || r.Max != Pt(3, 3) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(2, 2))
+	b := NewRect(Pt(1, -1), Pt(5, 1))
+	u := a.Union(b)
+	if u.Min != Pt(0, -1) || u.Max != Pt(5, 2) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestBound(t *testing.T) {
+	pts := []Point{Pt(3, 1), Pt(-2, 5), Pt(0, 0)}
+	r := Bound(pts)
+	if r.Min != Pt(-2, 0) || r.Max != Pt(3, 5) {
+		t.Errorf("Bound = %v", r)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("Bound does not contain %v", p)
+		}
+	}
+}
+
+func TestBoundEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bound over empty set did not panic")
+		}
+	}()
+	Bound(nil)
+}
+
+func TestBoundContainsAllProperty(t *testing.T) {
+	f := func(coords []float64) bool {
+		if len(coords) < 2 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, Pt(coords[i], coords[i+1]))
+		}
+		r := Bound(pts)
+		for _, p := range pts {
+			if !r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

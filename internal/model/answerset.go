@@ -1,0 +1,151 @@
+package model
+
+import "fmt"
+
+// AnswerSet is the growing answer log R with the per-task and per-worker
+// indexes the inference and assignment algorithms need:
+//
+//	W(t) — the workers who have answered task t
+//	T(w) — the tasks worker w has answered
+//
+// Answers are append-only; the framework never retracts a submission.
+type AnswerSet struct {
+	answers []Answer
+	byTask  map[TaskID][]int   // task -> indexes into answers
+	byWork  map[WorkerID][]int // worker -> indexes into answers
+	done    map[pairKey]bool   // (worker, task) already answered
+}
+
+type pairKey struct {
+	w WorkerID
+	t TaskID
+}
+
+// NewAnswerSet returns an empty answer set.
+func NewAnswerSet() *AnswerSet {
+	return &AnswerSet{
+		byTask: make(map[TaskID][]int),
+		byWork: make(map[WorkerID][]int),
+		done:   make(map[pairKey]bool),
+	}
+}
+
+// Add appends an answer. It rejects a duplicate (worker, task) submission:
+// the platform assigns each task to a worker at most once.
+func (s *AnswerSet) Add(a Answer) error {
+	key := pairKey{a.Worker, a.Task}
+	if s.done[key] {
+		return fmt.Errorf("model: duplicate answer from worker %d on task %d", a.Worker, a.Task)
+	}
+	idx := len(s.answers)
+	s.answers = append(s.answers, a)
+	s.byTask[a.Task] = append(s.byTask[a.Task], idx)
+	s.byWork[a.Worker] = append(s.byWork[a.Worker], idx)
+	s.done[key] = true
+	return nil
+}
+
+// MustAdd is Add but panics on duplicates, for test and generator code paths
+// that construct answer sets programmatically.
+func (s *AnswerSet) MustAdd(a Answer) {
+	if err := s.Add(a); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of answers submitted so far. Each answer covers one
+// (worker, task) pair, so Len is also the number of consumed assignments —
+// the paper's budget unit.
+func (s *AnswerSet) Len() int { return len(s.answers) }
+
+// Answer returns the i-th answer in submission order.
+func (s *AnswerSet) Answer(i int) *Answer { return &s.answers[i] }
+
+// All returns the backing answer slice. Callers must not mutate it.
+func (s *AnswerSet) All() []Answer { return s.answers }
+
+// Has reports whether worker w has already answered task t.
+func (s *AnswerSet) Has(w WorkerID, t TaskID) bool {
+	return s.done[pairKey{w, t}]
+}
+
+// ByTask returns the indexes of the answers on task t in submission order.
+// The returned slice is owned by the answer set; callers must not mutate it.
+func (s *AnswerSet) ByTask(t TaskID) []int { return s.byTask[t] }
+
+// ByWorker returns the indexes of the answers by worker w.
+func (s *AnswerSet) ByWorker(w WorkerID) []int { return s.byWork[w] }
+
+// WorkersOf returns W(t), the distinct workers who answered task t.
+func (s *AnswerSet) WorkersOf(t TaskID) []WorkerID {
+	idxs := s.byTask[t]
+	out := make([]WorkerID, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.answers[idx].Worker
+	}
+	return out
+}
+
+// TasksOf returns T(w), the distinct tasks answered by worker w.
+func (s *AnswerSet) TasksOf(w WorkerID) []TaskID {
+	idxs := s.byWork[w]
+	out := make([]TaskID, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.answers[idx].Task
+	}
+	return out
+}
+
+// TaskAnswerCount returns |W(t)|, the number of answers task t has received.
+func (s *AnswerSet) TaskAnswerCount(t TaskID) int { return len(s.byTask[t]) }
+
+// WorkerAnswerCount returns |T(w)|.
+func (s *AnswerSet) WorkerAnswerCount(w WorkerID) int { return len(s.byWork[w]) }
+
+// Workers returns the IDs of all workers who have submitted at least one
+// answer, in no particular order.
+func (s *AnswerSet) Workers() []WorkerID {
+	out := make([]WorkerID, 0, len(s.byWork))
+	for w := range s.byWork {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Tasks returns the IDs of all tasks with at least one answer.
+func (s *AnswerSet) Tasks() []TaskID {
+	out := make([]TaskID, 0, len(s.byTask))
+	for t := range s.byTask {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the answer set. The experiment harness uses
+// it to replay the same answer prefix through different inference models.
+func (s *AnswerSet) Clone() *AnswerSet {
+	c := NewAnswerSet()
+	for _, a := range s.answers {
+		dup := a
+		dup.Selected = append([]bool(nil), a.Selected...)
+		c.MustAdd(dup)
+	}
+	return c
+}
+
+// Truncate returns a new answer set holding only the first n answers in
+// submission order. It is how budget sweeps (600..1000 assignments) replay
+// prefixes of a single collected answer log, mirroring the paper's
+// methodology of evaluating at increasing budget levels.
+func (s *AnswerSet) Truncate(n int) *AnswerSet {
+	if n > len(s.answers) {
+		n = len(s.answers)
+	}
+	c := NewAnswerSet()
+	for _, a := range s.answers[:n] {
+		dup := a
+		dup.Selected = append([]bool(nil), a.Selected...)
+		c.MustAdd(dup)
+	}
+	return c
+}

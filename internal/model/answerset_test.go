@@ -1,0 +1,149 @@
+package model
+
+import (
+	"testing"
+)
+
+func ans(w WorkerID, t TaskID, votes ...bool) Answer {
+	return Answer{Worker: w, Task: t, Selected: votes}
+}
+
+func TestAnswerSetIndexes(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(0, 0, true))
+	s.MustAdd(ans(0, 1, false))
+	s.MustAdd(ans(1, 0, true))
+
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.TaskAnswerCount(0); got != 2 {
+		t.Errorf("TaskAnswerCount(0) = %d, want 2", got)
+	}
+	if got := s.WorkerAnswerCount(0); got != 2 {
+		t.Errorf("WorkerAnswerCount(0) = %d, want 2", got)
+	}
+	ws := s.WorkersOf(0)
+	if len(ws) != 2 || ws[0] != 0 || ws[1] != 1 {
+		t.Errorf("WorkersOf(0) = %v, want [0 1]", ws)
+	}
+	ts := s.TasksOf(0)
+	if len(ts) != 2 || ts[0] != 0 || ts[1] != 1 {
+		t.Errorf("TasksOf(0) = %v, want [0 1]", ts)
+	}
+}
+
+func TestAnswerSetHas(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(3, 7, true))
+	if !s.Has(3, 7) {
+		t.Error("Has(3,7) = false after Add")
+	}
+	if s.Has(3, 8) || s.Has(4, 7) {
+		t.Error("Has reports pairs never added")
+	}
+}
+
+func TestAnswerSetRejectsDuplicates(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(1, 2, true))
+	if err := s.Add(ans(1, 2, false)); err == nil {
+		t.Error("duplicate (worker, task) accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after rejected duplicate = %d, want 1", s.Len())
+	}
+}
+
+func TestAnswerSetMustAddPanics(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(1, 1, true))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd duplicate did not panic")
+		}
+	}()
+	s.MustAdd(ans(1, 1, true))
+}
+
+func TestAnswerSetOrderPreserved(t *testing.T) {
+	s := NewAnswerSet()
+	for i := 0; i < 10; i++ {
+		s.MustAdd(ans(WorkerID(i), TaskID(i%3), true))
+	}
+	for i := 0; i < 10; i++ {
+		if s.Answer(i).Worker != WorkerID(i) {
+			t.Fatalf("Answer(%d).Worker = %d, want %d (submission order)", i, s.Answer(i).Worker, i)
+		}
+	}
+}
+
+func TestAnswerSetClone(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(0, 0, true, false))
+	c := s.Clone()
+	// Deep copy: mutating the clone's vote slice must not leak back.
+	c.Answer(0).Selected[0] = false
+	if !s.Answer(0).Selected[0] {
+		t.Error("Clone shares Selected slices with original")
+	}
+	if c.Len() != s.Len() {
+		t.Errorf("Clone Len = %d, want %d", c.Len(), s.Len())
+	}
+	// Clone is independent for additions too.
+	c.MustAdd(ans(5, 5, true))
+	if s.Len() != 1 {
+		t.Errorf("adding to clone changed original: Len = %d", s.Len())
+	}
+}
+
+func TestAnswerSetTruncate(t *testing.T) {
+	s := NewAnswerSet()
+	for i := 0; i < 10; i++ {
+		s.MustAdd(ans(WorkerID(i), 0, true))
+	}
+	tr := s.Truncate(4)
+	if tr.Len() != 4 {
+		t.Fatalf("Truncate(4).Len = %d", tr.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if tr.Answer(i).Worker != s.Answer(i).Worker {
+			t.Errorf("Truncate reordered answers at %d", i)
+		}
+	}
+	// Truncating beyond length keeps everything.
+	if got := s.Truncate(99).Len(); got != 10 {
+		t.Errorf("Truncate(99).Len = %d, want 10", got)
+	}
+}
+
+func TestAnswerSetWorkersAndTasks(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(2, 9, true))
+	s.MustAdd(ans(2, 8, true))
+	s.MustAdd(ans(5, 9, true))
+	ws := s.Workers()
+	if len(ws) != 2 {
+		t.Errorf("Workers = %v, want 2 distinct", ws)
+	}
+	ts := s.Tasks()
+	if len(ts) != 2 {
+		t.Errorf("Tasks = %v, want 2 distinct", ts)
+	}
+}
+
+func TestAnswerSetByTaskOwnership(t *testing.T) {
+	s := NewAnswerSet()
+	s.MustAdd(ans(0, 0, true))
+	s.MustAdd(ans(1, 0, false))
+	idxs := s.ByTask(0)
+	if len(idxs) != 2 {
+		t.Fatalf("ByTask(0) = %v", idxs)
+	}
+	if s.Answer(idxs[0]).Worker != 0 || s.Answer(idxs[1]).Worker != 1 {
+		t.Error("ByTask indexes resolve to wrong answers")
+	}
+	if got := s.ByTask(42); len(got) != 0 {
+		t.Errorf("ByTask(unknown) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import "fmt"
+
+// Calibration quantifies how well probabilistic predictions match observed
+// frequencies: predictions are binned by stated probability and each bin's
+// mean prediction is compared against the empirical rate of the positive
+// outcome. The experiment harness uses it to compare the inference model's
+// P(z) posteriors against the Dawid–Skene baseline's.
+type Calibration struct {
+	// Edges and the per-bin aggregates; bin i covers
+	// [Edges[i], Edges[i+1]).
+	Edges     []float64
+	PredSum   []float64
+	TrueCount []int
+	Count     []int
+	// BrierSum accumulates (p − outcome)² for the Brier score.
+	BrierSum float64
+	Total    int
+}
+
+// NewCalibration creates a calibration accumulator with n equal-width
+// probability bins over [0, 1].
+func NewCalibration(n int) *Calibration {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: invalid calibration bin count %d", n))
+	}
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = float64(i) / float64(n)
+	}
+	return &Calibration{
+		Edges:     edges,
+		PredSum:   make([]float64, n),
+		TrueCount: make([]int, n),
+		Count:     make([]int, n),
+	}
+}
+
+// Add records one prediction p for a binary outcome.
+func (c *Calibration) Add(p float64, outcome bool) {
+	n := len(c.Count)
+	i := int(p * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	c.PredSum[i] += p
+	c.Count[i]++
+	c.Total++
+	o := 0.0
+	if outcome {
+		c.TrueCount[i]++
+		o = 1
+	}
+	c.BrierSum += (p - o) * (p - o)
+}
+
+// Brier returns the mean squared error between predictions and outcomes —
+// 0 is perfect, 0.25 is an uninformative constant 0.5.
+func (c *Calibration) Brier() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return c.BrierSum / float64(c.Total)
+}
+
+// ECE returns the expected calibration error: the count-weighted mean
+// absolute gap between each bin's mean prediction and its empirical rate.
+func (c *Calibration) ECE() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	var ece float64
+	for i, n := range c.Count {
+		if n == 0 {
+			continue
+		}
+		meanPred := c.PredSum[i] / float64(n)
+		rate := float64(c.TrueCount[i]) / float64(n)
+		gap := meanPred - rate
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += gap * float64(n) / float64(c.Total)
+	}
+	return ece
+}
+
+// BinRow describes one reliability-diagram bin.
+type BinRow struct {
+	Lo, Hi   float64
+	MeanPred float64
+	Rate     float64
+	Count    int
+}
+
+// Bins returns the non-empty reliability bins in order.
+func (c *Calibration) Bins() []BinRow {
+	var out []BinRow
+	for i, n := range c.Count {
+		if n == 0 {
+			continue
+		}
+		out = append(out, BinRow{
+			Lo:       c.Edges[i],
+			Hi:       c.Edges[i+1],
+			MeanPred: c.PredSum[i] / float64(n),
+			Rate:     float64(c.TrueCount[i]) / float64(n),
+			Count:    n,
+		})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrationPerfectPredictor(t *testing.T) {
+	// Outcomes drawn exactly at the stated probability: Brier equals
+	// p(1-p) averaged, ECE near 0.
+	rng := rand.New(rand.NewSource(1))
+	c := NewCalibration(10)
+	for i := 0; i < 20000; i++ {
+		p := rng.Float64()
+		c.Add(p, rng.Float64() < p)
+	}
+	if ece := c.ECE(); ece > 0.02 {
+		t.Errorf("perfect predictor ECE = %v, want ~0", ece)
+	}
+	// E[p(1-p)] for uniform p is 1/6.
+	if b := c.Brier(); math.Abs(b-1.0/6) > 0.02 {
+		t.Errorf("perfect predictor Brier = %v, want ~0.167", b)
+	}
+}
+
+func TestCalibrationOverconfidentPredictor(t *testing.T) {
+	// Predictor says 0.95 but the truth rate is 0.7: large ECE.
+	rng := rand.New(rand.NewSource(2))
+	c := NewCalibration(10)
+	for i := 0; i < 5000; i++ {
+		c.Add(0.95, rng.Float64() < 0.7)
+	}
+	if ece := c.ECE(); ece < 0.2 {
+		t.Errorf("overconfident ECE = %v, want ~0.25", ece)
+	}
+}
+
+func TestCalibrationDegenerate(t *testing.T) {
+	c := NewCalibration(5)
+	if c.Brier() != 0 || c.ECE() != 0 {
+		t.Error("empty calibration not zero")
+	}
+	c.Add(0, false)
+	c.Add(1, true)
+	if c.Brier() != 0 {
+		t.Errorf("exact predictions Brier = %v, want 0", c.Brier())
+	}
+	// Out-of-range predictions clamp into the boundary bins.
+	c.Add(-0.5, false)
+	c.Add(1.5, true)
+	if c.Total != 4 {
+		t.Errorf("Total = %d, want 4", c.Total)
+	}
+}
+
+func TestCalibrationBins(t *testing.T) {
+	c := NewCalibration(4)
+	c.Add(0.1, false)
+	c.Add(0.1, true)
+	c.Add(0.9, true)
+	bins := c.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("got %d non-empty bins, want 2", len(bins))
+	}
+	if bins[0].Count != 2 || bins[0].Rate != 0.5 || bins[0].MeanPred != 0.1 {
+		t.Errorf("low bin = %+v", bins[0])
+	}
+	if bins[1].Count != 1 || bins[1].Rate != 1 {
+		t.Errorf("high bin = %+v", bins[1])
+	}
+}
+
+func TestNewCalibrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCalibration(0) did not panic")
+		}
+	}()
+	NewCalibration(0)
+}

@@ -1,0 +1,156 @@
+// Package stats provides the small statistics toolkit the experiments use:
+// binned histograms (for the paper's Figures 6–8), numeric summaries,
+// series, and aligned text-table rendering for the benchmark harness
+// output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram bins values in [0, 1] into equal-width buckets and reports the
+// percentage of observations per bucket — the shape of the paper's
+// Figure 6.
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bucket i covers
+	// [Edges[i], Edges[i+1]), with the final bucket closed on the right.
+	Edges  []float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram over [lo, hi] with n equal buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v] with %d buckets", lo, hi, n))
+	}
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return &Histogram{Edges: edges, Counts: make([]int, n)}
+}
+
+// Add records one observation. Values outside the range are clamped into
+// the first or last bucket.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Counts)
+	lo, hi := h.Edges[0], h.Edges[n]
+	i := int(float64(n) * (v - lo) / (hi - lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Percent returns the share of observations in bucket i, in percent.
+func (h *Histogram) Percent(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Percents returns all bucket percentages.
+func (h *Histogram) Percents() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Percent(i)
+	}
+	return out
+}
+
+// Summary holds the usual scalar descriptors of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// BinnedMeans groups (x, y) observations by which of the n equal-width x
+// buckets over [lo, hi] they fall in, returning the mean y per bucket and
+// the bucket populations. Buckets with no observations report NaN. This is
+// the aggregation behind the paper's accuracy-vs-distance curves
+// (Figures 7 and 8).
+func BinnedMeans(xs, ys []float64, lo, hi float64, n int) (means []float64, counts []int) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: BinnedMeans with %d xs and %d ys", len(xs), len(ys)))
+	}
+	sums := make([]float64, n)
+	counts = make([]int, n)
+	for i, x := range xs {
+		b := int(float64(n) * (x - lo) / (hi - lo))
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		sums[b] += ys[i]
+		counts[b]++
+	}
+	means = make([]float64, n)
+	for b := range means {
+		if counts[b] == 0 {
+			means[b] = math.NaN()
+		} else {
+			means[b] = sums[b] / float64(counts[b])
+		}
+	}
+	return means, counts
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 1, 5)
+	for _, v := range []float64{0.05, 0.15, 0.25, 0.55, 0.95, 1.0} {
+		h.Add(v)
+	}
+	want := []int{2, 1, 1, 0, 2} // 1.0 lands in the last bucket
+	for i, n := range want {
+		if h.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], n)
+		}
+	}
+	if h.Total != 6 {
+		t.Errorf("Total = %d, want 6", h.Total)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(7)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("outliers not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramPercent(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(0.9)
+	if got := h.Percent(0); math.Abs(got-66.666) > 0.01 {
+		t.Errorf("Percent(0) = %v", got)
+	}
+	ps := h.Percents()
+	var sum float64
+	for _, p := range ps {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("percents sum to %v", sum)
+	}
+}
+
+func TestHistogramEmptyPercent(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	if h.Percent(0) != 0 {
+		t.Error("empty histogram percent not 0")
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944487) > 1e-9 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Bounded inputs: the property is about ordering, not float
+		// overflow at ±1e308.
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestBinnedMeans(t *testing.T) {
+	xs := []float64{0.1, 0.15, 0.5, 0.9}
+	ys := []float64{1, 3, 10, 7}
+	means, counts := BinnedMeans(xs, ys, 0, 1, 5)
+	if counts[0] != 2 || means[0] != 2 {
+		t.Errorf("bin 0 = (%v, %d), want (2, 2)", means[0], counts[0])
+	}
+	if counts[2] != 1 || means[2] != 10 {
+		t.Errorf("bin 2 = (%v, %d)", means[2], counts[2])
+	}
+	if !math.IsNaN(means[1]) {
+		t.Errorf("empty bin mean = %v, want NaN", means[1])
+	}
+	if counts[4] != 1 || means[4] != 7 {
+		t.Errorf("bin 4 = (%v, %d)", means[4], counts[4])
+	}
+}
+
+func TestBinnedMeansMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched xs/ys did not panic")
+		}
+	}()
+	BinnedMeans([]float64{1}, []float64{1, 2}, 0, 1, 2)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRowf("alpha", 0.5)
+	tb.AddRowf("n", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "0.500") || !strings.Contains(out, "42") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("very-long-cell", "x")
+	tb.AddRow("y", "z")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// The second column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "b")
+	for _, l := range lines[2:] {
+		if len(l) <= idx {
+			t.Fatalf("row %q shorter than header column offset", l)
+		}
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	tb := NewTable("ragged", "a")
+	tb.AddRow("x", "extra", "more")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Errorf("ragged cells dropped:\n%s", out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("ignored title", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `with"quote`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("csv has %d rows, want 3", len(rows))
+	}
+	if rows[0][0] != "name" || rows[2][0] != "with,comma" || rows[2][1] != `with"quote` {
+		t.Errorf("csv rows corrupted: %v", rows)
+	}
+}

@@ -1,0 +1,401 @@
+// Package poilabel is a Go implementation of "Crowdsourced POI Labelling:
+// Location-Aware Result Inference and Task Assignment" (Hu, Zheng, Bao, Li,
+// Feng, Cheng — ICDE 2016).
+//
+// Given a set of POI labelling tasks (each a point of interest with
+// candidate labels) and a pool of workers with known locations, the package
+// provides the paper's full framework:
+//
+//   - a location-aware inference model that estimates each worker's
+//     inherent quality, each worker's distance sensitivity, each POI's
+//     influence, and the posterior probability of every candidate label —
+//     updated by full EM or cheap incremental EM as answers stream in;
+//   - an online task assigner (AccOpt) that, whenever workers request
+//     tasks, chooses the h tasks per worker that maximize the expected
+//     improvement in overall inference accuracy, within a fixed budget of
+//     paid assignments.
+//
+// The Framework type ties the two together in the paper's alternating
+// protocol: call RequestTasks when workers arrive, hand the chosen tasks to
+// your crowd, and feed answers back through SubmitAnswer. At any point
+// Results returns the current yes/no decision and probability for every
+// label.
+//
+// # Quick start
+//
+//	fw, err := poilabel.New(tasks, workers)
+//	if err != nil { ... }
+//	for fw.RemainingBudget() > 0 {
+//		arrived := pollWorkers()                  // your worker arrivals
+//		assigned, _ := fw.RequestTasks(arrived)   // paper's task assigner
+//		for w, ts := range assigned {
+//			for _, t := range ts {
+//				fw.SubmitAnswer(askWorker(w, t))  // your crowd answers
+//			}
+//		}
+//	}
+//	res := fw.Results()
+//
+// Lower-level building blocks (the raw inference model, the assignment
+// estimator, majority voting and Dawid–Skene baselines, dataset generators
+// and the crowd simulator used by the reproduction benchmarks) live in the
+// internal packages and are exercised by the examples and cmd/ tools in
+// this repository.
+package poilabel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/baseline"
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// Re-exported domain types. See the internal/model package for full
+// documentation of each.
+type (
+	// Task is a POI labelling task: a named, located POI with candidate
+	// labels.
+	Task = model.Task
+	// Worker is a crowd worker with one or more locations.
+	Worker = model.Worker
+	// Answer is one worker's yes/no votes on one task's labels.
+	Answer = model.Answer
+	// TaskID indexes a task.
+	TaskID = model.TaskID
+	// WorkerID indexes a worker.
+	WorkerID = model.WorkerID
+	// GroundTruth holds true label values, for evaluation.
+	GroundTruth = model.GroundTruth
+	// Result is an inference outcome: decisions and probabilities per label.
+	Result = model.Result
+	// Point is a 2-D location.
+	Point = geo.Point
+)
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// Accuracy computes the paper's evaluation metric (Equation 1) of a result
+// against ground truth.
+func Accuracy(res *Result, truth *GroundTruth) float64 {
+	return model.Accuracy(res, truth)
+}
+
+// AssignerKind selects a task assignment strategy for the Framework.
+type AssignerKind int
+
+// Available assignment strategies.
+const (
+	// AssignerAccOpt is the paper's accuracy-optimal greedy assigner
+	// (Algorithm 1) — the default.
+	AssignerAccOpt AssignerKind = iota
+	// AssignerSpatialFirst assigns each worker their closest undone tasks.
+	AssignerSpatialFirst
+	// AssignerRandom assigns undone tasks uniformly at random.
+	AssignerRandom
+	// AssignerEntropy assigns the undone tasks with the highest label
+	// uncertainty (the entropy-based selection of CDAS, discussed as
+	// related work in the paper's Section VI).
+	AssignerEntropy
+	// AssignerMarginalGreedy is the marginal-gain variant of the paper's
+	// Algorithm 1; it tracks the Definition 7 objective more closely than
+	// the literal pseudocode (see EXPERIMENTS.md).
+	AssignerMarginalGreedy
+)
+
+// Options configure a Framework. The zero value of each field means "use
+// the paper's default".
+type Options struct {
+	// Budget is the total number of (worker, task) assignments the
+	// framework will hand out. Zero means unlimited.
+	Budget int
+	// TasksPerRequest is h, the number of tasks given to each requesting
+	// worker. Zero means 2, the paper's HIT size.
+	TasksPerRequest int
+	// Assigner selects the assignment strategy. Default AccOpt.
+	Assigner AssignerKind
+	// Model configures the inference model. A zero Config means
+	// core.DefaultConfig (α = 0.5, F = {f100, f10, f0.1}, tol 0.005).
+	Model core.Config
+	// FullEMInterval is the number of submissions between full EM runs
+	// (Section III-D); incremental EM runs in between. Zero means 100.
+	FullEMInterval int
+	// Seed drives the random assigner. Ignored by the others.
+	Seed int64
+}
+
+// Framework is the paper's POI-labelling framework (Figure 1): an inference
+// model and an online task assigner working alternately under a budget.
+//
+// Framework is not safe for concurrent use.
+type Framework struct {
+	m       *core.Model
+	asg     assign.Assigner
+	policy  *core.UpdatePolicy
+	h       int
+	budget  int // remaining; negative means unlimited
+	pending map[pairKey]bool
+}
+
+type pairKey struct {
+	w WorkerID
+	t TaskID
+}
+
+// New creates a Framework over the given tasks and workers. Task IDs must
+// be their indices in the slice (0..len-1), and likewise for workers;
+// distances are normalized by the bounding-box diameter of all task and
+// worker locations.
+func New(tasks []Task, workers []Worker, opts ...Options) (*Framework, error) {
+	var o Options
+	switch len(opts) {
+	case 0:
+	case 1:
+		o = opts[0]
+	default:
+		return nil, errors.New("poilabel: pass at most one Options")
+	}
+	if o.TasksPerRequest == 0 {
+		o.TasksPerRequest = 2
+	}
+	if o.TasksPerRequest < 0 {
+		return nil, fmt.Errorf("poilabel: negative TasksPerRequest %d", o.TasksPerRequest)
+	}
+	if o.FullEMInterval == 0 {
+		o.FullEMInterval = 100
+	}
+	cfg := o.Model
+	if cfg.FuncSet == nil {
+		cfg = core.DefaultConfig()
+	}
+
+	var pts []Point
+	for i := range tasks {
+		if int(tasks[i].ID) != i {
+			return nil, fmt.Errorf("poilabel: task at index %d has ID %d; IDs must be dense indices", i, tasks[i].ID)
+		}
+		pts = append(pts, tasks[i].Location)
+	}
+	for i := range workers {
+		if int(workers[i].ID) != i {
+			return nil, fmt.Errorf("poilabel: worker at index %d has ID %d; IDs must be dense indices", i, workers[i].ID)
+		}
+		if len(workers[i].Locations) == 0 {
+			return nil, fmt.Errorf("poilabel: worker %d has no locations", i)
+		}
+		pts = append(pts, workers[i].Locations...)
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("poilabel: no tasks")
+	}
+
+	m, err := core.NewModel(tasks, workers, geo.NormalizerFor(pts), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var asg assign.Assigner
+	switch o.Assigner {
+	case AssignerAccOpt:
+		asg = assign.AccOpt{}
+	case AssignerSpatialFirst:
+		asg = assign.NewSpatialFirst(tasks)
+	case AssignerRandom:
+		asg = assign.Random{Rand: rand.New(rand.NewSource(o.Seed))}
+	case AssignerEntropy:
+		asg = assign.EntropyFirst{}
+	case AssignerMarginalGreedy:
+		asg = assign.MarginalGreedy{}
+	default:
+		return nil, fmt.Errorf("poilabel: unknown assigner kind %d", o.Assigner)
+	}
+
+	budget := o.Budget
+	if budget == 0 {
+		budget = -1
+	}
+	return &Framework{
+		m:       m,
+		asg:     asg,
+		policy:  &core.UpdatePolicy{FullEMInterval: o.FullEMInterval, Incremental: true},
+		h:       o.TasksPerRequest,
+		budget:  budget,
+		pending: make(map[pairKey]bool),
+	}, nil
+}
+
+// RemainingBudget returns the number of assignments still available, or -1
+// when the framework was created without a budget.
+func (f *Framework) RemainingBudget() int { return f.budget }
+
+// RequestTasks runs the task assigner for a set of requesting workers and
+// returns up to h tasks per worker, bounded by the remaining budget.
+// Returned assignments are recorded as pending; the framework expects a
+// SubmitAnswer for each.
+func (f *Framework) RequestTasks(workers []WorkerID) (map[WorkerID][]TaskID, error) {
+	if f.budget == 0 {
+		return nil, ErrBudgetExhausted
+	}
+	for _, w := range workers {
+		if int(w) < 0 || int(w) >= len(f.m.Workers()) {
+			return nil, fmt.Errorf("poilabel: unknown worker %d", w)
+		}
+	}
+	a := f.asg.Assign(f.m, workers, f.h)
+	out := make(map[WorkerID][]TaskID, len(a))
+	for _, w := range workers {
+		for _, t := range a[w] {
+			if f.budget == 0 {
+				break
+			}
+			if f.pending[pairKey{w, t}] {
+				continue
+			}
+			out[w] = append(out[w], t)
+			f.pending[pairKey{w, t}] = true
+			if f.budget > 0 {
+				f.budget--
+			}
+		}
+	}
+	return out, nil
+}
+
+// ErrBudgetExhausted is returned by RequestTasks when the assignment budget
+// has been fully spent.
+var ErrBudgetExhausted = errors.New("poilabel: assignment budget exhausted")
+
+// SubmitAnswer feeds one worker answer into the inference model, updating
+// parameter estimates per the configured policy (incremental EM, with a
+// periodic full EM). Answers for tasks that were not assigned through
+// RequestTasks are accepted too — the model simply learns from them without
+// touching the budget.
+func (f *Framework) SubmitAnswer(a Answer) error {
+	delete(f.pending, pairKey{a.Worker, a.Task})
+	_, err := f.policy.Apply(f.m, a)
+	return err
+}
+
+// Refit forces a full EM pass over all answers received so far and reports
+// whether it converged within the configured iteration cap.
+func (f *Framework) Refit() bool { return f.m.Fit().Converged }
+
+// Results returns the current inference: for every task and label, the
+// probability it is a correct label and the thresholded decision.
+func (f *Framework) Results() *Result {
+	// A full EM pass makes the returned snapshot self-consistent (the
+	// incremental updates between full runs only touch local parameters).
+	f.m.Fit()
+	return f.m.Result()
+}
+
+// WorkerQuality returns the estimated inherent quality P(i_w = 1) of a
+// worker (Definition 2).
+func (f *Framework) WorkerQuality(w WorkerID) float64 { return f.m.WorkerQuality(w) }
+
+// AnswerAccuracy returns the model's estimate of the probability that
+// worker w answers task t correctly (Equation 9), combining the worker's
+// inherent quality, distance-aware quality, and the POI's influence.
+func (f *Framework) AnswerAccuracy(w WorkerID, t TaskID) float64 {
+	return f.m.AgreementProb(w, t)
+}
+
+// POIInfluence returns the estimated influence weights of task t over the
+// model's distance-function set, ordered from the steepest (most local)
+// function to the widest. A large final component means a famous POI that
+// distant workers still answer well.
+func (f *Framework) POIInfluence(t TaskID) []float64 {
+	p := f.m.Params().PDT[t]
+	return append([]float64(nil), p...)
+}
+
+// DistanceSensitivity returns the estimated sensitivity weights of worker w
+// over the distance-function set, from steepest to widest.
+func (f *Framework) DistanceSensitivity(w WorkerID) []float64 {
+	p := f.m.Params().PDW[w]
+	return append([]float64(nil), p...)
+}
+
+// EstimatedAccuracy returns the model's own estimate of the current overall
+// accuracy: the mean over all labels of max(P(z), 1−P(z)) — the Equation 15
+// accuracy under the model's best guess for each label's truth. It rises
+// toward 1 as evidence accumulates and is the natural signal for budget-
+// aware early stopping ("stop paying once estimated accuracy exceeds X").
+func (f *Framework) EstimatedAccuracy() float64 {
+	params := f.m.Params()
+	var sum float64
+	var n int
+	for t := range params.PZ {
+		for _, p := range params.PZ[t] {
+			if p < 0.5 {
+				p = 1 - p
+			}
+			sum += p
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SaveCheckpoint persists the framework's learned state (answer log and
+// parameter estimates) to a file; a new Framework over the same tasks and
+// workers can LoadCheckpoint to resume without replaying history.
+func (f *Framework) SaveCheckpoint(path string) error { return f.m.SaveCheckpoint(path) }
+
+// LoadCheckpoint restores learned state saved by SaveCheckpoint.
+func (f *Framework) LoadCheckpoint(path string) error { return f.m.LoadCheckpoint(path) }
+
+// Model exposes the underlying inference model for advanced use (parameter
+// inspection, custom assignment). Mutating it bypasses the framework's
+// budget accounting.
+func (f *Framework) Model() *core.Model { return f.m }
+
+// MajorityVote runs the MV baseline over an external answer log.
+// It is a convenience for comparing the paper's model with naive
+// aggregation on the same data.
+func MajorityVote(tasks []Task, answers []Answer) (*Result, error) {
+	set := model.NewAnswerSet()
+	for _, a := range answers {
+		if err := set.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return baseline.MajorityVote{}.Infer(tasks, set), nil
+}
+
+// DawidSkene runs the classic confusion-matrix EM baseline [Dawid & Skene
+// 1979] over an external answer log.
+func DawidSkene(tasks []Task, answers []Answer) (*Result, error) {
+	set := model.NewAnswerSet()
+	for _, a := range answers {
+		if err := set.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return baseline.DawidSkene{}.Infer(tasks, set), nil
+}
+
+// FlagBiasedWorkers screens an answer log for systematically biased
+// workers — lazy affirmers who tick (almost) everything or rejecters who
+// tick (almost) nothing. The paper's inference model represents workers by
+// a single symmetric agreement probability and cannot express directional
+// bias, so such workers should be filtered before fitting (see the
+// ablation-adversary experiment in EXPERIMENTS.md). The returned IDs can
+// be excluded from future assignment rounds and their answers dropped.
+func FlagBiasedWorkers(answers []Answer) ([]WorkerID, error) {
+	set := model.NewAnswerSet()
+	for _, a := range answers {
+		if err := set.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return baseline.BiasScreen{}.Flag(set), nil
+}

@@ -1,0 +1,373 @@
+package poilabel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// tinyWorld builds a small public-API world: 8 tasks on a line with 3
+// labels each, 4 workers, plus ground truth for evaluation.
+func tinyWorld() ([]Task, []Worker, *GroundTruth) {
+	tasks := make([]Task, 8)
+	truth := make([][]bool, 8)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID:       TaskID(i),
+			Name:     "poi",
+			Location: Pt(float64(i), 0),
+			Labels:   []string{"a", "b", "c"},
+		}
+		truth[i] = []bool{i%2 == 0, true, false}
+	}
+	workers := make([]Worker, 4)
+	for i := range workers {
+		workers[i] = Worker{
+			ID:        WorkerID(i),
+			Name:      "w",
+			Locations: []Point{Pt(float64(2*i), 0.5)},
+		}
+	}
+	return tasks, workers, &GroundTruth{Truth: truth}
+}
+
+// answer fabricates a worker answer with the given per-label correctness.
+func answer(w WorkerID, t TaskID, truth *GroundTruth, p float64, rng *rand.Rand) Answer {
+	row := truth.Truth[t]
+	sel := make([]bool, len(row))
+	for k := range sel {
+		if rng.Float64() < p {
+			sel[k] = row[k]
+		} else {
+			sel[k] = !row[k]
+		}
+	}
+	return Answer{Worker: w, Task: t, Selected: sel}
+}
+
+func TestNewValidation(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+
+	if _, err := New(nil, workers); err == nil {
+		t.Error("no tasks accepted")
+	}
+
+	badID := append([]Task(nil), tasks...)
+	badID[3].ID = 9
+	if _, err := New(badID, workers); err == nil {
+		t.Error("non-dense task IDs accepted")
+	}
+
+	noLoc := append([]Worker(nil), workers...)
+	noLoc[0].Locations = nil
+	if _, err := New(tasks, noLoc); err == nil {
+		t.Error("worker without location accepted")
+	}
+
+	if _, err := New(tasks, workers, Options{}, Options{}); err == nil {
+		t.Error("two Options values accepted")
+	}
+
+	if _, err := New(tasks, workers, Options{TasksPerRequest: -1}); err == nil {
+		t.Error("negative TasksPerRequest accepted")
+	}
+
+	if _, err := New(tasks, workers, Options{Assigner: AssignerKind(99)}); err == nil {
+		t.Error("unknown assigner accepted")
+	}
+}
+
+func TestFrameworkEndToEnd(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(1))
+	fw, err := New(tasks, workers, Options{Budget: 40, TasksPerRequest: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.RemainingBudget() != 40 {
+		t.Fatalf("initial budget = %d", fw.RemainingBudget())
+	}
+
+	for fw.RemainingBudget() > 0 {
+		assigned, err := fw.RequestTasks([]WorkerID{0, 1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for w, ts := range assigned {
+			for _, tid := range ts {
+				// Worker 3 is a spammer; the rest are good.
+				p := 0.9
+				if w == 3 {
+					p = 0.5
+				}
+				if err := fw.SubmitAnswer(answer(w, tid, truth, p, rng)); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+
+	res := fw.Results()
+	if acc := Accuracy(res, truth); acc < 0.7 {
+		t.Errorf("end-to-end accuracy = %v, want >= 0.7", acc)
+	}
+	// Quality ordering must hold.
+	if fw.WorkerQuality(0) <= fw.WorkerQuality(3) {
+		t.Errorf("good worker quality %v <= spammer %v", fw.WorkerQuality(0), fw.WorkerQuality(3))
+	}
+}
+
+func TestFrameworkBudgetAccounting(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	fw, err := New(tasks, workers, Options{Budget: 3, TasksPerRequest: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned, err := fw.RequestTasks([]WorkerID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ts := range assigned {
+		total += len(ts)
+	}
+	if total != 3 {
+		t.Errorf("assigned %d tasks with budget 3", total)
+	}
+	if fw.RemainingBudget() != 0 {
+		t.Errorf("remaining = %d, want 0", fw.RemainingBudget())
+	}
+	if _, err := fw.RequestTasks([]WorkerID{0}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("post-budget request error = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestFrameworkUnlimitedBudget(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	fw, err := New(tasks, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.RemainingBudget() != -1 {
+		t.Errorf("unlimited budget reported as %d", fw.RemainingBudget())
+	}
+	if _, err := fw.RequestTasks([]WorkerID{0}); err != nil {
+		t.Errorf("unlimited request failed: %v", err)
+	}
+}
+
+func TestFrameworkRequestUnknownWorker(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	fw, _ := New(tasks, workers)
+	if _, err := fw.RequestTasks([]WorkerID{42}); err == nil {
+		t.Error("unknown worker accepted")
+	}
+}
+
+func TestFrameworkUnsolicitedAnswer(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(3))
+	fw, _ := New(tasks, workers, Options{Budget: 10})
+	// An answer that was never assigned must still be learned from.
+	if err := fw.SubmitAnswer(answer(0, 5, truth, 0.9, rng)); err != nil {
+		t.Fatalf("unsolicited answer rejected: %v", err)
+	}
+	if fw.RemainingBudget() != 10 {
+		t.Errorf("unsolicited answer consumed budget: %d", fw.RemainingBudget())
+	}
+	if fw.Model().Answers().Len() != 1 {
+		t.Error("unsolicited answer not recorded")
+	}
+}
+
+func TestFrameworkAssignerKinds(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	for _, kind := range []AssignerKind{AssignerAccOpt, AssignerSpatialFirst, AssignerRandom} {
+		fw, err := New(tasks, workers, Options{Assigner: kind, Budget: 4})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		assigned, err := fw.RequestTasks([]WorkerID{0, 1})
+		if err != nil {
+			t.Fatalf("kind %d request: %v", kind, err)
+		}
+		if len(assigned) == 0 {
+			t.Errorf("kind %d assigned nothing", kind)
+		}
+	}
+}
+
+func TestFrameworkIntrospection(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(4))
+	fw, _ := New(tasks, workers)
+	for ti := 0; ti < 8; ti++ {
+		if err := fw.SubmitAnswer(answer(1, TaskID(ti), truth, 0.9, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw.Refit()
+
+	if p := fw.AnswerAccuracy(1, 0); p < 0.5 || p > 1 {
+		t.Errorf("AnswerAccuracy = %v", p)
+	}
+	infl := fw.POIInfluence(0)
+	sens := fw.DistanceSensitivity(1)
+	var si, ss float64
+	for i := range infl {
+		si += infl[i]
+	}
+	for i := range sens {
+		ss += sens[i]
+	}
+	if len(infl) != 3 || si < 0.999 || si > 1.001 {
+		t.Errorf("POIInfluence = %v", infl)
+	}
+	if len(sens) != 3 || ss < 0.999 || ss > 1.001 {
+		t.Errorf("DistanceSensitivity = %v", sens)
+	}
+	// Returned slices must be copies.
+	infl[0] = 99
+	if fw.POIInfluence(0)[0] == 99 {
+		t.Error("POIInfluence returns aliased storage")
+	}
+}
+
+func TestMajorityVoteHelper(t *testing.T) {
+	tasks, _, _ := tinyWorld()
+	answers := []Answer{
+		{Worker: 0, Task: 0, Selected: []bool{true, true, false}},
+		{Worker: 1, Task: 0, Selected: []bool{true, false, false}},
+		{Worker: 2, Task: 0, Selected: []bool{true, true, true}},
+	}
+	res, err := MajorityVote(tasks, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Inferred[0][0] || !res.Inferred[0][1] || res.Inferred[0][2] {
+		t.Errorf("MV inference = %v", res.Inferred[0])
+	}
+	// Duplicate answers must be rejected.
+	if _, err := MajorityVote(tasks, append(answers, answers[0])); err == nil {
+		t.Error("duplicate answers accepted")
+	}
+}
+
+func TestDawidSkeneHelper(t *testing.T) {
+	tasks, _, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(5))
+	var answers []Answer
+	for ti := 0; ti < 8; ti++ {
+		for wi := 0; wi < 4; wi++ {
+			answers = append(answers, answer(WorkerID(wi), TaskID(ti), truth, 0.85, rng))
+		}
+	}
+	res, err := DawidSkene(tasks, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(res, truth); acc < 0.8 {
+		t.Errorf("DS accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestFrameworkEstimatedAccuracy(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(6))
+	fw, _ := New(tasks, workers)
+	// With no evidence every label sits at the 0.5 prior.
+	if got := fw.EstimatedAccuracy(); got != 0.5 {
+		t.Errorf("prior estimated accuracy = %v, want 0.5", got)
+	}
+	for ti := 0; ti < 8; ti++ {
+		for wi := 0; wi < 3; wi++ {
+			if err := fw.SubmitAnswer(answer(WorkerID(wi), TaskID(ti), truth, 0.9, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fw.Refit()
+	got := fw.EstimatedAccuracy()
+	if got <= 0.6 {
+		t.Errorf("estimated accuracy after evidence = %v, want > 0.6", got)
+	}
+	if got > 1 {
+		t.Errorf("estimated accuracy %v > 1", got)
+	}
+}
+
+func TestFrameworkCheckpointRoundTrip(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(7))
+	fw, _ := New(tasks, workers)
+	for ti := 0; ti < 8; ti++ {
+		if err := fw.SubmitAnswer(answer(0, TaskID(ti), truth, 0.9, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw.Refit()
+	path := t.TempDir() + "/fw.ckpt"
+	if err := fw.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	fw2, _ := New(tasks, workers)
+	if err := fw2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if fw2.Model().Answers().Len() != 8 {
+		t.Errorf("restored framework has %d answers, want 8", fw2.Model().Answers().Len())
+	}
+	if fw2.WorkerQuality(0) != fw.WorkerQuality(0) {
+		t.Error("restored worker quality differs")
+	}
+}
+
+func TestFrameworkExtraAssignerKinds(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	for _, kind := range []AssignerKind{AssignerEntropy, AssignerMarginalGreedy} {
+		fw, err := New(tasks, workers, Options{Assigner: kind, Budget: 4})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		assigned, err := fw.RequestTasks([]WorkerID{0, 1})
+		if err != nil {
+			t.Fatalf("kind %d request: %v", kind, err)
+		}
+		total := 0
+		for _, ts := range assigned {
+			total += len(ts)
+		}
+		if total != 4 {
+			t.Errorf("kind %d assigned %d tasks with budget 4", kind, total)
+		}
+	}
+}
+
+func TestFlagBiasedWorkers(t *testing.T) {
+	tasks, _, truth := tinyWorld()
+	_ = tasks
+	rng := rand.New(rand.NewSource(8))
+	var answers []Answer
+	for ti := 0; ti < 8; ti++ {
+		for wi := 0; wi < 3; wi++ {
+			answers = append(answers, answer(WorkerID(wi), TaskID(ti), truth, 0.85, rng))
+		}
+		// Worker 3 ticks everything.
+		answers = append(answers, Answer{Worker: 3, Task: TaskID(ti), Selected: []bool{true, true, true}})
+	}
+	flagged, err := FlagBiasedWorkers(answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) != 1 || flagged[0] != 3 {
+		t.Errorf("flagged = %v, want [3]", flagged)
+	}
+	if _, err := FlagBiasedWorkers(append(answers, answers[0])); err == nil {
+		t.Error("duplicate answers accepted")
+	}
+}
