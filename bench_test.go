@@ -271,22 +271,60 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 	}
 }
 
-// BenchmarkAccOptAssign measures one paper-scale assignment round (200
-// tasks, 5 workers, h=2) on a warm model.
+// BenchmarkAccOptAssign measures one assignment round on a warm model at
+// three scales: S is the paper's deployment (200 tasks, 5 workers), M and
+// L are synthetic worlds up to the Figure 14 sweep sizes. Rounds run on a
+// reused Planner, the steady state of an assignment loop.
 func BenchmarkAccOptAssign(b *testing.B) {
-	env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
-	answers, err := env.Collect()
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, _, err := env.FitModel(answers)
-	if err != nil {
-		b.Fatal(err)
-	}
-	workers := env.Sim.SampleAvailable(5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		assign.AccOpt{}.Assign(m, workers, 2)
+	b.Run("S", func(b *testing.B) {
+		env := experiment.DefaultScenario("Beijing", benchSeed).MustBuild()
+		answers, err := env.Collect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, err := env.FitModel(answers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers := env.Sim.SampleAvailable(5)
+		pl := assign.NewPlanner()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl.Assign(m, workers, 2)
+		}
+	})
+	for _, sc := range []struct {
+		name             string
+		nTasks, nWorkers int
+	}{
+		{"M", 2000, 40},
+		{"L", 10000, 100},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			env, err := experiment.SyntheticEnv(sc.nTasks, sc.nWorkers, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := env.NewModel()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Sparse warm answers so the estimator exercises its
+			// non-trivial paths, as in the Figure 14 measurements.
+			for t := 0; t < sc.nTasks; t += 10 {
+				w := model.WorkerID(t / 10 % sc.nWorkers)
+				if err := m.Observe(env.Sim.Answer(w, model.TaskID(t))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.Fit()
+			workers := env.Sim.SampleAvailable(sc.nWorkers)
+			pl := assign.NewPlanner()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.Assign(m, workers, 2)
+			}
+		})
 	}
 }
 

@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	poibench [-seed N] [-list] <experiment-id>... | all
+//	poibench [-seed N] [-list] [-json dir] <experiment-id>... | all
 //
 // Each experiment id corresponds to one table or figure of the paper's
 // evaluation section (fig6..fig14, table1, table2) or an ablation study
 // (ablation-alpha, ablation-funcset, ablation-update, ablation-greedy).
 // Output is the same rows/series the paper reports, as aligned text tables.
+//
+// With -json dir, poibench instead (or additionally) runs the tracked
+// hot-path sweeps and writes dir/BENCH_inference.json and
+// dir/BENCH_assign.json — the perf-trajectory baselines described in
+// PERFORMANCE.md.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "scenario seed (population and answers)")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	jsonDir := flag.String("json", "", "run the tracked perf sweeps and write BENCH_*.json to <dir>")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -33,6 +39,16 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *jsonDir != "" {
+		if err := writePerfReports(*jsonDir, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "poibench: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
 	}
 
 	args := flag.Args()
@@ -76,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: poibench [-seed N] <experiment-id>... | all
+	fmt.Fprintf(os.Stderr, `usage: poibench [-seed N] [-json dir] <experiment-id>... | all
 
 Regenerates the evaluation tables and figures of "Crowdsourced POI
 Labelling: Location-Aware Result Inference and Task Assignment" (ICDE'16).
@@ -86,6 +102,33 @@ Experiments:
 	for _, id := range experiment.IDs() {
 		fmt.Fprintf(os.Stderr, "  %s\n", id)
 	}
+}
+
+// writePerfReports runs the tracked inference and assignment sweeps and
+// stores them as BENCH_inference.json / BENCH_assign.json under dir.
+func writePerfReports(dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create perf output dir: %w", err)
+	}
+	for _, run := range []struct {
+		name string
+		fn   func(int64) (*experiment.PerfReport, error)
+	}{
+		{"BENCH_inference.json", experiment.RunPerfInference},
+		{"BENCH_assign.json", experiment.RunPerfAssign},
+	} {
+		start := time.Now()
+		r, err := run.fn(seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", run.name, err)
+		}
+		path := filepath.Join(dir, run.name)
+		if err := r.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // writeOutput stores one experiment's rendered output under dir.

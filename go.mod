@@ -1,0 +1,3 @@
+module poilabel
+
+go 1.21

@@ -2,6 +2,8 @@ package assign
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"poilabel/internal/core"
 	"poilabel/internal/model"
@@ -19,6 +21,10 @@ import (
 // diminishing (and eventually negative) per-worker increments are what
 // spreads assignments across tasks. A marginal-gain variant is available as
 // MarginalGreedy for the ablation benchmarks.
+//
+// AccOpt is stateless: every call builds fresh scratch state. Loops that
+// assign round after round against the same model should hold a Planner,
+// which reuses its O(|W|·|T|) buffers across rounds.
 type AccOpt struct{}
 
 // Name implements Assigner.
@@ -26,7 +32,7 @@ func (AccOpt) Name() string { return "AccOpt" }
 
 // Assign implements Assigner.
 func (AccOpt) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return greedyAssign(m, workers, h, false)
+	return NewPlanner().Assign(m, workers, h)
 }
 
 // MarginalGreedy is an ablation variant of AccOpt whose improvement matrix
@@ -39,12 +45,93 @@ func (MarginalGreedy) Name() string { return "AccOpt-marginal" }
 
 // Assign implements Assigner.
 func (MarginalGreedy) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return greedyAssign(m, workers, h, true)
+	return NewMarginalPlanner().Assign(m, workers, h)
 }
 
 var unavailable = math.Inf(-1)
 
-func greedyAssign(m *core.Model, workers []model.WorkerID, h int, marginal bool) Assignment {
+// Planner runs the greedy assignment with round-scoped scratch buffers that
+// persist across calls: the O(|W|·|T|) probability and improvement
+// matrices, the per-task accuracy states, the per-worker cached bests, and
+// the pick heap. A Planner amortizes those allocations across the many
+// assignment rounds of an experiment sweep; it is not safe for concurrent
+// use. It implements Assigner.
+type Planner struct {
+	marginal bool
+
+	matrix    []float64 // backing store for the p and delta rows
+	p         [][]float64
+	delta     [][]float64
+	taskAcc   []*LabelAcc
+	taskDelta []float64
+	bestT     []int
+	bestD     []float64
+	active    []bool
+	assigned  []int
+	heap      pickHeap
+	seen      map[model.WorkerID]bool // dedup scratch, cleared after use
+}
+
+// NewPlanner returns a reusable AccOpt planner.
+func NewPlanner() *Planner { return &Planner{} }
+
+// NewMarginalPlanner returns a reusable planner for the marginal-gain
+// ablation variant.
+func NewMarginalPlanner() *Planner { return &Planner{marginal: true} }
+
+// Name implements Assigner.
+func (pl *Planner) Name() string {
+	if pl.marginal {
+		return "AccOpt-marginal"
+	}
+	return "AccOpt"
+}
+
+// grow resizes the planner's buffers for a round over nW workers and nT
+// tasks, reusing prior capacity where possible.
+func (pl *Planner) grow(nW, nT int) {
+	if need := 2 * nW * nT; cap(pl.matrix) < need {
+		pl.matrix = make([]float64, need)
+	}
+	pl.matrix = pl.matrix[:2*nW*nT]
+	pl.p = growSlices(pl.p, nW)
+	pl.delta = growSlices(pl.delta, nW)
+	for i := 0; i < nW; i++ {
+		pl.p[i] = pl.matrix[2*i*nT : (2*i+1)*nT]
+		pl.delta[i] = pl.matrix[(2*i+1)*nT : (2*i+2)*nT]
+	}
+	if cap(pl.taskDelta) < nT {
+		pl.taskDelta = make([]float64, nT)
+		pl.taskAcc = make([]*LabelAcc, nT)
+	}
+	pl.taskDelta = pl.taskDelta[:nT]
+	pl.taskAcc = pl.taskAcc[:nT]
+	for t := range pl.taskDelta {
+		pl.taskDelta[t] = 0
+	}
+	if cap(pl.bestT) < nW {
+		pl.bestT = make([]int, nW)
+		pl.bestD = make([]float64, nW)
+		pl.active = make([]bool, nW)
+		pl.assigned = make([]int, nW)
+	}
+	pl.bestT = pl.bestT[:nW]
+	pl.bestD = pl.bestD[:nW]
+	pl.active = pl.active[:nW]
+	pl.assigned = pl.assigned[:nW]
+	for i := 0; i < nW; i++ {
+		pl.assigned[i] = 0
+	}
+	pl.heap = pl.heap[:0]
+}
+
+// Assign implements Assigner. Duplicate workers in the list are dropped
+// after their first occurrence: the Assigner contract caps each worker at
+// h tasks with no repeats, and the parallel matrix init requires each
+// worker's rows (including the model's per-worker distance cache) to be
+// owned by exactly one goroutine.
+func (pl *Planner) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	workers = pl.dedupWorkers(workers)
 	est := NewEstimator(m)
 	tasks := m.Tasks()
 	answers := m.Answers()
@@ -53,112 +140,254 @@ func greedyAssign(m *core.Model, workers []model.WorkerID, h int, marginal bool)
 	nW := len(workers)
 
 	out := make(Assignment, nW)
+	pl.grow(nW, nT)
 
-	// Per-task accuracy state (lazily we could defer, but the init pass
-	// touches every pair anyway) and the bundle's current total delta.
-	taskAcc := make([]*LabelAcc, nT)
-	taskDelta := make([]float64, nT) // Δ of current bundle Ŵ(t); 0 when empty
+	// Per-task accuracy state (acc1 = P(z=1), acc0 = P(z=0) per label,
+	// n = |W(t)|), reusing the previous round's LabelAcc objects when the
+	// task set shape is unchanged.
 	for t := 0; t < nT; t++ {
-		taskAcc[t] = est.TaskAcc(model.TaskID(t))
+		pz := params.PZ[t]
+		la := pl.taskAcc[t]
+		if la == nil || len(la.Acc1) != len(pz) {
+			pl.taskAcc[t] = est.TaskAcc(model.TaskID(t))
+			continue
+		}
+		for k, p := range pz {
+			la.Acc1[k] = p
+			la.Acc0[k] = 1 - p
+		}
+		la.N = answers.TaskAnswerCount(model.TaskID(t))
 	}
 
 	// p[i][t]: agreement probability of workers[i] on task t.
 	// delta[i][t]: matrix entry per Algorithm 1 (bundle total, or marginal
 	// gain in the ablation variant). unavailable marks pairs that cannot
 	// be assigned (already answered, or assigned this round).
-	p := make([][]float64, nW)
-	delta := make([][]float64, nW)
-	for i, w := range workers {
-		p[i] = make([]float64, nT)
-		delta[i] = make([]float64, nT)
+	//
+	// The O(|W|·|T|·L) init dominates a round, is embarrassingly parallel
+	// over workers, and each chunk touches only its own workers' rows, so
+	// it fans out over the CPUs. Row contents do not depend on the chunk
+	// split; the result is deterministic.
+	initRow := func(i int) {
+		w := workers[i]
+		prow, drow := pl.p[i], pl.delta[i]
 		for t := 0; t < nT; t++ {
 			tid := model.TaskID(t)
 			if answers.Has(w, tid) {
-				delta[i][t] = unavailable
+				drow[t] = unavailable
+				prow[t] = 0
 				continue
 			}
-			p[i][t] = est.Agreement(w, tid)
-			delta[i][t] = taskAcc[t].SingleDelta(params.PZ[t], p[i][t])
+			prow[t] = est.Agreement(w, tid)
+			drow[t] = pl.taskAcc[t].SingleDelta(params.PZ[t], prow[t])
+		}
+		pl.rescan(i)
+	}
+	if procs := runtime.GOMAXPROCS(0); procs > 1 && nW > 1 && nW*nT >= 4096 {
+		chunk := (nW + procs - 1) / procs
+		var wg sync.WaitGroup
+		for lo := 0; lo < nW; lo += chunk {
+			hi := min(lo+chunk, nW)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					initRow(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < nW; i++ {
+			initRow(i)
 		}
 	}
 
-	// Per-worker cached best entry.
-	bestT := make([]int, nW)
-	bestD := make([]float64, nW)
-	active := make([]bool, nW)
-	rescan := func(i int) {
-		bestT[i] = -1
-		bestD[i] = unavailable
-		row := delta[i]
-		for t := 0; t < nT; t++ {
-			if row[t] > bestD[i] {
-				bestD[i] = row[t]
-				bestT[i] = t
-			}
-		}
-		if bestT[i] < 0 {
-			active[i] = false
+	// Max-heap over the workers' cached best entries, replacing the O(|W|)
+	// argmax scan per pick. Entries are lazily invalidated: a popped entry
+	// is acted on only if it still matches the worker's cached best.
+	// Ordering (largest delta first, ties to the lowest worker index)
+	// reproduces the linear scan's pick exactly.
+	for i := 0; i < nW; i++ {
+		if pl.active[i] {
+			pl.heap = append(pl.heap, pickEntry{d: pl.bestD[i], i: int32(i)})
 		}
 	}
-	for i := range workers {
-		active[i] = true
-		rescan(i)
-	}
+	pl.heap.init()
 
-	assigned := make([]int, nW)
 	for {
 		// Pick the active worker whose cached best is globally largest.
 		imax := -1
-		for i := range workers {
-			if !active[i] {
-				continue
-			}
-			if imax < 0 || bestD[i] > bestD[imax] {
-				imax = i
+		for len(pl.heap) > 0 {
+			top := pl.heap.pop()
+			if pl.active[top.i] && top.d == pl.bestD[top.i] {
+				imax = int(top.i)
+				break
 			}
 		}
 		if imax < 0 {
 			break // nobody can take more tasks
 		}
-		tmax := bestT[imax]
+		tmax := pl.bestT[imax]
 		w := workers[imax]
 
 		out[w] = append(out[w], model.TaskID(tmax))
-		assigned[imax]++
-		delta[imax][tmax] = unavailable
+		pl.assigned[imax]++
+		pl.delta[imax][tmax] = unavailable
 
 		// Extend the chosen task's bundle with the chosen worker.
-		taskAcc[tmax].Extend(p[imax][tmax])
-		taskDelta[tmax] = taskAcc[tmax].Delta(params.PZ[tmax])
+		pl.taskAcc[tmax].Extend(pl.p[imax][tmax])
+		pl.taskDelta[tmax] = pl.taskAcc[tmax].Delta(params.PZ[tmax])
 
 		// Refresh the tmax column for every other active worker and fix
 		// their cached best entries. Entries for other tasks are
 		// untouched, so a full row rescan is needed only when a worker's
 		// cached best was tmax and its entry shrank.
-		for i := range workers {
-			if !active[i] || i == imax {
+		for i := 0; i < nW; i++ {
+			if !pl.active[i] || i == imax {
 				continue
 			}
-			if delta[i][tmax] != unavailable {
-				d := taskAcc[tmax].SingleDelta(params.PZ[tmax], p[i][tmax])
-				if marginal {
-					d -= taskDelta[tmax]
+			if pl.delta[i][tmax] != unavailable {
+				d := pl.taskAcc[tmax].SingleDelta(params.PZ[tmax], pl.p[i][tmax])
+				if pl.marginal {
+					d -= pl.taskDelta[tmax]
 				}
-				delta[i][tmax] = d
+				pl.delta[i][tmax] = d
 			}
-			if delta[i][tmax] > bestD[i] {
-				bestD[i] = delta[i][tmax]
-				bestT[i] = tmax
-			} else if bestT[i] == tmax {
-				rescan(i)
+			if pl.delta[i][tmax] > pl.bestD[i] {
+				pl.bestD[i] = pl.delta[i][tmax]
+				pl.bestT[i] = tmax
+				pl.heap.push(pickEntry{d: pl.bestD[i], i: int32(i)})
+			} else if pl.bestT[i] == tmax {
+				pl.rescan(i)
+				if pl.active[i] {
+					pl.heap.push(pickEntry{d: pl.bestD[i], i: int32(i)})
+				}
 			}
 		}
 
-		if assigned[imax] >= h {
-			active[imax] = false
+		if pl.assigned[imax] >= h {
+			pl.active[imax] = false
 		} else {
-			rescan(imax)
+			pl.rescan(imax)
+			if pl.active[imax] {
+				pl.heap.push(pickEntry{d: pl.bestD[imax], i: int32(imax)})
+			}
 		}
 	}
 	return out
+}
+
+// rescan recomputes worker i's cached best entry from its delta row,
+// deactivating the worker when no task remains available.
+func (pl *Planner) rescan(i int) {
+	bestT, bestD := -1, unavailable
+	row := pl.delta[i]
+	for t := range row {
+		if row[t] > bestD {
+			bestD = row[t]
+			bestT = t
+		}
+	}
+	pl.bestT[i] = bestT
+	pl.bestD[i] = bestD
+	pl.active[i] = bestT >= 0
+}
+
+// dedupWorkers returns workers with repeated IDs removed (first occurrence
+// wins). The scratch map persists across rounds and a new slice is built
+// only when a duplicate actually exists, so the steady-state round with
+// distinct workers stays allocation-free.
+func (pl *Planner) dedupWorkers(workers []model.WorkerID) []model.WorkerID {
+	if pl.seen == nil {
+		pl.seen = make(map[model.WorkerID]bool, len(workers))
+	}
+	defer clear(pl.seen)
+	for i, w := range workers {
+		if pl.seen[w] {
+			out := make([]model.WorkerID, i, len(workers))
+			copy(out, workers[:i])
+			for _, v := range workers[i:] {
+				if !pl.seen[v] {
+					pl.seen[v] = true
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		pl.seen[w] = true
+	}
+	return workers
+}
+
+func growSlices(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
+}
+
+// pickEntry is one candidate in the pick heap: worker index i with cached
+// best improvement d.
+type pickEntry struct {
+	d float64
+	i int32
+}
+
+// pickHeap is a binary max-heap of pick entries ordered by (d desc, i asc),
+// matching the tie-breaking of a left-to-right linear argmax scan.
+type pickHeap []pickEntry
+
+func prior(a, b pickEntry) bool {
+	return a.d > b.d || (a.d == b.d && a.i < b.i)
+}
+
+func (h pickHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *pickHeap) push(e pickEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !prior((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *pickHeap) pop() pickEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0)
+	}
+	return top
+}
+
+func (h pickHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && prior(h[l], h[best]) {
+			best = l
+		}
+		if r < n && prior(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }

@@ -66,6 +66,12 @@ func (m *Model) Restore(c *Checkpoint) error {
 	}
 	m.answers = answers
 	m.params = c.Params.Clone()
+	// Rebuild the answer-indexed f-value store for the restored log.
+	m.afv = make([]float64, 0, answers.Len()*m.cfg.FuncSet.Len())
+	for i := 0; i < answers.Len(); i++ {
+		w, t := answers.Pair(i)
+		m.appendFVals(w, t)
+	}
 	return nil
 }
 

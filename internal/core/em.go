@@ -4,8 +4,6 @@ import (
 	"math"
 	"sync"
 	"time"
-
-	"poilabel/internal/model"
 )
 
 // FitStats reports the outcome of a full EM run.
@@ -43,6 +41,11 @@ func newPosterior(nf int) *posterior {
 }
 
 // computePosterior evaluates the E-step for one (answer, label) cell.
+//
+// It is the reference implementation: the hot path (pairDots + evalLabel)
+// factors the same computation so that the two O(|F|) dot products are
+// hoisted out of the per-label loop and the d_w/d_t marginals collapse to
+// affine coefficients. Tests assert the two paths agree; keep them in sync.
 //
 //	r   — the worker's vote r_{w,t,k}
 //	pz  — current prior P(z_{t,k}=1)
@@ -117,6 +120,83 @@ func computePosterior(r bool, pz, pi float64, pdw, pdt, fv []float64, alpha floa
 	}
 }
 
+// pairDots returns the two dot products dq = Σ_j pdw[j]·fv[j] and
+// iq = Σ_j pdt[j]·fv[j]. They depend only on the (worker, task) pair — not
+// on the label or the vote — so the E-step computes them once per answer
+// instead of once per label, dropping the per-answer cost from O(|F|·L) to
+// O(|F| + L).
+func pairDots(pdw, pdt, fv []float64) (dq, iq float64) {
+	for j := range fv {
+		dq += pdw[j] * fv[j]
+		iq += pdt[j] * fv[j]
+	}
+	return dq, iq
+}
+
+// labelPosterior is the flattened per-(answer, label) E-step output: the
+// scalar marginals plus the affine coefficients that reconstruct the d_w
+// and d_t marginals from the pair's f-value vector:
+//
+//	P(d_w = f_j | r) = pdw[j]·(awA + awB·fv[j])
+//	P(d_t = f_j | r) = pdt[j]·(atA + atB·fv[j])
+//
+// Because the coefficients are additive across labels, an answer's L labels
+// contribute to the M-step's d_w/d_t sums through one O(|F|) pass over the
+// summed coefficients rather than L separate O(|F|) marginal loops.
+type labelPosterior struct {
+	z1, i1, lik        float64
+	awA, awB, atA, atB float64
+}
+
+// evalLabel evaluates the E-step for one label given the pair-level dot
+// products from pairDots. It is the hot-path twin of computePosterior: the
+// per-label work is O(1), with the O(|F|) marginal reconstruction deferred
+// to the caller via the affine coefficients.
+func evalLabel(r bool, pz, pi, alpha, dq, iq float64, out *labelPosterior) {
+	eq := alpha*dq + (1-alpha)*iq
+	a1 := eq
+	if !r {
+		a1 = 1 - eq
+	}
+	a0 := 1 - a1
+
+	m10 := 0.5 * pz * (1 - pi)       // z=1, i=0
+	m00 := 0.5 * (1 - pz) * (1 - pi) // z=0, i=0
+	m11 := pz * pi * a1              // z=1, i=1
+	m01 := (1 - pz) * pi * a0        // z=0, i=1
+	z := m10 + m00 + m11 + m01
+	if z <= 0 || math.IsNaN(z) {
+		// Same degenerate-prior fallback as computePosterior: keep the
+		// priors, which in coefficient form is the constant factor 1.
+		out.z1, out.i1 = pz, pi
+		out.awA, out.awB, out.atA, out.atB = 1, 0, 1, 0
+		out.lik = math.SmallestNonzeroFloat64
+		return
+	}
+	inv := 1 / z
+	out.lik = z
+	out.z1 = (m10 + m11) * inv
+	out.i1 = (m11 + m01) * inv
+
+	// The per-function likelihood b1 = P(r | z=1, i=1, d_w=f_j), with d_t
+	// marginalized, is affine in fv[j]: b1 = b1c + s·α·fv[j] where s = ±1
+	// flips for a "no" vote. The marginal's bracket
+	// base + pi·(pz·b1 + (1−pz)·(1−b1)) rewrites as
+	// base + pi·(1−pz) + pi·(2pz−1)·b1, so the whole marginal is affine in
+	// fv[j] too. The d_t branch is symmetric with dq and 1−α.
+	s, off := 1.0, 0.0
+	if !r {
+		s, off = -1, 1
+	}
+	base := 0.5 * (1 - pi)
+	swing := pi * (2*pz - 1) * inv
+	cons := (base + pi*(1-pz)) * inv
+	out.awA = cons + swing*(off+s*(1-alpha)*iq)
+	out.awB = swing * s * alpha
+	out.atA = cons + swing*(off+s*alpha*dq)
+	out.atB = swing * s * (1 - alpha)
+}
+
 // accumulators collects the M-step sufficient statistics: per-parameter sums
 // of posterior marginals and their denominators (Equation 14).
 type accumulators struct {
@@ -175,33 +255,73 @@ func zero(xs []float64) {
 	}
 }
 
-// accumulate runs the E-step for one answer under params p and adds its
-// posterior marginals into acc.
-func (m *Model) accumulate(a *model.Answer, p *Params, acc *accumulators, post *posterior) {
-	w, t := a.Worker, a.Task
-	fv := m.fvals(w, t)
+// accumulate runs the E-step for the i-th observed answer under params p
+// and adds its posterior marginals into acc. The (worker, task) pair, vote
+// bits, and f-values all come from flat answer-indexed stores; the two
+// dot products are computed once for the pair, each label costs O(1), and
+// one O(|F|) pass folds the summed affine coefficients into the d_w/d_t
+// sums. It allocates nothing.
+func (m *Model) accumulate(i int, p *Params, acc *accumulators) {
+	w, t := m.answers.Pair(i)
+	votes := m.answers.Votes(i)
+	fv := m.fvalsAt(i)
 	pdw, pdt := p.PDW[w], p.PDT[t]
 	pi := p.PI[w]
-	for k, r := range a.Selected {
-		computePosterior(r, p.PZ[t][k], pi, pdw, pdt, fv, m.cfg.Alpha, post)
-		acc.zSum[t][k] += post.z1
-		acc.zCount[t][k]++
-		acc.iSum[w] += post.i1
-		acc.iCount[w]++
-		for j := range post.dw {
-			acc.dwSum[w][j] += post.dw[j]
-			acc.dtSum[t][j] += post.dt[j]
+	alpha := m.cfg.Alpha
+	dq, iq := pairDots(pdw, pdt, fv)
+
+	pz := p.PZ[t]
+	zSum, zCount := acc.zSum[t], acc.zCount[t]
+	var lp labelPosterior
+	var iSum, awA, awB, atA, atB float64
+	// One log per answer instead of per label: likelihoods multiply, so
+	// the log is taken once over the product, with a flush whenever the
+	// running product nears the subnormal range so it stays finite even
+	// for degenerate (SmallestNonzeroFloat64) likelihoods.
+	likProd := 1.0
+	for k, r := range votes {
+		evalLabel(r, pz[k], pi, alpha, dq, iq, &lp)
+		zSum[k] += lp.z1
+		zCount[k]++
+		iSum += lp.i1
+		awA += lp.awA
+		awB += lp.awB
+		atA += lp.atA
+		atB += lp.atB
+		if lp.lik < 1e-50 {
+			// Near-denormal likelihood (degenerate-prior fallback): log it
+			// directly so the running product cannot underflow to zero and
+			// silently drop the pre-underflow mass.
+			acc.logLik += math.Log(likProd) + math.Log(lp.lik)
+			likProd = 1
+		} else {
+			likProd *= lp.lik
+			if likProd < 1e-250 {
+				// Flush well above the subnormal range: with lik >= 1e-50
+				// the product stays a normal float, so the log is exact.
+				acc.logLik += math.Log(likProd)
+				likProd = 1
+			}
 		}
-		acc.dtCount[t]++
-		acc.logLik += math.Log(post.lik)
+	}
+	n := float64(len(votes))
+	acc.iSum[w] += iSum
+	acc.iCount[w] += n
+	acc.dtCount[t] += n
+	acc.logLik += math.Log(likProd)
+	dwSum, dtSum := acc.dwSum[w], acc.dtSum[t]
+	for j := range fv {
+		dwSum[j] += pdw[j] * (awA + awB*fv[j])
+		dtSum[j] += pdt[j] * (atA + atB*fv[j])
 	}
 }
 
-// estimate converts accumulated statistics into a fresh parameter set,
+// estimate converts accumulated statistics into the next parameter set,
 // keeping the previous value wherever a parameter received no evidence
-// (unanswered task, inactive worker).
-func (m *Model) estimate(prev *Params, acc *accumulators) *Params {
-	next := prev.Clone()
+// (unanswered task, inactive worker). It writes into the caller-provided
+// buffer so the M-step allocates nothing; Fit flips between two buffers.
+func (m *Model) estimate(next, prev *Params, acc *accumulators) {
+	next.CopyFrom(prev)
 	for t := range m.tasks {
 		for k := range next.PZ[t] {
 			if acc.zCount[t][k] > 0 {
@@ -218,7 +338,6 @@ func (m *Model) estimate(prev *Params, acc *accumulators) *Params {
 			m.normalizeSmoothed(next.PDW[w], acc.dwSum[w])
 		}
 	}
-	return next
 }
 
 // blend applies the MAP pseudo-count to a Bernoulli estimate: the posterior
@@ -252,16 +371,9 @@ func (m *Model) normalizeSmoothed(dst, src []float64) {
 func (m *Model) Fit() FitStats {
 	start := time.Now()
 	stats := FitStats{}
-	post := newPosterior(m.cfg.FuncSet.Len())
+	// f-values are resolved at Observe time into the flat answer-indexed
+	// store, so both E-step paths are read-only over shared model state.
 	parallel := m.cfg.Parallelism > 1 && m.answers.Len() >= 2*m.cfg.Parallelism
-	if parallel {
-		// The shared f-value cache is written on miss; warm it serially so
-		// the parallel E-step only reads it.
-		for i := 0; i < m.answers.Len(); i++ {
-			a := m.answers.Answer(i)
-			m.fvals(a.Worker, a.Task)
-		}
-	}
 	var serialAcc *accumulators
 	var pool *accPool
 	if parallel {
@@ -269,6 +381,10 @@ func (m *Model) Fit() FitStats {
 	} else {
 		serialAcc = m.newAccumulators()
 	}
+	// Double-buffered parameters: each M-step writes into the spare buffer
+	// and the two flip, so a fit allocates one extra parameter set total
+	// instead of one per iteration.
+	spare := m.params.Clone()
 	for iter := 0; iter < m.cfg.MaxIter; iter++ {
 		var acc *accumulators
 		if parallel {
@@ -277,11 +393,13 @@ func (m *Model) Fit() FitStats {
 			serialAcc.reset()
 			acc = serialAcc
 			for i := 0; i < m.answers.Len(); i++ {
-				m.accumulate(m.answers.Answer(i), m.params, acc, post)
+				m.accumulate(i, m.params, acc)
 			}
 		}
-		next := m.estimate(m.params, acc)
+		next := spare
+		m.estimate(next, m.params, acc)
 		delta := next.MaxDelta(m.params)
+		spare = m.params
 		m.params = next
 		stats.Iterations++
 		stats.DeltaTrace = append(stats.DeltaTrace, delta)
@@ -295,11 +413,10 @@ func (m *Model) Fit() FitStats {
 	return stats
 }
 
-// accPool holds the per-goroutine accumulators and posterior buffers a
-// parallel fit reuses across iterations.
+// accPool holds the per-goroutine accumulators a parallel fit reuses
+// across iterations.
 type accPool struct {
 	accs  []*accumulators
-	posts []*posterior
 	total *accumulators
 }
 
@@ -307,12 +424,10 @@ func (m *Model) newAccPool() *accPool {
 	p := m.cfg.Parallelism
 	pool := &accPool{
 		accs:  make([]*accumulators, p),
-		posts: make([]*posterior, p),
 		total: m.newAccumulators(),
 	}
 	for g := 0; g < p; g++ {
 		pool.accs[g] = m.newAccumulators()
-		pool.posts[g] = newPosterior(m.cfg.FuncSet.Len())
 	}
 	return pool
 }
@@ -341,7 +456,7 @@ func (m *Model) estepParallel(pool *accPool) *accumulators {
 		go func(g, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				m.accumulate(m.answers.Answer(i), m.params, pool.accs[g], pool.posts[g])
+				m.accumulate(i, m.params, pool.accs[g])
 			}
 		}(g, lo, hi)
 	}
@@ -377,17 +492,20 @@ func (acc *accumulators) merge(other *accumulators) {
 }
 
 // LogLikelihood returns the observed-data log-likelihood of all answers
-// under the current parameters: Σ log P(r_{w,t,k}).
+// under the current parameters: Σ log P(r_{w,t,k}). Only the likelihood is
+// needed, so the per-label O(|F|) marginal reconstruction is skipped
+// entirely.
 func (m *Model) LogLikelihood() float64 {
-	post := newPosterior(m.cfg.FuncSet.Len())
 	var ll float64
+	var lp labelPosterior
 	for i := 0; i < m.answers.Len(); i++ {
-		a := m.answers.Answer(i)
-		fv := m.fvals(a.Worker, a.Task)
-		for k, r := range a.Selected {
-			computePosterior(r, m.params.PZ[a.Task][k], m.params.PI[a.Worker],
-				m.params.PDW[a.Worker], m.params.PDT[a.Task], fv, m.cfg.Alpha, post)
-			ll += math.Log(post.lik)
+		w, t := m.answers.Pair(i)
+		dq, iq := pairDots(m.params.PDW[w], m.params.PDT[t], m.fvalsAt(i))
+		pz := m.params.PZ[t]
+		pi := m.params.PI[w]
+		for k, r := range m.answers.Votes(i) {
+			evalLabel(r, pz[k], pi, m.cfg.Alpha, dq, iq, &lp)
+			ll += math.Log(lp.lik)
 		}
 	}
 	return ll

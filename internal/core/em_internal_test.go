@@ -138,6 +138,60 @@ func TestComputePosteriorMarginalsNormalized(t *testing.T) {
 	}
 }
 
+// The flattened hot path (pairDots + evalLabel with affine d_w/d_t
+// coefficients) must agree with the reference computePosterior — the
+// pre-refactor per-label formula — to within 1e-9 on randomized inputs.
+func TestEvalLabelMatchesReferencePosterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		nf := 1 + rng.Intn(4)
+		pdw := randDist(rng, nf)
+		pdt := randDist(rng, nf)
+		fv := make([]float64, nf)
+		for i := range fv {
+			fv[i] = 0.5 + 0.5*rng.Float64()
+		}
+		pz := 0.01 + 0.98*rng.Float64()
+		pi := 0.01 + 0.98*rng.Float64()
+		alpha := rng.Float64()
+		r := rng.Intn(2) == 1
+
+		want := newPosterior(nf)
+		computePosterior(r, pz, pi, pdw, pdt, fv, alpha, want)
+
+		dq, iq := pairDots(pdw, pdt, fv)
+		var lp labelPosterior
+		evalLabel(r, pz, pi, alpha, dq, iq, &lp)
+
+		approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+		if !approx(lp.z1, want.z1) || !approx(lp.i1, want.i1) || !approx(lp.lik, want.lik) {
+			t.Fatalf("trial %d: flat path (z1=%v i1=%v lik=%v), reference (%v %v %v)",
+				trial, lp.z1, lp.i1, lp.lik, want.z1, want.i1, want.lik)
+		}
+		for j := 0; j < nf; j++ {
+			dw := pdw[j] * (lp.awA + lp.awB*fv[j])
+			dt2 := pdt[j] * (lp.atA + lp.atB*fv[j])
+			if !approx(dw, want.dw[j]) || !approx(dt2, want.dt[j]) {
+				t.Fatalf("trial %d: dw/dt[%d] mismatch: flat (%v, %v), reference (%v, %v)",
+					trial, j, dw, dt2, want.dw[j], want.dt[j])
+			}
+		}
+	}
+}
+
+// The degenerate-prior fallback of the two paths must coincide.
+func TestEvalLabelDegeneratePrior(t *testing.T) {
+	var lp labelPosterior
+	evalLabel(true, 0, 1, 1, 1, 1, &lp)
+	if math.IsNaN(lp.z1) || math.IsNaN(lp.i1) {
+		t.Error("degenerate prior produced NaN marginals")
+	}
+	if lp.awA != 1 || lp.awB != 0 || lp.atA != 1 || lp.atB != 0 {
+		t.Errorf("degenerate prior coefficients = (%v %v %v %v), want identity",
+			lp.awA, lp.awB, lp.atA, lp.atB)
+	}
+}
+
 // An agreeing answer from a credible worker must raise the truth posterior;
 // a disagreeing one must lower it.
 func TestComputePosteriorDirection(t *testing.T) {

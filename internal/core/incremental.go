@@ -27,16 +27,17 @@ func (m *Model) Update(a model.Answer) error {
 
 // refreshLocal runs the localized E/M sweeps for one (worker, task) pair.
 func (m *Model) refreshLocal(w model.WorkerID, t model.TaskID) {
-	post := newPosterior(m.cfg.FuncSet.Len())
 	for sweep := 0; sweep < m.cfg.IncrementalSweeps; sweep++ {
-		m.refreshWorker(w, post)
-		m.refreshTask(t, post)
+		m.refreshWorker(w)
+		m.refreshTask(t)
 	}
 }
 
 // refreshWorker re-estimates P(i_w) and P(d_w) from all of w's answers under
-// the current values of every other parameter.
-func (m *Model) refreshWorker(w model.WorkerID, post *posterior) {
+// the current values of every other parameter. Like the full E-step, it
+// hoists the pair dot products out of the label loop and folds the d_w
+// marginals through the per-answer affine coefficients.
+func (m *Model) refreshWorker(w model.WorkerID) {
 	idxs := m.answers.ByWorker(w)
 	if len(idxs) == 0 {
 		return
@@ -44,28 +45,35 @@ func (m *Model) refreshWorker(w model.WorkerID, post *posterior) {
 	nf := m.cfg.FuncSet.Len()
 	var iSum, n float64
 	dwSum := make([]float64, nf)
+	pdw := m.params.PDW[w]
+	pi := m.params.PI[w]
+	var lp labelPosterior
 	for _, idx := range idxs {
-		a := m.answers.Answer(idx)
-		fv := m.fvals(w, a.Task)
-		for k, r := range a.Selected {
-			computePosterior(r, m.params.PZ[a.Task][k], m.params.PI[w],
-				m.params.PDW[w], m.params.PDT[a.Task], fv, m.cfg.Alpha, post)
-			iSum += post.i1
+		t := m.answers.Answer(idx).Task
+		fv := m.fvalsAt(idx)
+		dq, iq := pairDots(pdw, m.params.PDT[t], fv)
+		pz := m.params.PZ[t]
+		var awA, awB float64
+		for k, r := range m.answers.Votes(idx) {
+			evalLabel(r, pz[k], pi, m.cfg.Alpha, dq, iq, &lp)
+			iSum += lp.i1
 			n++
-			for j := range post.dw {
-				dwSum[j] += post.dw[j]
-			}
+			awA += lp.awA
+			awB += lp.awB
+		}
+		for j := range fv {
+			dwSum[j] += pdw[j] * (awA + awB*fv[j])
 		}
 	}
 	if n > 0 {
 		m.params.PI[w] = m.blend(iSum, n, m.cfg.InitPI)
-		m.normalizeSmoothed(m.params.PDW[w], dwSum)
+		m.normalizeSmoothed(pdw, dwSum)
 	}
 }
 
 // refreshTask re-estimates P(z_{t,k}) for every label of t and P(d_t) from
 // all answers on t under the current values of every other parameter.
-func (m *Model) refreshTask(t model.TaskID, post *posterior) {
+func (m *Model) refreshTask(t model.TaskID) {
 	idxs := m.answers.ByTask(t)
 	if len(idxs) == 0 {
 		return
@@ -75,25 +83,32 @@ func (m *Model) refreshTask(t model.TaskID, post *posterior) {
 	zSum := make([]float64, nk)
 	zCount := make([]float64, nk)
 	dtSum := make([]float64, nf)
+	pdt := m.params.PDT[t]
+	pz := m.params.PZ[t]
+	var lp labelPosterior
 	for _, idx := range idxs {
-		a := m.answers.Answer(idx)
-		fv := m.fvals(a.Worker, t)
-		for k, r := range a.Selected {
-			computePosterior(r, m.params.PZ[t][k], m.params.PI[a.Worker],
-				m.params.PDW[a.Worker], m.params.PDT[t], fv, m.cfg.Alpha, post)
-			zSum[k] += post.z1
+		w := m.answers.Answer(idx).Worker
+		fv := m.fvalsAt(idx)
+		dq, iq := pairDots(m.params.PDW[w], pdt, fv)
+		pi := m.params.PI[w]
+		var atA, atB float64
+		for k, r := range m.answers.Votes(idx) {
+			evalLabel(r, pz[k], pi, m.cfg.Alpha, dq, iq, &lp)
+			zSum[k] += lp.z1
 			zCount[k]++
-			for j := range post.dt {
-				dtSum[j] += post.dt[j]
-			}
+			atA += lp.atA
+			atB += lp.atB
+		}
+		for j := range fv {
+			dtSum[j] += pdt[j] * (atA + atB*fv[j])
 		}
 	}
 	for k := 0; k < nk; k++ {
 		if zCount[k] > 0 {
-			m.params.PZ[t][k] = m.blend(zSum[k], zCount[k], m.cfg.InitPZ)
+			pz[k] = m.blend(zSum[k], zCount[k], m.cfg.InitPZ)
 		}
 	}
-	m.normalizeSmoothed(m.params.PDT[t], dtSum)
+	m.normalizeSmoothed(pdt, dtSum)
 }
 
 // UpdatePolicy decides when the framework runs the expensive full EM versus

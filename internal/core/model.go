@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 
 	"poilabel/internal/distfunc"
 	"poilabel/internal/geo"
@@ -47,7 +49,8 @@ type Config struct {
 	Smoothing float64
 }
 
-// DefaultConfig returns the configuration used in the paper's experiments.
+// DefaultConfig returns the configuration used in the paper's experiments,
+// with the E-step fanning out over all available CPUs.
 func DefaultConfig() Config {
 	return Config{
 		Alpha:             0.5,
@@ -57,6 +60,7 @@ func DefaultConfig() Config {
 		InitPI:            0.7,
 		InitPZ:            0.5,
 		IncrementalSweeps: 2,
+		Parallelism:       runtime.NumCPU(),
 		Smoothing:         1,
 	}
 }
@@ -107,11 +111,16 @@ type Model struct {
 	answers *model.AnswerSet
 	params  *Params
 
-	// dist[w][t] is the normalized worker-task distance, computed lazily.
-	dist    [][]float64
-	distSet [][]bool
-	// fcache[w*len(tasks)+t][j] caches f_j(d(w,t)) for answered pairs.
-	fcache map[int][]float64
+	// dist[w] is worker w's normalized-distance row over all tasks. Rows
+	// are allocated on the worker's first distance query (-1 marks unset
+	// cells; normalized distances live in [0, 1]), so memory scales with
+	// the workers actually queried instead of eagerly with |W|·|T|.
+	dist [][]float64
+	// afv is the answer-indexed f-value store: afv[i·|F| : (i+1)·|F|] is
+	// [f_j(d(w,t))] for the i-th observed answer, resolved once at Observe
+	// time. The E-step reads it sequentially — contiguous memory, no map
+	// lookups — and it grows with observed answers, not with |W|·|T|.
+	afv []float64
 }
 
 // NewModel creates a model for the given tasks and workers. The distance
@@ -134,13 +143,7 @@ func NewModel(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, c
 		workers: workers,
 		norm:    norm,
 		answers: model.NewAnswerSet(),
-		fcache:  make(map[int][]float64),
-	}
-	m.dist = make([][]float64, len(workers))
-	m.distSet = make([][]bool, len(workers))
-	for w := range workers {
-		m.dist[w] = make([]float64, len(tasks))
-		m.distSet[w] = make([]bool, len(tasks))
+		dist:    make([][]float64, len(workers)),
 	}
 	m.params = m.initialParams()
 	return m, nil
@@ -181,33 +184,41 @@ func (m *Model) Workers() []model.Worker { return m.workers }
 func (m *Model) Answers() *model.AnswerSet { return m.answers }
 
 // Params returns the current parameter estimates. The returned pointer
-// aliases the model's state; use Params().Clone() for a snapshot.
+// aliases the model's state and is valid only until the next Fit, Update,
+// or Restore — Fit recycles parameter buffers between iterations, so a
+// previously returned pointer may be overwritten with intermediate values.
+// Use Params().Clone() for a stable snapshot.
 func (m *Model) Params() *Params { return m.params }
 
 // Distance returns the normalized distance between worker w and task t,
-// computing and caching it on first use.
+// computing and caching it on first use. Rows of the cache are allocated
+// lazily per worker; concurrent callers are safe only when no two
+// goroutines query the same worker (the assignment init relies on this).
 func (m *Model) Distance(w model.WorkerID, t model.TaskID) float64 {
-	if !m.distSet[w][t] {
-		m.dist[w][t] = m.norm.MinDistance(m.workers[w].Locations, m.tasks[t].Location)
-		m.distSet[w][t] = true
+	row := m.dist[w]
+	if row == nil {
+		row = make([]float64, len(m.tasks))
+		for i := range row {
+			row[i] = -1
+		}
+		m.dist[w] = row
 	}
-	return m.dist[w][t]
+	if row[t] < 0 {
+		row[t] = m.norm.MinDistance(m.workers[w].Locations, m.tasks[t].Location)
+	}
+	return row[t]
 }
 
-// fvals returns the cached vector [f_j(d(w,t))] for the pair (w, t).
-func (m *Model) fvals(w model.WorkerID, t model.TaskID) []float64 {
-	key := int(w)*len(m.tasks) + int(t)
-	if fv, ok := m.fcache[key]; ok {
-		return fv
-	}
-	fv := m.cfg.FuncSet.Eval(m.Distance(w, t), nil)
-	m.fcache[key] = fv
-	return fv
+// fvalsAt returns the f-value vector [f_j(d(w,t))] of the i-th observed
+// answer, a view into the flat answer-indexed store.
+func (m *Model) fvalsAt(i int) []float64 {
+	nf := m.cfg.FuncSet.Len()
+	return m.afv[i*nf : (i+1)*nf : (i+1)*nf]
 }
 
 // Observe appends an answer to the model's log without updating any
-// parameter estimates. Call Fit for a full EM run or Update for an
-// incremental one.
+// parameter estimates, resolving the answer's f-value vector into the flat
+// store. Call Fit for a full EM run or Update for an incremental one.
 func (m *Model) Observe(a model.Answer) error {
 	if int(a.Task) < 0 || int(a.Task) >= len(m.tasks) {
 		return fmt.Errorf("core: answer references unknown task %d", a.Task)
@@ -218,13 +229,29 @@ func (m *Model) Observe(a model.Answer) error {
 	if err := a.Validate(&m.tasks[a.Task]); err != nil {
 		return err
 	}
-	return m.answers.Add(a)
+	if err := m.answers.Add(a); err != nil {
+		return err
+	}
+	m.appendFVals(a.Worker, a.Task)
+	return nil
+}
+
+// appendFVals resolves the f-value vector of the pair (w, t) into the flat
+// answer-indexed store. Callers must append answers and f-values in
+// lockstep (Observe per answer, Restore over a rebuilt log).
+func (m *Model) appendFVals(w model.WorkerID, t model.TaskID) {
+	nf := m.cfg.FuncSet.Len()
+	n := len(m.afv)
+	m.afv = slices.Grow(m.afv, nf)[:n+nf]
+	m.cfg.FuncSet.Eval(m.Distance(w, t), m.afv[n:n+nf])
 }
 
 // Reset discards all answers and restores the initial parameters. The
-// experiment harness uses it to replay answer prefixes.
+// experiment harness uses it to replay answer prefixes. Distance caches
+// survive a reset: locations do not change.
 func (m *Model) Reset() {
 	m.answers = model.NewAnswerSet()
+	m.afv = m.afv[:0]
 	m.params = m.initialParams()
 }
 

@@ -60,6 +60,22 @@ func (p *Params) Clone() *Params {
 	return c
 }
 
+// CopyFrom copies q's values into p without allocating. p and q must have
+// identical shapes; Fit uses it to flip between two parameter buffers
+// instead of cloning a fresh set every EM iteration.
+func (p *Params) CopyFrom(q *Params) {
+	for t := range q.PZ {
+		copy(p.PZ[t], q.PZ[t])
+	}
+	copy(p.PI, q.PI)
+	for w := range q.PDW {
+		copy(p.PDW[w], q.PDW[w])
+	}
+	for t := range q.PDT {
+		copy(p.PDT[t], q.PDT[t])
+	}
+}
+
 // MaxDelta returns the largest absolute difference between any parameter in
 // p and q — the paper's convergence statistic ("maximum variance of
 // parameters", Figure 10). p and q must have identical shapes.

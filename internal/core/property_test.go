@@ -58,6 +58,54 @@ func TestFitValidityProperty(t *testing.T) {
 	}
 }
 
+// Property: the parallel E-step (per-goroutine accumulators merged in
+// chunk order) agrees with the serial E-step to within 1e-9 on randomized
+// worlds. Both runs execute a fixed number of iterations (tiny Tol) so the
+// trajectories stay comparable.
+func TestParallelFitMatchesSerial(t *testing.T) {
+	f := func(seed int64, nTasksRaw, nWorkersRaw, nAnswersRaw uint8) bool {
+		nTasks := 2 + int(nTasksRaw%10)
+		nWorkers := 2 + int(nWorkersRaw%6)
+		nAnswers := 8 + int(nAnswersRaw%40)
+
+		run := func(par int) *core.Params {
+			fx := newFixture(nTasks, 3, nWorkers, seed)
+			cfg := core.DefaultConfig()
+			cfg.MaxIter = 5
+			cfg.Tol = 1e-12
+			cfg.Parallelism = par
+			m, err := core.NewModel(fx.tasks, fx.workers, fx.norm, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed + 1))
+			for i := 0; i < nAnswers; i++ {
+				w := model.WorkerID(rng.Intn(nWorkers))
+				task := model.TaskID(rng.Intn(nTasks))
+				if m.Answers().Has(w, task) {
+					continue
+				}
+				if err := m.Observe(fx.answerAs(w, task, rng.Float64(), rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.Fit()
+			return m.Params()
+		}
+
+		serial := run(1)
+		parallel := run(4)
+		if d := serial.MaxDelta(parallel); d > 1e-9 {
+			t.Logf("serial and parallel fits diverge: max delta %v", d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: incremental updates preserve parameter validity for arbitrary
 // submission orders.
 func TestIncrementalValidityProperty(t *testing.T) {

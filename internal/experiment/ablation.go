@@ -134,7 +134,7 @@ func RunAblationUpdatePolicy(seed int64) (fmt.Stringer, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := plat.Run(assign.AccOpt{}, crowd.RunConfig{
+		if _, err := plat.Run(assign.NewPlanner(), crowd.RunConfig{
 			WorkersPerRound: 5, TasksPerWorker: s.H, FinalFullEM: true,
 		}); err != nil {
 			return nil, err
@@ -262,8 +262,8 @@ func RunAblationAssigners(seed int64) (fmt.Stringer, error) {
 	assigners := []func() assign.Assigner{
 		func() assign.Assigner { return assign.Random{Rand: newRand(seed + 300)} },
 		func() assign.Assigner { return assign.EntropyFirst{} },
-		func() assign.Assigner { return assign.AccOpt{} },
-		func() assign.Assigner { return assign.MarginalGreedy{} },
+		func() assign.Assigner { return assign.NewPlanner() },
+		func() assign.Assigner { return assign.NewMarginalPlanner() },
 	}
 	cols := make(map[string][]float64)
 	names := make([]string, 0, len(assigners))

@@ -33,7 +33,8 @@ func newAssigner(name AssignerName, env *Env) (assign.Assigner, error) {
 	case AssignSF:
 		return assign.NewSpatialFirst(env.Data.Tasks), nil
 	case AssignAccOpt:
-		return assign.AccOpt{}, nil
+		// A Planner reuses its O(|W|·|T|) scratch across the run's rounds.
+		return assign.NewPlanner(), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown assigner %q", name)
 	}

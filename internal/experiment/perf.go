@@ -1,0 +1,116 @@
+package experiment
+
+// Perf reports are the repository's tracked performance trajectory: the
+// `poibench -json` mode runs reduced scalability sweeps over the two hot
+// paths — full-EM inference and AccOpt assignment — and writes the results
+// as BENCH_inference.json / BENCH_assign.json. Committing those files after
+// perf-relevant changes records how the hot paths evolve from PR to PR;
+// see PERFORMANCE.md for the workflow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// PerfSeries is one measured curve of a perf report: a metric sampled
+// across a swept size axis.
+type PerfSeries struct {
+	// Label names the metric, e.g. "full_em_seconds".
+	Label string `json:"label"`
+	// X holds the sweep points (answer counts, task counts, ...).
+	X []int `json:"x"`
+	// Y[i] is the measurement at X[i].
+	Y []float64 `json:"y"`
+}
+
+// PerfReport is the schema of the BENCH_*.json files.
+type PerfReport struct {
+	// Name identifies the tracked path: "inference" or "assign".
+	Name string `json:"name"`
+	// Seed is the scenario seed the sweep ran under.
+	Seed int64 `json:"seed"`
+	// GoVersion, GOOS, GOARCH, and NumCPU describe the machine the numbers
+	// were taken on; compare reports only within a matching environment.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GeneratedAt is the RFC 3339 timestamp of the run.
+	GeneratedAt string       `json:"generated_at"`
+	Series      []PerfSeries `json:"series"`
+}
+
+// Reduced sweeps for the tracked baselines: big enough to exercise the
+// asymptotics, small enough that regenerating the reports stays in tens of
+// seconds.
+var (
+	PerfInferenceSizes    = []int{10000, 20000, 40000}
+	PerfAssignTaskCounts  = []int{2000, 6000, 10000}
+	PerfAssignWorkerCount = []int{20, 60, 100}
+)
+
+func newPerfReport(name string, seed int64) *PerfReport {
+	return &PerfReport{
+		Name:        name,
+		Seed:        seed,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// RunPerfInference measures the full-EM fit across answer counts (the
+// Figure 13 sweep at the tracked sizes) and packages it as a report.
+func RunPerfInference(seed int64) (*PerfReport, error) {
+	fig13, err := RunFig13(seed, PerfInferenceSizes)
+	if err != nil {
+		return nil, err
+	}
+	iters := make([]float64, len(fig13.Iterations))
+	perIter := make([]float64, len(fig13.Iterations))
+	for i, n := range fig13.Iterations {
+		iters[i] = float64(n)
+		if n > 0 {
+			perIter[i] = fig13.Seconds[i] / float64(n)
+		}
+	}
+	r := newPerfReport("inference", seed)
+	r.Series = []PerfSeries{
+		{Label: "full_em_seconds", X: fig13.Assignments, Y: fig13.Seconds},
+		{Label: "em_iterations", X: fig13.Assignments, Y: iters},
+		{Label: "seconds_per_iteration", X: fig13.Assignments, Y: perIter},
+	}
+	return r, nil
+}
+
+// RunPerfAssign measures AccOpt assignment rounds across task and worker
+// counts (the Figure 14 sweeps at the tracked sizes).
+func RunPerfAssign(seed int64) (*PerfReport, error) {
+	fig14, err := RunFig14(seed, PerfAssignTaskCounts, PerfAssignWorkerCount)
+	if err != nil {
+		return nil, err
+	}
+	r := newPerfReport("assign", seed)
+	r.Series = []PerfSeries{
+		{Label: "accopt_ms_by_tasks", X: fig14.TaskCounts, Y: fig14.TaskMs},
+		{Label: "accopt_ms_by_workers", X: fig14.WorkerCounts, Y: fig14.WorkerMs},
+	}
+	return r, nil
+}
+
+// WriteFile stores the report as indented JSON at path.
+func (r *PerfReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: marshal perf report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiment: write perf report: %w", err)
+	}
+	return nil
+}

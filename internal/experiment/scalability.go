@@ -12,10 +12,10 @@ import (
 	"poilabel/internal/stats"
 )
 
-// syntheticEnv builds a large synthetic environment for the scalability
+// SyntheticEnv builds a large synthetic environment for the scalability
 // experiments (the paper's Section V-E uses a synthetic dataset of POIs and
-// workers).
-func syntheticEnv(numTasks, numWorkers int, seed int64) (*Env, error) {
+// workers) and for the benchmark harness.
+func SyntheticEnv(numTasks, numWorkers int, seed int64) (*Env, error) {
 	data := dataset.Generate(dataset.Config{
 		Name:     "synthetic",
 		NumTasks: numTasks,
@@ -59,7 +59,7 @@ func RunFig13(seed int64, sizes []int) (*Fig13Result, error) {
 	maxSize := sizes[len(sizes)-1]
 	// Enough tasks that each holds ~5 answers at the largest sweep point,
 	// with 100 workers as in the paper's assignment scalability setup.
-	env, err := syntheticEnv(maxSize/5, 100, seed)
+	env, err := SyntheticEnv(maxSize/5, 100, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +150,7 @@ func RunFig14(seed int64, taskCounts, workerCounts []int) (*Fig14Result, error) 
 }
 
 func timeAssignment(numTasks, numWorkers int, seed int64) (float64, error) {
-	env, err := syntheticEnv(numTasks, numWorkers, seed)
+	env, err := SyntheticEnv(numTasks, numWorkers, seed)
 	if err != nil {
 		return 0, err
 	}

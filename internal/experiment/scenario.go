@@ -71,6 +71,10 @@ func DefaultScenario(datasetName string, seed int64) Scenario {
 	cfg := core.DefaultConfig()
 	cfg.MaxIter = 150
 	cfg.Smoothing = 0.5
+	// The library default fans the E-step out over all CPUs, whose chunked
+	// merge order varies with core count. Experiments pin the serial
+	// E-step so tables and iteration counts reproduce across machines.
+	cfg.Parallelism = 1
 	return Scenario{
 		DatasetName:        datasetName,
 		Seed:               seed,

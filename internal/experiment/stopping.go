@@ -84,7 +84,7 @@ func runUntil(s Scenario, tau float64) (consumed int, est, acc float64, err erro
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	asg := assign.AccOpt{}
+	asg := assign.NewPlanner() // scratch reused across the run's rounds
 	emptyRounds := 0
 	// Check the stopping signal at every 50-assignment boundary: frequent
 	// enough to save budget, cheap enough not to dominate run time.

@@ -9,11 +9,23 @@ import "fmt"
 //	T(w) — the tasks worker w has answered
 //
 // Answers are append-only; the framework never retracts a submission.
+//
+// Besides the []Answer log, the set maintains a structure-of-arrays mirror
+// of the hot fields — parallel worker/task ID slices and the flattened vote
+// bits — so the EM E-step can sweep the whole log through contiguous memory
+// instead of chasing one Selected slice pointer per answer.
 type AnswerSet struct {
 	answers []Answer
 	byTask  map[TaskID][]int   // task -> indexes into answers
 	byWork  map[WorkerID][]int // worker -> indexes into answers
 	done    map[pairKey]bool   // (worker, task) already answered
+
+	// SoA mirror: workerIDs[i]/taskIDs[i] are answer i's pair, and
+	// votes[voteOff[i]:voteOff[i+1]] its Selected bits.
+	workerIDs []WorkerID
+	taskIDs   []TaskID
+	voteOff   []int32
+	votes     []bool
 }
 
 type pairKey struct {
@@ -24,9 +36,10 @@ type pairKey struct {
 // NewAnswerSet returns an empty answer set.
 func NewAnswerSet() *AnswerSet {
 	return &AnswerSet{
-		byTask: make(map[TaskID][]int),
-		byWork: make(map[WorkerID][]int),
-		done:   make(map[pairKey]bool),
+		byTask:  make(map[TaskID][]int),
+		byWork:  make(map[WorkerID][]int),
+		done:    make(map[pairKey]bool),
+		voteOff: []int32{0},
 	}
 }
 
@@ -42,6 +55,10 @@ func (s *AnswerSet) Add(a Answer) error {
 	s.byTask[a.Task] = append(s.byTask[a.Task], idx)
 	s.byWork[a.Worker] = append(s.byWork[a.Worker], idx)
 	s.done[key] = true
+	s.workerIDs = append(s.workerIDs, a.Worker)
+	s.taskIDs = append(s.taskIDs, a.Task)
+	s.votes = append(s.votes, a.Selected...)
+	s.voteOff = append(s.voteOff, int32(len(s.votes)))
 	return nil
 }
 
@@ -60,6 +77,19 @@ func (s *AnswerSet) Len() int { return len(s.answers) }
 
 // Answer returns the i-th answer in submission order.
 func (s *AnswerSet) Answer(i int) *Answer { return &s.answers[i] }
+
+// Pair returns the (worker, task) pair of the i-th answer without touching
+// the Answer struct, reading the structure-of-arrays mirror.
+func (s *AnswerSet) Pair(i int) (WorkerID, TaskID) {
+	return s.workerIDs[i], s.taskIDs[i]
+}
+
+// Votes returns the i-th answer's Selected bits as a slice into the
+// flattened vote store. Callers must not mutate it.
+func (s *AnswerSet) Votes(i int) []bool {
+	lo, hi := int(s.voteOff[i]), int(s.voteOff[i+1])
+	return s.votes[lo:hi:hi]
+}
 
 // All returns the backing answer slice. Callers must not mutate it.
 func (s *AnswerSet) All() []Answer { return s.answers }

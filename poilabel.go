@@ -202,7 +202,9 @@ func New(tasks []Task, workers []Worker, opts ...Options) (*Framework, error) {
 	var asg assign.Assigner
 	switch o.Assigner {
 	case AssignerAccOpt:
-		asg = assign.AccOpt{}
+		// The framework assigns round after round against one model, so
+		// hold a Planner and reuse its O(|W|·|T|) scratch across rounds.
+		asg = assign.NewPlanner()
 	case AssignerSpatialFirst:
 		asg = assign.NewSpatialFirst(tasks)
 	case AssignerRandom:
@@ -210,7 +212,7 @@ func New(tasks []Task, workers []Worker, opts ...Options) (*Framework, error) {
 	case AssignerEntropy:
 		asg = assign.EntropyFirst{}
 	case AssignerMarginalGreedy:
-		asg = assign.MarginalGreedy{}
+		asg = assign.NewMarginalPlanner()
 	default:
 		return nil, fmt.Errorf("poilabel: unknown assigner kind %d", o.Assigner)
 	}
