@@ -21,6 +21,7 @@ package poilabel_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"poilabel/internal/assign"
 	"poilabel/internal/baseline"
@@ -324,6 +325,68 @@ func BenchmarkAccOptAssign(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pl.Assign(m, workers, 2)
 			}
+		})
+	}
+}
+
+// BenchmarkShardedFit compares the single-model full EM with the K-shard
+// geo-partitioned fit on the L-size Fig13 workload (10k tasks, 100 workers,
+// 50k answers). Shards fit concurrently and each converges at its own rate,
+// so K=4 beats the single model even on one CPU; PERFORMANCE.md records the
+// reference numbers.
+func BenchmarkShardedFit(b *testing.B) {
+	const nAnswers = 50000
+	env, err := experiment.SyntheticEnv(nAnswers/5, 100, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	answers, err := env.Sim.CollectBiased(5, 0.10, 0.45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := func(obs func(model.Answer) error) {
+		for _, a := range answers.All() {
+			if err := obs(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := env.NewModel()
+			if err != nil {
+				b.Fatal(err)
+			}
+			feed(m.Observe)
+			b.StartTimer()
+			start := time.Now()
+			m.Fit()
+			sec = time.Since(start).Seconds()
+		}
+		b.ReportMetric(sec, "fitSec")
+	})
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			var sec float64
+			var roaming int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sh, err := env.NewSharded(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feed(sh.Observe)
+				b.StartTimer()
+				start := time.Now()
+				st := sh.Fit()
+				sec = time.Since(start).Seconds()
+				roaming = st.Roaming
+			}
+			b.ReportMetric(sec, "fitSec")
+			b.ReportMetric(float64(roaming), "roaming")
 		})
 	}
 }

@@ -2,17 +2,21 @@
 //
 // Usage:
 //
-//	poibench [-seed N] [-list] [-json dir] <experiment-id>... | all
+//	poibench [-seed N] [-shards K] [-list] [-json dir] [-checkperf dir [-perftol F]] <experiment-id>... | all
 //
 // Each experiment id corresponds to one table or figure of the paper's
-// evaluation section (fig6..fig14, table1, table2) or an ablation study
-// (ablation-alpha, ablation-funcset, ablation-update, ablation-greedy).
-// Output is the same rows/series the paper reports, as aligned text tables.
+// evaluation section (fig6..fig14, table1, table2), an ablation study
+// (ablation-alpha, ablation-funcset, ablation-update, ablation-greedy, ...),
+// or an extension scenario such as sharded (single model vs K geographic
+// shards on the Fig13 workload; -shards sets K). Output is the same
+// rows/series the paper reports, as aligned text tables.
 //
 // With -json dir, poibench instead (or additionally) runs the tracked
 // hot-path sweeps and writes dir/BENCH_inference.json and
 // dir/BENCH_assign.json — the perf-trajectory baselines described in
-// PERFORMANCE.md.
+// PERFORMANCE.md. With -checkperf dir, it reruns the smallest sweep points
+// and fails if a hot path regressed more than -perftol (default 25%) versus
+// the baselines in dir — the CI bench-regression gate.
 package main
 
 import (
@@ -30,8 +34,15 @@ func main() {
 	list := flag.Bool("list", false, "list available experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	jsonDir := flag.String("json", "", "run the tracked perf sweeps and write BENCH_*.json to <dir>")
+	shards := flag.Int("shards", 0, "shard count for the 'sharded' experiment (0 = default)")
+	checkDir := flag.String("checkperf", "", "rerun the S-size perf sweeps and fail if a hot path regressed vs the BENCH_*.json baselines in <dir>")
+	perfTol := flag.Float64("perftol", 0.25, "allowed fractional regression for -checkperf (0.25 = 25%)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *shards > 0 {
+		experiment.ShardCount = *shards
+	}
 
 	reg := experiment.Registry()
 	if *list {
@@ -39,6 +50,16 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *checkDir != "" {
+		if err := checkPerf(*checkDir, *seed, *perfTol); err != nil {
+			fmt.Fprintf(os.Stderr, "poibench: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 && *jsonDir == "" {
+			return
+		}
 	}
 
 	if *jsonDir != "" {
@@ -92,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: poibench [-seed N] [-json dir] <experiment-id>... | all
+	fmt.Fprintf(os.Stderr, `usage: poibench [-seed N] [-shards K] [-json dir] [-checkperf dir] <experiment-id>... | all
 
 Regenerates the evaluation tables and figures of "Crowdsourced POI
 Labelling: Location-Aware Result Inference and Task Assignment" (ICDE'16).

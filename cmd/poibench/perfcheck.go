@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"poilabel/internal/experiment"
+)
+
+// checkPerf is the CI bench-regression gate: it reruns the smallest (S)
+// point of each tracked perf sweep under the same environments as the full
+// reports and compares the measurements against the committed BENCH_*.json
+// baselines in dir, failing when any hot path (full-EM inference, AccOpt
+// assignment) is slower than baseline by more than tol (fractional; 0.25
+// allows a 25% regression).
+//
+// Wall-clock numbers only mean something within a matching environment —
+// PERFORMANCE.md's own rule — so a baseline whose OS, arch, CPU count, or
+// seed differs from this run is reported and skipped rather than compared;
+// on such hosts the step degrades to a smoke run of the sweeps. The gate
+// bites on the reference machine (where the baselines are regenerated) and
+// on any runner matching its recorded environment.
+func checkPerf(dir string, seed int64, tol float64) error {
+	start := time.Now()
+	smokes, err := experiment.RunPerfSmoke(seed)
+	if err != nil {
+		return fmt.Errorf("checkperf: %w", err)
+	}
+	var failures []string
+	for _, smoke := range smokes {
+		path := filepath.Join(dir, "BENCH_"+smoke.Name+".json")
+		base, err := experiment.ReadPerfReport(path)
+		if err != nil {
+			return fmt.Errorf("checkperf: %w", err)
+		}
+		if base.GOOS != smoke.GOOS || base.GOARCH != smoke.GOARCH ||
+			base.NumCPU != smoke.NumCPU || base.Seed != smoke.Seed {
+			fmt.Printf("checkperf: %s baseline env %s/%s %dcpu seed %d != this run %s/%s %dcpu seed %d — sweeps ran, comparison skipped\n",
+				smoke.Name, base.GOOS, base.GOARCH, base.NumCPU, base.Seed,
+				smoke.GOOS, smoke.GOARCH, smoke.NumCPU, smoke.Seed)
+			continue
+		}
+		for _, s := range smoke.Series {
+			bs := base.FindSeries(s.Label)
+			if bs == nil {
+				return fmt.Errorf("checkperf: baseline %s has no series %q", path, s.Label)
+			}
+			for i, x := range s.X {
+				baseY, ok := bs.At(x)
+				if !ok {
+					return fmt.Errorf("checkperf: baseline series %q has no point x=%d", s.Label, x)
+				}
+				got := s.Y[i]
+				ratio := got / baseY
+				verdict := "ok"
+				if ratio > 1+tol {
+					verdict = "FAIL"
+					failures = append(failures, fmt.Sprintf(
+						"%s %s@%d: %.4g vs baseline %.4g (%+.0f%%, tolerance %+.0f%%)",
+						smoke.Name, s.Label, x, got, baseY, 100*(ratio-1), 100*tol))
+				}
+				fmt.Printf("checkperf: %-4s %s %s@%d: %.4g vs baseline %.4g (%+.0f%%)\n",
+					verdict, smoke.Name, s.Label, x, got, baseY, 100*(ratio-1))
+			}
+		}
+	}
+	fmt.Printf("checkperf: done in %s\n", time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		return fmt.Errorf("perf regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

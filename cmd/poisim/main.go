@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	poisim [-dataset Beijing|China] [-seed N] [-budget N] [-assigner accopt|sf|random] [-save FILE]
+//	poisim [-dataset Beijing|China] [-seed N] [-budget N] [-assigner accopt|sf|random] [-shards K] [-save FILE]
 //
 // With -save the generated dataset is written as JSON for inspection or
-// replay through the library.
+// replay through the library. With -shards K (K > 1) the collected answer
+// log is additionally refitted by the K-shard geo-partitioned fitter and its
+// accuracy and wall-clock are reported against a single-model refit.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"os"
+	"time"
 
 	"poilabel/internal/assign"
 	"poilabel/internal/core"
@@ -30,16 +33,17 @@ func main() {
 	seed := flag.Int64("seed", 7, "scenario seed")
 	budget := flag.Int("budget", 1000, "assignment budget")
 	assigner := flag.String("assigner", "accopt", "assigner: accopt, marginal, sf, entropy, or random")
+	shards := flag.Int("shards", 0, "also refit the answer log with K geographic shards and compare")
 	save := flag.String("save", "", "write the generated dataset JSON to this path")
 	flag.Parse()
 
-	if err := run(*datasetName, *seed, *budget, *assigner, *save); err != nil {
+	if err := run(*datasetName, *seed, *budget, *assigner, *shards, *save); err != nil {
 		fmt.Fprintf(os.Stderr, "poisim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(datasetName string, seed int64, budget int, assignerName, save string) error {
+func run(datasetName string, seed int64, budget int, assignerName string, shards int, save string) error {
 	s := experiment.DefaultScenario(datasetName, seed)
 	s.Budget = budget
 	env, err := s.Build()
@@ -86,6 +90,12 @@ func run(datasetName string, seed int64, budget int, assignerName, save string) 
 	fmt.Printf("assigner %s: consumed %d of %d budget\n", asg.Name(), consumed, budget)
 	fmt.Printf("overall accuracy: %.1f%%\n\n", 100*model.Accuracy(m.Result(), env.Data.Truth))
 
+	if shards > 1 {
+		if err := compareSharded(env, m, shards); err != nil {
+			return err
+		}
+	}
+
 	wt := stats.NewTable("worker quality: estimated vs latent",
 		"worker", "answers", "est P(i=1)", "latent", "latent lambda")
 	for i := range env.Workers {
@@ -114,6 +124,43 @@ func run(datasetName string, seed int64, budget int, assignerName, save string) 
 		}
 	}
 	fmt.Println(lt)
+	return nil
+}
+
+// compareSharded refits the collected answer log with a K-shard fitter and a
+// fresh single model, reporting accuracy and wall-clock for both.
+func compareSharded(env *experiment.Env, m *core.Model, shards int) error {
+	sh, err := env.NewSharded(shards)
+	if err != nil {
+		return err
+	}
+	for _, a := range m.Answers().All() {
+		if err := sh.Observe(a); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	st := sh.Fit()
+	shardedElapsed := time.Since(start)
+
+	single, err := env.NewModel()
+	if err != nil {
+		return err
+	}
+	for _, a := range m.Answers().All() {
+		if err := single.Observe(a); err != nil {
+			return err
+		}
+	}
+	start = time.Now()
+	single.Fit()
+	singleElapsed := time.Since(start)
+
+	fmt.Printf("sharded refit (K=%d): accuracy %.1f%% in %s (%d roaming workers); single refit: accuracy %.1f%% in %s\n\n",
+		sh.NumShards(),
+		100*model.Accuracy(sh.Result(), env.Data.Truth), shardedElapsed.Round(time.Millisecond),
+		st.Roaming,
+		100*model.Accuracy(single.Result(), env.Data.Truth), singleElapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,78 @@
+package assign
+
+import (
+	"reflect"
+	"testing"
+
+	"poilabel/internal/model"
+)
+
+func TestShares(t *testing.T) {
+	cases := []struct {
+		budget int
+		want   []int
+		out    []int
+	}{
+		{budget: -1, want: []int{3, 5, 0}, out: []int{3, 5, 0}},
+		{budget: 100, want: []int{3, 5, 2}, out: []int{3, 5, 2}},
+		{budget: 10, want: []int{10, 10}, out: []int{5, 5}},
+		{budget: 5, want: []int{10, 10}, out: []int{3, 2}},      // remainder tie → lowest index
+		{budget: 7, want: []int{2, 20, 2}, out: []int{1, 6, 0}}, // largest remainders: 20, then 14@i=0
+		{budget: 0, want: []int{4, 4}, out: []int{0, 0}},
+		{budget: 3, want: []int{0, -2, 9}, out: []int{0, 0, 3}},
+	}
+	for _, c := range cases {
+		got := Shares(c.budget, c.want)
+		if !reflect.DeepEqual(got, c.out) {
+			t.Errorf("Shares(%d, %v) = %v, want %v", c.budget, c.want, got, c.out)
+		}
+		if c.budget >= 0 {
+			sum := 0
+			for i, v := range got {
+				sum += v
+				if c.want[i] > 0 && v > c.want[i] {
+					t.Errorf("Shares(%d, %v): share %d exceeds demand", c.budget, c.want, i)
+				}
+			}
+			if sum > c.budget {
+				t.Errorf("Shares(%d, %v) oversubscribes: %d", c.budget, c.want, sum)
+			}
+		}
+	}
+}
+
+func TestTrim(t *testing.T) {
+	a := Assignment{
+		0: {model.TaskID(10), model.TaskID(11), model.TaskID(12)},
+		2: {model.TaskID(20)},
+		5: {model.TaskID(30), model.TaskID(31)},
+	}
+	if got := Trim(a, -1); got.TotalTasks() != 6 {
+		t.Fatalf("unlimited trim dropped tasks: %v", got)
+	}
+	if got := Trim(a, 10); got.TotalTasks() != 6 {
+		t.Fatalf("roomy trim dropped tasks: %v", got)
+	}
+	if got := Trim(a, 0); got.TotalTasks() != 0 {
+		t.Fatalf("zero trim kept tasks: %v", got)
+	}
+
+	got := Trim(a, 4)
+	if got.TotalTasks() != 4 {
+		t.Fatalf("Trim(4) kept %d tasks", got.TotalTasks())
+	}
+	// Round-robin in worker order: first round takes 10, 20, 30; the fourth
+	// unit goes to worker 0's second pick.
+	want := Assignment{
+		0: {model.TaskID(10), model.TaskID(11)},
+		2: {model.TaskID(20)},
+		5: {model.TaskID(30)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Trim(4) = %v, want %v", got, want)
+	}
+	// Original untouched.
+	if a.TotalTasks() != 6 || len(a[0]) != 3 {
+		t.Fatalf("Trim mutated its input: %v", a)
+	}
+}

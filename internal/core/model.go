@@ -255,6 +255,27 @@ func (m *Model) Reset() {
 	m.params = m.initialParams()
 }
 
+// SetWorkerParams overwrites worker w's estimated parameters: the inherent
+// quality P(i_w = 1) and the distance-sensitivity multinomial over the
+// function set. The geo-sharded fitter uses it to push cross-shard merged
+// estimates of roaming workers back into a shard's model before a refinement
+// fit; the next Fit warm-starts from the injected values.
+func (m *Model) SetWorkerParams(w model.WorkerID, pi float64, pdw []float64) error {
+	if int(w) < 0 || int(w) >= len(m.workers) {
+		return fmt.Errorf("core: unknown worker %d", w)
+	}
+	if pi < 0 || pi > 1 {
+		return fmt.Errorf("core: worker quality %v out of [0,1]", pi)
+	}
+	if len(pdw) != m.cfg.FuncSet.Len() {
+		return fmt.Errorf("core: sensitivity vector has %d components, function set has %d",
+			len(pdw), m.cfg.FuncSet.Len())
+	}
+	m.params.PI[w] = pi
+	copy(m.params.PDW[w], pdw)
+	return nil
+}
+
 // DistanceAwareQuality returns DQ_w(d) for worker w at normalized distance
 // d: the mixture of the function set under the worker's current sensitivity
 // distribution (Definition 5).

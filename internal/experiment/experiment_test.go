@@ -399,3 +399,24 @@ func TestRobustnessRunners(t *testing.T) {
 		})
 	}
 }
+
+func TestRunShardedSmall(t *testing.T) {
+	r, err := RunSharded(7, []int{2000, 4000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != 2 || len(r.Assignments) != 2 {
+		t.Fatalf("unexpected shape: %+v", r)
+	}
+	for i := range r.Assignments {
+		if r.SingleSec[i] <= 0 || r.ShardedSec[i] <= 0 {
+			t.Errorf("non-positive timing at %d", r.Assignments[i])
+		}
+		if r.Agree[i] < 0.9 {
+			t.Errorf("sharded labels agree on only %.1f%% at %d", 100*r.Agree[i], r.Assignments[i])
+		}
+	}
+	if !strings.Contains(r.String(), "Geo-sharded") {
+		t.Error("rendering missing title")
+	}
+}

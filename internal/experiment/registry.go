@@ -55,6 +55,9 @@ func Registry() map[string]Runner {
 		"fig14": func(seed int64) (fmt.Stringer, error) {
 			return RunFig14(seed, nil, nil)
 		},
+		"sharded": func(seed int64) (fmt.Stringer, error) {
+			return RunSharded(seed, nil, ShardCount)
+		},
 		"ablation-alpha":   RunAblationAlpha,
 		"ablation-funcset": RunAblationFuncSet,
 		"ablation-update":  RunAblationUpdatePolicy,

@@ -56,10 +56,16 @@ func RunFig13(seed int64, sizes []int) (*Fig13Result, error) {
 	if len(sizes) == 0 {
 		sizes = Fig13Sizes
 	}
-	maxSize := sizes[len(sizes)-1]
 	// Enough tasks that each holds ~5 answers at the largest sweep point,
 	// with 100 workers as in the paper's assignment scalability setup.
-	env, err := SyntheticEnv(maxSize/5, 100, seed)
+	return runFig13Env(seed, sizes, sizes[len(sizes)-1]/5, 100)
+}
+
+// runFig13Env is RunFig13 with an explicit environment size, so reduced
+// sweeps (the CI perf smoke) can sample a prefix of a larger sweep under the
+// same synthetic world as the full run.
+func runFig13Env(seed int64, sizes []int, envTasks, envWorkers int) (*Fig13Result, error) {
+	env, err := SyntheticEnv(envTasks, envWorkers, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"poilabel/internal/dataset"
 	"poilabel/internal/geo"
 	"poilabel/internal/model"
+	"poilabel/internal/shard"
 )
 
 // Scenario bundles everything needed to reproduce an experiment: the
@@ -156,6 +157,15 @@ func (e *Env) Collect() (*model.AnswerSet, error) {
 // NewModel builds an inference model over the scenario's tasks and workers.
 func (e *Env) NewModel() (*core.Model, error) {
 	return core.NewModel(e.Data.Tasks, e.Workers, e.Data.Normalizer(), e.Scenario.ModelConfig)
+}
+
+// NewSharded builds a k-shard fitter over the scenario's tasks and workers,
+// under the same model configuration and distance normalizer as NewModel.
+func (e *Env) NewSharded(k int) (*shard.Sharded, error) {
+	return shard.New(e.Data.Tasks, e.Workers, e.Data.Normalizer(), shard.Config{
+		Shards: k,
+		Model:  e.Scenario.ModelConfig,
+	})
 }
 
 // FitModel builds a model, feeds it the given answers, and runs full EM.

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"poilabel/internal/shard"
+	"poilabel/internal/stats"
+)
+
+// ShardCount is the shard count the "sharded" experiment uses; the
+// cmd/poibench -shards flag overrides it.
+var ShardCount = shard.DefaultShards
+
+// ShardedScaleResult is the geo-sharding scalability scenario: the Fig13
+// workload (synthetic city, 100 workers, growing answer log) fitted once by
+// a single model and once by a K-shard fitter, comparing wall-clock and
+// checking the shards' merged inference agrees with the single model's.
+type ShardedScaleResult struct {
+	Shards      int
+	Assignments []int
+	// SingleSec / ShardedSec are the full-fit wall-clock times.
+	SingleSec  []float64
+	ShardedSec []float64
+	// SingleIters is the single model's EM iteration count; ShardedIters is
+	// the critical path: the max iteration count over shards.
+	SingleIters  []int
+	ShardedIters []int
+	// Roaming is the number of workers with answers in >1 shard.
+	Roaming []int
+	// Agree is the fraction of labels where the sharded decision matches
+	// the single model's.
+	Agree []float64
+}
+
+// RunSharded fits single vs K-shard models at each answer-count level of the
+// Fig13 sweep. A zero/negative shards count means shard.DefaultShards; nil
+// sizes means the paper's 10k..50k sweep.
+func RunSharded(seed int64, sizes []int, shards int) (*ShardedScaleResult, error) {
+	if len(sizes) == 0 {
+		sizes = Fig13Sizes
+	}
+	if shards <= 0 {
+		shards = shard.DefaultShards
+	}
+	maxSize := sizes[len(sizes)-1]
+	env, err := SyntheticEnv(maxSize/5, 100, seed)
+	if err != nil {
+		return nil, err
+	}
+	full, err := env.Sim.CollectBiased(5, 0.10, 0.45)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ShardedScaleResult{Shards: shards}
+	for _, n := range sizes {
+		answers := full.Truncate(n)
+
+		m, err := env.NewModel()
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers.All() {
+			if err := m.Observe(a); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		fit := m.Fit()
+		singleSec := time.Since(start).Seconds()
+
+		sh, err := env.NewSharded(shards)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers.All() {
+			if err := sh.Observe(a); err != nil {
+				return nil, err
+			}
+		}
+		start = time.Now()
+		shFit := sh.Fit()
+		shardedSec := time.Since(start).Seconds()
+
+		single, merged := m.Result(), sh.Result()
+		match, total := 0, 0
+		for t := range single.Inferred {
+			for k := range single.Inferred[t] {
+				total++
+				if single.Inferred[t][k] == merged.Inferred[t][k] {
+					match++
+				}
+			}
+		}
+		agree := 0.0
+		if total > 0 {
+			agree = float64(match) / float64(total)
+		}
+
+		res.Assignments = append(res.Assignments, n)
+		res.SingleSec = append(res.SingleSec, singleSec)
+		res.ShardedSec = append(res.ShardedSec, shardedSec)
+		res.SingleIters = append(res.SingleIters, fit.Iterations)
+		res.ShardedIters = append(res.ShardedIters, shFit.Iterations)
+		res.Roaming = append(res.Roaming, shFit.Roaming)
+		res.Agree = append(res.Agree, agree)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *ShardedScaleResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Geo-sharded scalability: single model vs %d shards (Fig13 workload)", r.Shards),
+		"#assignments", "single (s)", "sharded (s)", "speedup",
+		"iters", "iters (shard max)", "roaming", "label agree")
+	for i, n := range r.Assignments {
+		speedup := 0.0
+		if r.ShardedSec[i] > 0 {
+			speedup = r.SingleSec[i] / r.ShardedSec[i]
+		}
+		t.AddRowf(n,
+			fmt.Sprintf("%.3f", r.SingleSec[i]),
+			fmt.Sprintf("%.3f", r.ShardedSec[i]),
+			fmt.Sprintf("%.2fx", speedup),
+			r.SingleIters[i],
+			r.ShardedIters[i],
+			r.Roaming[i],
+			fmt.Sprintf("%.1f%%", 100*r.Agree[i]))
+	}
+	return t
+}
+
+func (r *ShardedScaleResult) String() string { return r.Table().String() }

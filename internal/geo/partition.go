@@ -1,0 +1,83 @@
+package geo
+
+import "sort"
+
+// KDPartition splits the indices [0, len(pts)) into k spatially coherent,
+// size-balanced groups by recursive median splits along the wider axis of
+// each subset's bounding box — a kd-tree construction truncated at k leaves.
+// The geo-sharded fitter uses it to carve a city's tasks into shards: the
+// answer graph is near-block-diagonal by geography, so contiguous regions
+// keep most (worker, task) edges inside one shard.
+//
+// Group sizes are proportional (each split hands each side a point count
+// proportional to the leaves it must still produce), so with n points and k
+// groups every group holds between ⌊n/k⌋ and ⌈n/k⌉ points. Each group's
+// indices are returned in ascending order and the groups themselves are
+// ordered by recursion position (low half before high half), so the output
+// is deterministic for a fixed input. k is clamped to [1, len(pts)].
+// KDPartition panics on an empty point set.
+func KDPartition(pts []Point, k int) [][]int {
+	if len(pts) == 0 {
+		panic("geo: KDPartition over empty point set")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([][]int, 0, k)
+	var split func(idx []int, k int)
+	split = func(idx []int, k int) {
+		if k == 1 {
+			g := append([]int(nil), idx...)
+			sort.Ints(g)
+			out = append(out, g)
+			return
+		}
+		r := boundIndexed(pts, idx)
+		byX := r.Width() >= r.Height()
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := pts[idx[a]], pts[idx[b]]
+			ka, kb := pa.Y, pb.Y
+			if byX {
+				ka, kb = pa.X, pb.X
+			}
+			if ka != kb {
+				return ka < kb
+			}
+			return idx[a] < idx[b]
+		})
+		kLo := k / 2
+		cut := len(idx) * kLo / k
+		split(idx[:cut], kLo)
+		split(idx[cut:], k-kLo)
+	}
+	split(idx, k)
+	return out
+}
+
+// boundIndexed returns the bounding box of the subset of pts selected by idx.
+func boundIndexed(pts []Point, idx []int) Rect {
+	r := Rect{Min: pts[idx[0]], Max: pts[idx[0]]}
+	for _, i := range idx[1:] {
+		p := pts[i]
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+package geo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestKDPartitionCoversAllIndicesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 101)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*10, rng.Float64()*4)
+	}
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		parts := KDPartition(pts, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d groups", k, len(parts))
+		}
+		seen := make(map[int]bool)
+		for _, g := range parts {
+			for _, i := range g {
+				if seen[i] {
+					t.Fatalf("k=%d: index %d appears twice", k, i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != len(pts) {
+			t.Fatalf("k=%d: covered %d of %d indices", k, len(seen), len(pts))
+		}
+	}
+}
+
+func TestKDPartitionBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	for _, k := range []int{2, 3, 4, 6, 9} {
+		parts := KDPartition(pts, k)
+		lo, hi := len(pts), 0
+		for _, g := range parts {
+			if len(g) < lo {
+				lo = len(g)
+			}
+			if len(g) > hi {
+				hi = len(g)
+			}
+		}
+		floor := len(pts) / k
+		ceil := (len(pts) + k - 1) / k
+		if lo < floor || hi > ceil {
+			t.Errorf("k=%d: group sizes span [%d, %d], want [%d, %d]", k, lo, hi, floor, ceil)
+		}
+	}
+}
+
+func TestKDPartitionRecoversQuadrants(t *testing.T) {
+	// Four tight clusters in the corners of the unit square must map to four
+	// groups that each hold exactly one cluster.
+	centers := []Point{Pt(0, 0), Pt(0, 10), Pt(10, 0), Pt(10, 10)}
+	var pts []Point
+	cluster := make([]int, 0, len(centers)*25)
+	rng := rand.New(rand.NewSource(3))
+	for c, ctr := range centers {
+		for i := 0; i < 25; i++ {
+			pts = append(pts, Pt(ctr.X+rng.Float64(), ctr.Y+rng.Float64()))
+			cluster = append(cluster, c)
+		}
+	}
+	parts := KDPartition(pts, 4)
+	for gi, g := range parts {
+		first := cluster[g[0]]
+		for _, i := range g {
+			if cluster[i] != first {
+				t.Fatalf("group %d mixes clusters %d and %d", gi, first, cluster[i])
+			}
+		}
+	}
+}
+
+func TestKDPartitionClampsAndDeterminism(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0)}
+	if got := KDPartition(pts, 0); len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("k=0: got %v, want one group of 3", got)
+	}
+	if got := KDPartition(pts, 10); len(got) != 3 {
+		t.Fatalf("k>n: got %d groups, want 3", len(got))
+	}
+	a := KDPartition(pts, 2)
+	b := KDPartition(pts, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+	for _, g := range a {
+		for j := 1; j < len(g); j++ {
+			if g[j-1] >= g[j] {
+				t.Fatalf("group not ascending: %v", g)
+			}
+		}
+	}
+}

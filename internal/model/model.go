@@ -32,6 +32,14 @@ type Task struct {
 // NumLabels returns |L_t|.
 func (t *Task) NumLabels() int { return len(t.Labels) }
 
+// WithID returns a copy of the task carrying a different ID. The geo-sharded
+// fitter uses it to re-index a shard's tasks with dense local IDs; the label
+// slice is shared with the original, not copied.
+func (t Task) WithID(id TaskID) Task {
+	t.ID = id
+	return t
+}
+
 // Worker is a crowd worker with one or more locations (home, office,
 // interest zones). Distance to a task is the minimum over Locations.
 type Worker struct {

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"math"
+	"sync"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// Coordinator plans task assignment over a sharded world. The paper's AccOpt
+// greedy plans within each shard — every shard holds a reusable
+// assign.Planner whose O(|W_s|·|T_s|) scratch persists across rounds — and
+// the coordinator stays thin: it routes each requesting worker to their home
+// shard (the shard whose task region is nearest to any of the worker's
+// locations), runs the per-shard planners concurrently, and balances the
+// round's budget across shards proportionally to what each shard's greedy
+// could actually use.
+//
+// Coordinator is not safe for concurrent use; a single round fans out over
+// the shards internally.
+type Coordinator struct {
+	s        *Sharded
+	planners []*assign.Planner
+	regions  []geo.Rect // bounding box of each shard's task locations
+}
+
+// NewCoordinator builds a coordinator over a sharded fitter, one AccOpt
+// planner per shard.
+func NewCoordinator(s *Sharded) *Coordinator {
+	c := &Coordinator{
+		s:        s,
+		planners: make([]*assign.Planner, s.NumShards()),
+		regions:  make([]geo.Rect, s.NumShards()),
+	}
+	for si, part := range s.parts {
+		c.planners[si] = assign.NewPlanner()
+		pts := make([]geo.Point, len(part))
+		for j, g := range part {
+			pts[j] = s.tasks[g].Location
+		}
+		c.regions[si] = geo.Bound(pts)
+	}
+	return c
+}
+
+// HomeShard returns the shard whose task region is nearest to any of worker
+// w's locations (distance zero when a location falls inside the region; ties
+// go to the lowest shard index).
+func (c *Coordinator) HomeShard(w model.WorkerID) int {
+	best, bestD := 0, math.Inf(1)
+	for si, r := range c.regions {
+		for _, loc := range c.s.workers[w].Locations {
+			if d := loc.Dist(r.Clamp(loc)); d < bestD {
+				best, bestD = si, d
+			}
+		}
+	}
+	return best
+}
+
+// Assign chooses up to h tasks per requesting worker, at most budget
+// (worker, task) pairs in total (negative budget means unlimited). Each
+// worker is planned inside their home shard; the budget is split across
+// shards proportionally to each shard's realizable demand (largest-remainder
+// rounding), and per-shard cuts fall round-robin across that shard's workers
+// so no single worker absorbs them. Returned task IDs are global. Duplicate
+// workers are dropped by the per-shard planners.
+func (c *Coordinator) Assign(workers []model.WorkerID, h, budget int) assign.Assignment {
+	out := make(assign.Assignment)
+	if h <= 0 || len(workers) == 0 || budget == 0 {
+		return out
+	}
+
+	byShard := make([][]model.WorkerID, len(c.planners))
+	for _, w := range workers {
+		si := c.HomeShard(w)
+		byShard[si] = append(byShard[si], w)
+	}
+
+	// Plan every populated shard concurrently. Each goroutine touches only
+	// its own shard's planner and model (including the model's lazy
+	// distance cache), so the fan-out is race-free and the per-shard output
+	// does not depend on the interleaving.
+	local := make([]assign.Assignment, len(c.planners))
+	var wg sync.WaitGroup
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			local[si] = c.planners[si].Assign(c.s.models[si], byShard[si], h)
+		}(si)
+	}
+	wg.Wait()
+
+	// Balance the budget over what each shard's greedy actually produced,
+	// then trim and remap local task IDs back to global.
+	want := make([]int, len(local))
+	for si := range local {
+		want[si] = local[si].TotalTasks()
+	}
+	shares := assign.Shares(budget, want)
+	for si := range local {
+		for w, ts := range assign.Trim(local[si], shares[si]) {
+			for _, lt := range ts {
+				out[w] = append(out[w], model.TaskID(c.s.parts[si][lt]))
+			}
+		}
+	}
+	return out
+}

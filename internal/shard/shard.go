@@ -1,0 +1,391 @@
+// Package shard partitions one city's POI-labelling world into K geographic
+// shards and fits the location-aware inference model of internal/core on
+// every shard concurrently. The answer graph is naturally near-block-diagonal
+// by geography — workers answer tasks near them — so carving tasks into
+// contiguous regions keeps most (worker, task) edges inside one shard and
+// lets the shards' EM runs proceed independently.
+//
+// Merging follows the structure of the parameters. Per-task quantities (the
+// label posteriors P(z) and the POI influence P(d_t)) live entirely inside
+// one shard and concatenate directly. Per-worker quantities (the inherent
+// quality P(i_w) and the distance sensitivity P(d_w)) are shared: a roaming
+// worker — one with answers in more than one shard — gets independent
+// estimates from each shard, merged by answer-count-weighted averaging, the
+// same per-partition pooling classic Dawid–Skene-style EM uses to combine
+// worker confusion estimates. An optional refinement sweep pushes the merged
+// estimates of roaming workers back into their shards and refits, letting
+// evidence flow across the partition boundary.
+//
+// Task assignment over a sharded world is handled by Coordinator: the
+// paper's AccOpt greedy plans within each shard and a thin coordinator
+// routes workers to their home shard and balances the round's budget across
+// shards.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 4
+
+// Config configures a sharded fitter.
+type Config struct {
+	// Shards is K, the number of geographic partitions. Zero means
+	// DefaultShards; values above the task count are clamped to it.
+	Shards int
+	// RefineSweeps is the number of cross-shard refinement sweeps run after
+	// the initial concurrent fit: each sweep writes the merged parameters of
+	// every roaming worker back into the shards holding their answers and
+	// refits those shards (warm-started). Sweeps are skipped entirely when
+	// no worker roams, so on block-diagonal data any RefineSweeps value
+	// reproduces the independent per-shard fits exactly. Zero means none.
+	RefineSweeps int
+	// Model configures every per-shard inference model. A zero FuncSet
+	// means core.DefaultConfig().
+	Model core.Config
+}
+
+// Sharded is a K-shard fitter over a fixed set of tasks and workers. Answers
+// are routed to the shard owning their task; Fit runs all shards
+// concurrently and merges the per-worker estimates.
+//
+// Sharded is not safe for concurrent use by multiple goroutines; Fit itself
+// fans out over the shards internally.
+type Sharded struct {
+	cfg     Config
+	tasks   []model.Task
+	workers []model.Worker
+
+	parts   [][]int // shard -> global task indices, ascending
+	shardOf []int32 // global task -> shard
+	localOf []int32 // global task -> dense local index within its shard
+
+	models []*core.Model
+	counts [][]int // counts[s][w]: answers by worker w routed to shard s
+
+	// Merged per-worker estimates, refreshed by Fit.
+	pi  []float64
+	pdw [][]float64
+}
+
+// New creates a sharded fitter. Task and worker IDs must be dense indices
+// (0..len-1), as in core.NewModel callers; the normalizer should span the
+// whole city so per-shard distances stay on the same scale as an unsharded
+// model's.
+func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Config) (*Sharded, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("shard: no tasks")
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("shard: no workers")
+	}
+	for i := range tasks {
+		if int(tasks[i].ID) != i {
+			return nil, fmt.Errorf("shard: task at index %d has ID %d; IDs must be dense indices", i, tasks[i].ID)
+		}
+	}
+	for i := range workers {
+		if int(workers[i].ID) != i {
+			return nil, fmt.Errorf("shard: worker at index %d has ID %d; IDs must be dense indices", i, workers[i].ID)
+		}
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shard: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards > len(tasks) {
+		cfg.Shards = len(tasks)
+	}
+	if cfg.RefineSweeps < 0 {
+		return nil, fmt.Errorf("shard: negative RefineSweeps %d", cfg.RefineSweeps)
+	}
+	if cfg.Model.FuncSet == nil {
+		cfg.Model = core.DefaultConfig()
+	}
+
+	pts := make([]geo.Point, len(tasks))
+	for i := range tasks {
+		pts[i] = tasks[i].Location
+	}
+	s := &Sharded{
+		cfg:     cfg,
+		tasks:   tasks,
+		workers: workers,
+		parts:   geo.KDPartition(pts, cfg.Shards),
+		shardOf: make([]int32, len(tasks)),
+		localOf: make([]int32, len(tasks)),
+	}
+	for si, part := range s.parts {
+		local := make([]model.Task, len(part))
+		for j, g := range part {
+			local[j] = tasks[g].WithID(model.TaskID(j))
+			s.shardOf[g] = int32(si)
+			s.localOf[g] = int32(j)
+		}
+		m, err := core.NewModel(local, workers, norm, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		s.models = append(s.models, m)
+		s.counts = append(s.counts, make([]int, len(workers)))
+	}
+	s.pi = make([]float64, len(workers))
+	s.pdw = make([][]float64, len(workers))
+	for w := range workers {
+		s.pi[w] = cfg.Model.InitPI
+		s.pdw[w] = cfg.Model.FuncSet.Uniform()
+	}
+	return s, nil
+}
+
+// Observe routes an answer to the shard owning its task, remapping the task
+// ID to the shard's local index. Like core.Model.Observe it only appends to
+// the log; call Fit to update estimates.
+func (s *Sharded) Observe(a model.Answer) error {
+	if int(a.Task) < 0 || int(a.Task) >= len(s.tasks) {
+		return fmt.Errorf("shard: answer references unknown task %d", a.Task)
+	}
+	if int(a.Worker) < 0 || int(a.Worker) >= len(s.workers) {
+		return fmt.Errorf("shard: answer references unknown worker %d", a.Worker)
+	}
+	si := s.shardOf[a.Task]
+	local := a
+	local.Task = model.TaskID(s.localOf[a.Task])
+	if err := s.models[si].Observe(local); err != nil {
+		return err
+	}
+	s.counts[si][a.Worker]++
+	return nil
+}
+
+// FitStats reports the outcome of a sharded fit.
+type FitStats struct {
+	// Shards holds every shard's final full-EM stats. After refinement
+	// sweeps, a refitted shard's entry is from its last (warm-started) fit.
+	Shards []core.FitStats
+	// Converged reports whether every shard's last fit converged.
+	Converged bool
+	// Iterations is the maximum iteration count over the initial per-shard
+	// fits — the depth of the critical path, comparable to a single model's
+	// iteration count on the same answers.
+	Iterations int
+	// Roaming is the number of workers with answers in more than one shard.
+	Roaming int
+	// RefineSweeps is the number of cross-shard refinement sweeps actually
+	// run (zero when configured off or when no worker roams).
+	RefineSweeps int
+	// Elapsed is the wall-clock duration of the whole sharded fit,
+	// including merging and refinement.
+	Elapsed time.Duration
+}
+
+// Fit runs full EM on every shard concurrently, merges the per-worker
+// estimates (answer-count-weighted for roaming workers), and runs the
+// configured cross-shard refinement sweeps.
+func (s *Sharded) Fit() FitStats {
+	start := time.Now()
+	st := FitStats{Shards: make([]core.FitStats, len(s.models))}
+	s.fitAll(st.Shards, nil)
+	for _, fs := range st.Shards {
+		if fs.Iterations > st.Iterations {
+			st.Iterations = fs.Iterations
+		}
+	}
+	s.mergeWorkers()
+
+	roam := s.roamingWorkers()
+	st.Roaming = len(roam)
+	for sweep := 0; sweep < s.cfg.RefineSweeps && len(roam) > 0; sweep++ {
+		touched := s.pushMerged(roam)
+		s.fitAll(st.Shards, touched)
+		s.mergeWorkers()
+		st.RefineSweeps++
+	}
+
+	st.Converged = true
+	for _, fs := range st.Shards {
+		if !fs.Converged {
+			st.Converged = false
+			break
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// fitAll runs Fit on the selected shards (all of them when only is nil) in
+// one goroutine each. Shard models share no mutable state, and each
+// goroutine writes a distinct stats slot, so the fan-out is race-free; the
+// per-shard results do not depend on the interleaving.
+func (s *Sharded) fitAll(into []core.FitStats, only []bool) {
+	var wg sync.WaitGroup
+	for i := range s.models {
+		if only != nil && !only[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			into[i] = s.models[i].Fit()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// mergeWorkers refreshes the merged per-worker estimates: each worker's
+// quality and sensitivity are the answer-count-weighted average of the
+// estimates from the shards holding their answers. Workers with no answers
+// keep their initial values.
+func (s *Sharded) mergeWorkers() {
+	for w := range s.workers {
+		total, contributors, last := 0, 0, -1
+		for si := range s.models {
+			if c := s.counts[si][w]; c > 0 {
+				total += c
+				contributors++
+				last = si
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if contributors == 1 {
+			// A non-roaming worker's merged estimate is their only shard's
+			// estimate, copied verbatim: the weighted-average path's
+			// multiply-then-divide round trip would perturb the last bit.
+			p := s.models[last].Params()
+			s.pi[w] = p.PI[w]
+			copy(s.pdw[w], p.PDW[w])
+			continue
+		}
+		pi := 0.0
+		pdw := s.pdw[w]
+		for j := range pdw {
+			pdw[j] = 0
+		}
+		for si, m := range s.models {
+			c := float64(s.counts[si][w])
+			if c == 0 {
+				continue
+			}
+			p := m.Params()
+			pi += c * p.PI[w]
+			for j := range pdw {
+				pdw[j] += c * p.PDW[w][j]
+			}
+		}
+		inv := 1 / float64(total)
+		s.pi[w] = pi * inv
+		for j := range pdw {
+			pdw[j] *= inv
+		}
+	}
+}
+
+// roamingWorkers returns the workers with answers in more than one shard.
+func (s *Sharded) roamingWorkers() []model.WorkerID {
+	var out []model.WorkerID
+	for w := range s.workers {
+		shards := 0
+		for si := range s.models {
+			if s.counts[si][w] > 0 {
+				shards++
+			}
+		}
+		if shards > 1 {
+			out = append(out, model.WorkerID(w))
+		}
+	}
+	return out
+}
+
+// pushMerged writes the merged estimates of the given roaming workers into
+// every shard holding their answers and reports which shards were touched.
+func (s *Sharded) pushMerged(roam []model.WorkerID) []bool {
+	touched := make([]bool, len(s.models))
+	for _, w := range roam {
+		for si, m := range s.models {
+			if s.counts[si][w] == 0 {
+				continue
+			}
+			// Merged values are averages of valid per-shard estimates, so
+			// SetWorkerParams cannot fail here.
+			if err := m.SetWorkerParams(w, s.pi[w], s.pdw[w]); err != nil {
+				panic(fmt.Sprintf("shard: push merged params: %v", err))
+			}
+			touched[si] = true
+		}
+	}
+	return touched
+}
+
+// Result materializes the city-wide inference: every shard's label
+// posteriors copied back to the global task order.
+func (s *Sharded) Result() *model.Result {
+	res := model.NewResult(s.tasks)
+	for si, m := range s.models {
+		p := m.Params()
+		for j, g := range s.parts[si] {
+			copy(res.Prob[g], p.PZ[j])
+			for k, v := range p.PZ[j] {
+				res.Inferred[g][k] = v >= 0.5
+			}
+		}
+	}
+	return res
+}
+
+// WorkerQuality returns the merged estimate of P(i_w = 1) — for a roaming
+// worker, the answer-count-weighted average over the shards they answered
+// in. Valid after Fit.
+func (s *Sharded) WorkerQuality(w model.WorkerID) float64 { return s.pi[w] }
+
+// DistanceSensitivity returns a copy of the merged sensitivity multinomial
+// of worker w over the distance-function set.
+func (s *Sharded) DistanceSensitivity(w model.WorkerID) []float64 {
+	return append([]float64(nil), s.pdw[w]...)
+}
+
+// NumShards returns K.
+func (s *Sharded) NumShards() int { return len(s.models) }
+
+// TaskShard returns the shard owning task t.
+func (s *Sharded) TaskShard(t model.TaskID) int { return int(s.shardOf[t]) }
+
+// Partition returns the global task indices of every shard, ascending within
+// each shard. The returned slices are owned by the fitter; callers must not
+// mutate them.
+func (s *Sharded) Partition() [][]int { return s.parts }
+
+// Workers returns the worker set the fitter was built over.
+func (s *Sharded) Workers() []model.Worker { return s.workers }
+
+// Tasks returns the task set the fitter was built over.
+func (s *Sharded) Tasks() []model.Task { return s.tasks }
+
+// Models exposes the per-shard inference models for advanced use (the
+// assignment coordinator, parameter inspection). Mutating them bypasses the
+// fitter's merge bookkeeping.
+func (s *Sharded) Models() []*core.Model { return s.models }
+
+// TotalAnswers returns the number of answers observed across all shards.
+func (s *Sharded) TotalAnswers() int {
+	n := 0
+	for _, m := range s.models {
+		n += m.Answers().Len()
+	}
+	return n
+}
+
+// AnswerCount returns the number of answers worker w has in shard si — the
+// weight their estimate from that shard carries in the merge.
+func (s *Sharded) AnswerCount(si int, w model.WorkerID) int { return s.counts[si][w] }

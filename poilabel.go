@@ -53,6 +53,7 @@ import (
 	"poilabel/internal/core"
 	"poilabel/internal/geo"
 	"poilabel/internal/model"
+	"poilabel/internal/shard"
 )
 
 // Re-exported domain types. See the internal/model package for full
@@ -359,6 +360,126 @@ func (f *Framework) LoadCheckpoint(path string) error { return f.m.LoadCheckpoin
 // inspection, custom assignment). Mutating it bypasses the framework's
 // budget accounting.
 func (f *Framework) Model() *core.Model { return f.m }
+
+// ShardOptions configure a ShardedModel. The zero value of each field means
+// "use the default".
+type ShardOptions struct {
+	// Shards is K, the number of geographic partitions. Zero means 4;
+	// values above the task count are clamped.
+	Shards int
+	// RefineSweeps is the number of cross-shard refinement sweeps per Fit:
+	// each sweep pushes the merged parameters of roaming workers (answers
+	// in more than one shard) back into their shards and refits. Zero means
+	// none.
+	RefineSweeps int
+	// Model configures every per-shard inference model. A zero Config means
+	// core.DefaultConfig.
+	Model core.Config
+}
+
+// ShardFitStats reports the outcome of a sharded fit. See the shard package
+// for field documentation.
+type ShardFitStats = shard.FitStats
+
+// ShardedModel fits the paper's inference model over K geographic shards of
+// one city's tasks. The answer graph is naturally near-block-diagonal by
+// geography, so shards fit concurrently (one full-EM run each) and merge:
+// per-task label posteriors concatenate directly, while roaming workers'
+// quality and distance-sensitivity estimates are averaged weighted by answer
+// count, optionally refined by cross-shard sweeps. Task assignment plans
+// AccOpt within each shard under a thin budget-balancing coordinator.
+//
+// Use a ShardedModel instead of a Framework when the workload is batch
+// oriented and large — city-scale answer logs where a single model's EM
+// becomes the wall-clock bottleneck (see PERFORMANCE.md for when sharding
+// helps). Methods are not safe for concurrent use; Fit and AssignTasks fan
+// out over the shards internally.
+type ShardedModel struct {
+	sh *shard.Sharded
+	co *shard.Coordinator
+}
+
+// NewShardedModel creates a sharded model over the given tasks and workers.
+// ID and location requirements match New; distances are normalized by the
+// bounding-box diameter of all task and worker locations, so per-shard
+// distances stay on the same scale as an unsharded model's.
+func NewShardedModel(tasks []Task, workers []Worker, opts ...ShardOptions) (*ShardedModel, error) {
+	var o ShardOptions
+	switch len(opts) {
+	case 0:
+	case 1:
+		o = opts[0]
+	default:
+		return nil, errors.New("poilabel: pass at most one ShardOptions")
+	}
+	var pts []Point
+	for i := range tasks {
+		pts = append(pts, tasks[i].Location)
+	}
+	for i := range workers {
+		if len(workers[i].Locations) == 0 {
+			return nil, fmt.Errorf("poilabel: worker %d has no locations", i)
+		}
+		pts = append(pts, workers[i].Locations...)
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("poilabel: no tasks")
+	}
+	sh, err := shard.New(tasks, workers, geo.NormalizerFor(pts), shard.Config{
+		Shards:       o.Shards,
+		RefineSweeps: o.RefineSweeps,
+		Model:        o.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedModel{sh: sh, co: shard.NewCoordinator(sh)}, nil
+}
+
+// SubmitAnswer routes one worker answer to the shard owning its task. Unlike
+// the Framework, a ShardedModel does not update estimates per answer; call
+// Fit after a batch.
+func (sm *ShardedModel) SubmitAnswer(a Answer) error { return sm.sh.Observe(a) }
+
+// Fit runs full EM on every shard concurrently, merges roaming-worker
+// estimates, and runs the configured refinement sweeps.
+func (sm *ShardedModel) Fit() ShardFitStats { return sm.sh.Fit() }
+
+// Results returns the current city-wide inference, concatenated over shards.
+func (sm *ShardedModel) Results() *Result { return sm.sh.Result() }
+
+// AssignTasks chooses up to h tasks per requesting worker — AccOpt planned
+// inside each worker's home shard — spending at most budget (worker, task)
+// pairs in total; a negative budget means unlimited. Returned task IDs are
+// global. The call is stateless: the caller owns budget accounting across
+// rounds.
+func (sm *ShardedModel) AssignTasks(workers []WorkerID, h, budget int) (map[WorkerID][]TaskID, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("poilabel: non-positive h %d", h)
+	}
+	for _, w := range workers {
+		if int(w) < 0 || int(w) >= len(sm.sh.Workers()) {
+			return nil, fmt.Errorf("poilabel: unknown worker %d", w)
+		}
+	}
+	return sm.co.Assign(workers, h, budget), nil
+}
+
+// WorkerQuality returns the merged estimate of P(i_w = 1): for a roaming
+// worker, the answer-count-weighted average over the shards they answered in.
+func (sm *ShardedModel) WorkerQuality(w WorkerID) float64 { return sm.sh.WorkerQuality(w) }
+
+// DistanceSensitivity returns the merged sensitivity weights of worker w
+// over the distance-function set, from steepest to widest.
+func (sm *ShardedModel) DistanceSensitivity(w WorkerID) []float64 {
+	return sm.sh.DistanceSensitivity(w)
+}
+
+// NumShards returns the number of geographic shards actually in use.
+func (sm *ShardedModel) NumShards() int { return sm.sh.NumShards() }
+
+// TaskShard returns the shard owning task t.
+func (sm *ShardedModel) TaskShard(t TaskID) int { return sm.sh.TaskShard(t) }
 
 // MajorityVote runs the MV baseline over an external answer log.
 // It is a convenience for comparing the paper's model with naive

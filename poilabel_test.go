@@ -238,6 +238,137 @@ func TestFrameworkIntrospection(t *testing.T) {
 	}
 }
 
+func TestShardedModelEndToEnd(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(5))
+	sm, err := NewShardedModel(tasks, workers, ShardOptions{Shards: 4, RefineSweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sm.NumShards())
+	}
+
+	// Batch-collect answers: every worker answers every task, worker 3 is a
+	// spammer.
+	for wi := range workers {
+		for ti := range tasks {
+			p := 0.9
+			if wi == 3 {
+				p = 0.5
+			}
+			if err := sm.SubmitAnswer(answer(WorkerID(wi), TaskID(ti), truth, p, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := sm.Fit()
+	if !st.Converged {
+		t.Error("sharded fit did not converge")
+	}
+	if st.Roaming == 0 {
+		t.Error("workers answering every task should roam across shards")
+	}
+
+	res := sm.Results()
+	if len(res.Inferred) != len(tasks) {
+		t.Fatalf("result covers %d tasks, want %d", len(res.Inferred), len(tasks))
+	}
+	if acc := Accuracy(res, truth); acc < 0.7 {
+		t.Errorf("sharded accuracy = %v, want >= 0.7", acc)
+	}
+	if sm.WorkerQuality(0) <= sm.WorkerQuality(3) {
+		t.Errorf("good worker quality %v <= spammer %v", sm.WorkerQuality(0), sm.WorkerQuality(3))
+	}
+	if pdw := sm.DistanceSensitivity(0); len(pdw) == 0 {
+		t.Error("empty sensitivity vector")
+	}
+	for ti := range tasks {
+		if s := sm.TaskShard(TaskID(ti)); s < 0 || s >= sm.NumShards() {
+			t.Fatalf("task %d mapped to shard %d", ti, s)
+		}
+	}
+}
+
+func TestShardedModelAssignTasks(t *testing.T) {
+	tasks, workers, truth := tinyWorld()
+	rng := rand.New(rand.NewSource(6))
+	sm, err := NewShardedModel(tasks, workers, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sparse warm-up log leaves every worker undone tasks to be assigned.
+	for wi := range workers {
+		if err := sm.SubmitAnswer(answer(WorkerID(wi), TaskID(wi), truth, 0.9, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm.Fit()
+
+	all := []WorkerID{0, 1, 2, 3}
+	a, err := sm.AssignTasks(all, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w, ts := range a {
+		if len(ts) > 2 {
+			t.Fatalf("worker %d got %d tasks, h=2", w, len(ts))
+		}
+		total += len(ts)
+	}
+	if total == 0 {
+		t.Fatal("empty unlimited assignment")
+	}
+
+	b, err := sm.AssignTasks(all, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ts := range b {
+		n += len(ts)
+	}
+	if n != 3 {
+		t.Fatalf("budgeted assignment used %d of 3", n)
+	}
+
+	if _, err := sm.AssignTasks([]WorkerID{99}, 2, -1); err == nil {
+		t.Error("unknown worker accepted")
+	}
+	if _, err := sm.AssignTasks(all, 0, -1); err == nil {
+		t.Error("non-positive h accepted")
+	}
+}
+
+func TestNewShardedModelValidation(t *testing.T) {
+	tasks, workers, _ := tinyWorld()
+	if _, err := NewShardedModel(nil, workers); err == nil {
+		t.Error("no tasks accepted")
+	}
+	badID := append([]Task(nil), tasks...)
+	badID[3].ID = 9
+	if _, err := NewShardedModel(badID, workers); err == nil {
+		t.Error("non-dense task IDs accepted")
+	}
+	noLoc := append([]Worker(nil), workers...)
+	noLoc[1].Locations = nil
+	if _, err := NewShardedModel(tasks, noLoc); err == nil {
+		t.Error("worker without locations accepted")
+	}
+	if _, err := NewShardedModel(tasks, workers, ShardOptions{}, ShardOptions{}); err == nil {
+		t.Error("two option structs accepted")
+	}
+	// Shard counts above the task count clamp.
+	sm, err := NewShardedModel(tasks, workers, ShardOptions{Shards: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.NumShards() != len(tasks) {
+		t.Errorf("NumShards = %d, want clamp to %d", sm.NumShards(), len(tasks))
+	}
+}
+
 func TestMajorityVoteHelper(t *testing.T) {
 	tasks, _, _ := tinyWorld()
 	answers := []Answer{
