@@ -1,0 +1,135 @@
+// Command poiserve runs the poilabel Service as an HTTP/JSON server — the
+// system's front door for driving it as an actual service.
+//
+// Usage:
+//
+//	poiserve [-addr :8080] [-engine single|sharded|federated]
+//	         [-shards K] [-cities N] [-budget N] [-h N]
+//	         [-assigner accopt|marginal|sf|entropy|random]
+//	         [-fullem N] [-demo N] [-seed N]
+//
+// The server starts empty: register tasks and workers over HTTP, stream
+// answers, request assignments, and read results (see internal/serve for
+// the endpoint list, or GET /healthz for liveness). With -demo N a
+// deterministic synthetic world — the Beijing dataset of the reproduction
+// experiments plus N simulated workers — is pre-registered so the server is
+// immediately usable:
+//
+//	poiserve -demo 30 -engine sharded -shards 4 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/assignments -d '{"workers":["w0","w1"]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"poilabel"
+	"poilabel/internal/crowd"
+	"poilabel/internal/dataset"
+	"poilabel/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	engine := flag.String("engine", "single", "engine: single, sharded, or federated")
+	shards := flag.Int("shards", 0, "geographic shards per city (sharded/federated engines; 0 = default)")
+	cities := flag.Int("cities", 0, "city partitions (federated engine; 0 = default)")
+	budget := flag.Int("budget", -1, "total assignment budget (-1 = unlimited)")
+	h := flag.Int("h", 2, "tasks handed to each requesting worker")
+	assigner := flag.String("assigner", "accopt", "single-engine assigner: accopt, marginal, sf, entropy, or random")
+	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only)")
+	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
+	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
+	flag.Parse()
+
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo int, seed int64) error {
+	opts := []poilabel.ServiceOption{
+		poilabel.WithBudget(budget),
+		poilabel.WithTasksPerRequest(h),
+		poilabel.WithFullEMInterval(fullEM),
+		poilabel.WithSeed(seed),
+		poilabel.WithShards(shards),
+		poilabel.WithCities(cities),
+	}
+	switch engine {
+	case "single":
+		opts = append(opts, poilabel.WithEngine(poilabel.EngineSingle))
+	case "sharded":
+		opts = append(opts, poilabel.WithEngine(poilabel.EngineSharded))
+	case "federated":
+		opts = append(opts, poilabel.WithEngine(poilabel.EngineFederated))
+	default:
+		return fmt.Errorf("unknown engine %q (want single, sharded, or federated)", engine)
+	}
+	switch assigner {
+	case "accopt":
+		opts = append(opts, poilabel.WithAssigner(poilabel.AssignerAccOpt))
+	case "marginal":
+		opts = append(opts, poilabel.WithAssigner(poilabel.AssignerMarginalGreedy))
+	case "sf":
+		opts = append(opts, poilabel.WithAssigner(poilabel.AssignerSpatialFirst))
+	case "entropy":
+		opts = append(opts, poilabel.WithAssigner(poilabel.AssignerEntropy))
+	case "random":
+		opts = append(opts, poilabel.WithAssigner(poilabel.AssignerRandom))
+	default:
+		return fmt.Errorf("unknown assigner %q (want accopt, marginal, sf, entropy, or random)", assigner)
+	}
+
+	svc, err := poilabel.NewService(opts...)
+	if err != nil {
+		return err
+	}
+	if demo > 0 {
+		if err := seedDemoWorld(svc, demo, seed); err != nil {
+			return err
+		}
+		log.Printf("demo world registered: %d tasks, %d workers", svc.NumTasks(), svc.NumWorkers())
+	}
+
+	log.Printf("poiserve listening on %s (engine %s, budget %d, h %d)", addr, engine, budget, h)
+	return http.ListenAndServe(addr, serve.NewHandler(svc))
+}
+
+// seedDemoWorld registers the synthetic Beijing dataset and a simulated
+// worker population, so the server answers assignment and result queries
+// out of the box. Task IDs are t0..tN-1 and worker IDs w0..wM-1.
+func seedDemoWorld(svc *poilabel.Service, numWorkers int, seed int64) error {
+	data := dataset.Beijing(seed)
+	for i, t := range data.Tasks {
+		if err := svc.AddTask(fmt.Sprintf("t%d", i), poilabel.TaskSpec{
+			Name:     t.Name,
+			Location: t.Location,
+			Labels:   t.Labels,
+			Reviews:  t.Reviews,
+		}); err != nil {
+			return err
+		}
+	}
+	cfg := crowd.DefaultPopulation(data.Bounds)
+	cfg.NumWorkers = numWorkers
+	workers, _, err := crowd.GeneratePopulation(cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return err
+	}
+	for i, w := range workers {
+		if err := svc.AddWorker(fmt.Sprintf("w%d", i), poilabel.WorkerSpec{
+			Name:      w.Name,
+			Locations: w.Locations,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

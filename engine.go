@@ -1,0 +1,236 @@
+package poilabel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/core"
+	"poilabel/internal/federation"
+	"poilabel/internal/geo"
+	"poilabel/internal/shard"
+)
+
+// EngineKind selects the inference/assignment backend behind a Service.
+type EngineKind int
+
+// Available engines. See PERFORMANCE.md for guidance on choosing one.
+const (
+	// EngineSingle runs one inference model over the whole task set:
+	// per-answer incremental EM with periodic full fits. The right choice
+	// for interactive workloads up to one city's scale.
+	EngineSingle EngineKind = iota
+	// EngineSharded partitions one city's tasks into K geographic shards
+	// fitted concurrently (internal/shard). The right choice for batch
+	// workloads where a single model's full EM is the wall-clock
+	// bottleneck.
+	EngineSharded
+	// EngineFederated routes tasks and workers across per-city sharded
+	// instances by geography (internal/federation), merging cross-city
+	// worker estimates the same answer-count-weighted way shards do. The
+	// right choice when the task universe spans several cities.
+	EngineFederated
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineSingle:
+		return "single"
+	case EngineSharded:
+		return "sharded"
+	case EngineFederated:
+		return "federated"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// Engine is the backend behind a Service: an inference model plus a task
+// assigner over dense task/worker indices. The Service owns ID interning,
+// budget accounting, pending-pair dedup, and locking; engines only infer
+// and plan. The three implementations are selected with WithEngine.
+//
+// Engines are not safe for concurrent use on their own — the Service
+// serializes access.
+type Engine interface {
+	// Name returns the engine's short display name.
+	Name() string
+	// Observe appends an answer to the log without updating estimates.
+	Observe(a Answer) error
+	// Learn appends an answer and applies the engine's cheap per-answer
+	// update where it has one (incremental EM for the single engine);
+	// batch engines just observe.
+	Learn(a Answer) error
+	// Fit runs a full fit, reporting convergence. The context is honored
+	// between EM iterations.
+	Fit(ctx context.Context) (converged bool, err error)
+	// Result returns the current inference over all tasks in dense order.
+	Result() *Result
+	// Assign plans up to h tasks per requesting worker, spending at most
+	// budget pairs (negative budget means unlimited). Pairs for which skip
+	// returns true are excluded during planning; skip may be nil.
+	Assign(workers []WorkerID, h, budget int, skip func(WorkerID, TaskID) bool) map[WorkerID][]TaskID
+	// AddTask registers a task with the next dense index.
+	AddTask(t Task) error
+	// AddWorker registers a worker with the next dense index.
+	AddWorker(w Worker) error
+	// WorkerQuality returns the estimated P(i_w = 1).
+	WorkerQuality(w WorkerID) float64
+	// DistanceSensitivity returns a copy of the worker's estimated
+	// sensitivity multinomial over the distance-function set.
+	DistanceSensitivity(w WorkerID) []float64
+}
+
+// newAssigner builds the configured assignment strategy. Every assigner in
+// the assign package supports planner-level pair exclusion, which the
+// pending-dedup contract relies on.
+func newAssigner(kind AssignerKind, tasks []Task, seed int64) (assign.ExcludingAssigner, error) {
+	switch kind {
+	case AssignerAccOpt:
+		return assign.NewPlanner(), nil
+	case AssignerSpatialFirst:
+		return assign.NewSpatialFirst(tasks), nil
+	case AssignerRandom:
+		return assign.Random{Rand: rand.New(rand.NewSource(seed))}, nil
+	case AssignerEntropy:
+		return assign.EntropyFirst{}, nil
+	case AssignerMarginalGreedy:
+		return assign.NewMarginalPlanner(), nil
+	}
+	return nil, fmt.Errorf("poilabel: unknown assigner kind %d", kind)
+}
+
+// singleEngine backs a Service with one core.Model — the paper's framework
+// path: incremental EM per answer, full EM on demand.
+type singleEngine struct {
+	m   *core.Model
+	asg assign.ExcludingAssigner
+}
+
+func newSingleEngine(tasks []Task, workers []Worker, norm geo.Normalizer, cfg core.Config, asgKind AssignerKind, seed int64) (*singleEngine, error) {
+	m, err := core.NewModel(tasks, workers, norm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := newAssigner(asgKind, tasks, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &singleEngine{m: m, asg: asg}, nil
+}
+
+func (e *singleEngine) Name() string           { return "single" }
+func (e *singleEngine) Observe(a Answer) error { return e.m.Observe(a) }
+func (e *singleEngine) Learn(a Answer) error   { return e.m.Update(a) }
+
+func (e *singleEngine) Fit(ctx context.Context) (bool, error) {
+	st, err := e.m.FitContext(ctx)
+	return st.Converged, err
+}
+
+func (e *singleEngine) Result() *Result { return e.m.Result() }
+
+func (e *singleEngine) Assign(workers []WorkerID, h, budget int, skip func(WorkerID, TaskID) bool) map[WorkerID][]TaskID {
+	if h <= 0 || budget == 0 {
+		return map[WorkerID][]TaskID{}
+	}
+	return assign.Trim(e.asg.AssignExcluding(e.m, workers, h, skip), budget)
+}
+
+func (e *singleEngine) AddTask(t Task) error {
+	if err := e.m.AddTask(t); err != nil {
+		return err
+	}
+	// SpatialFirst holds a grid index over task locations frozen at
+	// construction; rebuild it so the new task is discoverable. The other
+	// assigners read m.Tasks() directly and need nothing.
+	if _, ok := e.asg.(*assign.SpatialFirst); ok {
+		e.asg = assign.NewSpatialFirst(e.m.Tasks())
+	}
+	return nil
+}
+func (e *singleEngine) AddWorker(w Worker) error         { return e.m.AddWorker(w) }
+func (e *singleEngine) WorkerQuality(w WorkerID) float64 { return e.m.WorkerQuality(w) }
+func (e *singleEngine) DistanceSensitivity(w WorkerID) []float64 {
+	return append([]float64(nil), e.m.Params().PDW[w]...)
+}
+
+// Model exposes the underlying inference model (Framework compatibility and
+// advanced inspection).
+func (e *singleEngine) Model() *core.Model { return e.m }
+
+// shardedEngine backs a Service with one city's geo-sharded fitter and its
+// budget-balancing coordinator.
+type shardedEngine struct {
+	sh        *shard.Sharded
+	co        *shard.Coordinator
+	lastStats ShardFitStats
+}
+
+func newShardedEngine(tasks []Task, workers []Worker, norm geo.Normalizer, cfg shard.Config) (*shardedEngine, error) {
+	sh, err := shard.New(tasks, workers, norm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedEngine{sh: sh, co: shard.NewCoordinator(sh)}, nil
+}
+
+func (e *shardedEngine) Name() string           { return "sharded" }
+func (e *shardedEngine) Observe(a Answer) error { return e.sh.Observe(a) }
+func (e *shardedEngine) Learn(a Answer) error   { return e.sh.Observe(a) }
+
+func (e *shardedEngine) Fit(ctx context.Context) (bool, error) {
+	st, err := e.sh.FitContext(ctx)
+	e.lastStats = st
+	return st.Converged, err
+}
+
+func (e *shardedEngine) Result() *Result { return e.sh.Result() }
+
+func (e *shardedEngine) Assign(workers []WorkerID, h, budget int, skip func(WorkerID, TaskID) bool) map[WorkerID][]TaskID {
+	return e.co.AssignExcluding(workers, h, budget, skip)
+}
+
+func (e *shardedEngine) AddTask(t Task) error             { return e.sh.AddTask(t) }
+func (e *shardedEngine) AddWorker(w Worker) error         { return e.sh.AddWorker(w) }
+func (e *shardedEngine) WorkerQuality(w WorkerID) float64 { return e.sh.WorkerQuality(w) }
+func (e *shardedEngine) DistanceSensitivity(w WorkerID) []float64 {
+	return e.sh.DistanceSensitivity(w)
+}
+
+// federatedEngine backs a Service with per-city sharded instances behind the
+// federation router.
+type federatedEngine struct {
+	fed *federation.Federation
+}
+
+func newFederatedEngine(tasks []Task, workers []Worker, norm geo.Normalizer, cfg federation.Config) (*federatedEngine, error) {
+	fed, err := federation.New(tasks, workers, norm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &federatedEngine{fed: fed}, nil
+}
+
+func (e *federatedEngine) Name() string           { return "federated" }
+func (e *federatedEngine) Observe(a Answer) error { return e.fed.Observe(a) }
+func (e *federatedEngine) Learn(a Answer) error   { return e.fed.Observe(a) }
+
+func (e *federatedEngine) Fit(ctx context.Context) (bool, error) {
+	st, err := e.fed.FitContext(ctx)
+	return st.Converged, err
+}
+
+func (e *federatedEngine) Result() *Result { return e.fed.Result() }
+
+func (e *federatedEngine) Assign(workers []WorkerID, h, budget int, skip func(WorkerID, TaskID) bool) map[WorkerID][]TaskID {
+	return e.fed.Assign(workers, h, budget, skip)
+}
+
+func (e *federatedEngine) AddTask(t Task) error             { return e.fed.AddTask(t) }
+func (e *federatedEngine) AddWorker(w Worker) error         { return e.fed.AddWorker(w) }
+func (e *federatedEngine) WorkerQuality(w WorkerID) float64 { return e.fed.WorkerQuality(w) }
+func (e *federatedEngine) DistanceSensitivity(w WorkerID) []float64 {
+	return e.fed.DistanceSensitivity(w)
+}

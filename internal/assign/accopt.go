@@ -35,6 +35,11 @@ func (AccOpt) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment 
 	return NewPlanner().Assign(m, workers, h)
 }
 
+// AssignExcluding implements ExcludingAssigner.
+func (AccOpt) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+	return NewPlanner().AssignExcluding(m, workers, h, skip)
+}
+
 // MarginalGreedy is an ablation variant of AccOpt whose improvement matrix
 // stores the marginal gain Δ(Ŵ(t) ∪ {w}) − Δ(Ŵ(t)) of adding w, the
 // textbook greedy for a submodular-style objective.
@@ -46,6 +51,11 @@ func (MarginalGreedy) Name() string { return "AccOpt-marginal" }
 // Assign implements Assigner.
 func (MarginalGreedy) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
 	return NewMarginalPlanner().Assign(m, workers, h)
+}
+
+// AssignExcluding implements ExcludingAssigner.
+func (MarginalGreedy) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+	return NewMarginalPlanner().AssignExcluding(m, workers, h, skip)
 }
 
 var unavailable = math.Inf(-1)
@@ -131,6 +141,14 @@ func (pl *Planner) grow(nW, nT int) {
 // worker's rows (including the model's per-worker distance cache) to be
 // owned by exactly one goroutine.
 func (pl *Planner) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return pl.AssignExcluding(m, workers, h, nil)
+}
+
+// AssignExcluding implements ExcludingAssigner: pairs for which skip returns
+// true are marked unavailable in the improvement matrix, exactly like
+// already-answered pairs, so the greedy spends each worker's h picks on
+// assignable pairs only.
+func (pl *Planner) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	workers = pl.dedupWorkers(workers)
 	est := NewEstimator(m)
 	tasks := m.Tasks()
@@ -173,7 +191,7 @@ func (pl *Planner) Assign(m *core.Model, workers []model.WorkerID, h int) Assign
 		prow, drow := pl.p[i], pl.delta[i]
 		for t := 0; t < nT; t++ {
 			tid := model.TaskID(t)
-			if answers.Has(w, tid) {
+			if answers.Has(w, tid) || (skip != nil && skip(w, tid)) {
 				drow[t] = unavailable
 				prow[t] = 0
 				continue

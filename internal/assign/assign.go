@@ -43,6 +43,25 @@ type Assigner interface {
 	Assign(m *core.Model, workers []model.WorkerID, h int) Assignment
 }
 
+// SkipFunc reports whether a (worker, task) pair must be excluded from an
+// assignment round on top of the already-answered pairs — typically because
+// the pair was handed out earlier and is still pending an answer. Planning
+// may fan out over goroutines, so a SkipFunc must be safe for concurrent
+// calls; a map that is read-only for the duration of the round is fine.
+type SkipFunc func(model.WorkerID, model.TaskID) bool
+
+// ExcludingAssigner is implemented by assigners that can exclude arbitrary
+// pairs during planning, so excluded pairs never crowd out a worker's h
+// picks. All assigners in this package implement it; the serving layer uses
+// it for pending-pair dedup.
+type ExcludingAssigner interface {
+	Assigner
+	// AssignExcluding is Assign with pairs for which skip returns true
+	// treated exactly like already-answered pairs. A nil skip excludes
+	// nothing.
+	AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment
+}
+
 // Random assigns h undone tasks uniformly at random to each worker — the
 // paper's RANDOM baseline.
 type Random struct {
@@ -54,14 +73,20 @@ func (Random) Name() string { return "Random" }
 
 // Assign implements Assigner.
 func (r Random) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return r.AssignExcluding(m, workers, h, nil)
+}
+
+// AssignExcluding implements ExcludingAssigner.
+func (r Random) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	out := make(Assignment, len(workers))
 	tasks := m.Tasks()
 	answers := m.Answers()
 	for _, w := range workers {
 		var avail []model.TaskID
 		for t := range tasks {
-			if !answers.Has(w, model.TaskID(t)) {
-				avail = append(avail, model.TaskID(t))
+			tid := model.TaskID(t)
+			if !answers.Has(w, tid) && (skip == nil || !skip(w, tid)) {
+				avail = append(avail, tid)
 			}
 		}
 		r.Rand.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
@@ -95,12 +120,20 @@ func (*SpatialFirst) Name() string { return "SF" }
 
 // Assign implements Assigner.
 func (s *SpatialFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return s.AssignExcluding(m, workers, h, nil)
+}
+
+// AssignExcluding implements ExcludingAssigner.
+func (s *SpatialFirst) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	out := make(Assignment, len(workers))
 	answers := m.Answers()
 	allWorkers := m.Workers()
 	tasks := m.Tasks()
 	for _, w := range workers {
-		accept := func(i int) bool { return !answers.Has(w, model.TaskID(i)) }
+		accept := func(i int) bool {
+			tid := model.TaskID(i)
+			return !answers.Has(w, tid) && (skip == nil || !skip(w, tid))
+		}
 		// Query the nearest candidates from each of the worker's
 		// locations, then merge by true (minimum-over-locations) distance.
 		seen := make(map[int]bool)

@@ -22,7 +22,12 @@ type EntropyFirst struct{}
 func (EntropyFirst) Name() string { return "Entropy" }
 
 // Assign implements Assigner.
-func (EntropyFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+func (e EntropyFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
+	return e.AssignExcluding(m, workers, h, nil)
+}
+
+// AssignExcluding implements ExcludingAssigner.
+func (EntropyFirst) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	tasks := m.Tasks()
 	answers := m.Answers()
 	params := m.Params()
@@ -54,7 +59,7 @@ func (EntropyFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assig
 			if len(out[w]) >= h {
 				break
 			}
-			if !answers.Has(w, s.t) {
+			if !answers.Has(w, s.t) && (skip == nil || !skip(w, s.t)) {
 				out[w] = append(out[w], s.t)
 			}
 		}

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+func TestAddTaskAndWorkerGrowTheModel(t *testing.T) {
+	f := newFixture(4, 3, 3, 1)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	m := f.model(t, cfg)
+	rng := rand.New(rand.NewSource(2))
+
+	// Warm the distance cache so AddTask must extend existing rows.
+	for w := range f.workers {
+		for ti := range f.tasks {
+			m.Distance(model.WorkerID(w), model.TaskID(ti))
+		}
+	}
+	for ti := 0; ti < 4; ti++ {
+		for w := 0; w < 3; w++ {
+			if err := m.Observe(f.answerAs(model.WorkerID(w), model.TaskID(ti), 0.9, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Fit()
+
+	nt := model.TaskID(len(f.tasks))
+	task := model.Task{ID: nt, Name: "late", Location: geo.Pt(5, 5), Labels: []string{"x", "y"}}
+	if err := m.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	nw := model.WorkerID(len(f.workers))
+	worker := model.Worker{ID: nw, Name: "late", Locations: []geo.Point{geo.Pt(1, 1)}}
+	if err := m.AddWorker(worker); err != nil {
+		t.Fatal(err)
+	}
+
+	// New parameters sit at the construction-time priors.
+	p := m.Params()
+	for _, pz := range p.PZ[nt] {
+		if pz != cfg.InitPZ {
+			t.Fatalf("new task prior = %v, want %v", pz, cfg.InitPZ)
+		}
+	}
+	if p.PI[nw] != cfg.InitPI {
+		t.Fatalf("new worker quality = %v, want %v", p.PI[nw], cfg.InitPI)
+	}
+
+	// The new pair is fully usable: distances, answers, another fit.
+	if d := m.Distance(nw, nt); d < 0 || d > 1 {
+		t.Fatalf("distance for new pair = %v", d)
+	}
+	a := model.Answer{Worker: nw, Task: nt, Selected: []bool{true, false}}
+	if err := m.Observe(a); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Fit(); st.Iterations == 0 {
+		t.Fatal("fit after growth ran no iterations")
+	}
+	if got := len(m.Tasks()); got != 5 {
+		t.Fatalf("task count = %d, want 5", got)
+	}
+	if got := len(m.Workers()); got != 4 {
+		t.Fatalf("worker count = %d, want 4", got)
+	}
+}
+
+func TestAddTaskAndWorkerValidation(t *testing.T) {
+	f := newFixture(2, 2, 2, 3)
+	m := f.model(t, core.DefaultConfig())
+
+	if err := m.AddTask(model.Task{ID: 7, Labels: []string{"a"}, Location: geo.Pt(0, 0)}); err == nil {
+		t.Error("non-dense task ID accepted")
+	}
+	if err := m.AddTask(model.Task{ID: 2, Location: geo.Pt(0, 0)}); err == nil {
+		t.Error("task without labels accepted")
+	}
+	if err := m.AddWorker(model.Worker{ID: 9, Locations: []geo.Point{geo.Pt(0, 0)}}); err == nil {
+		t.Error("non-dense worker ID accepted")
+	}
+	if err := m.AddWorker(model.Worker{ID: 2}); err == nil {
+		t.Error("worker without locations accepted")
+	}
+}
+
+func TestFitContextCancellation(t *testing.T) {
+	f := newFixture(6, 3, 4, 4)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	m := f.model(t, cfg)
+	rng := rand.New(rand.NewSource(5))
+	for ti := range f.tasks {
+		for w := range f.workers {
+			if err := m.Observe(f.answerAs(model.WorkerID(w), model.TaskID(ti), 0.8, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := m.FitContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitContext error = %v, want context.Canceled", err)
+	}
+	if st.Iterations != 0 || st.Converged {
+		t.Fatalf("pre-canceled fit ran: %+v", st)
+	}
+
+	// A live context behaves exactly like Fit.
+	st, err = m.FitContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations == 0 {
+		t.Fatal("live-context fit ran no iterations")
+	}
+}

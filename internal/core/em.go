@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -369,6 +370,17 @@ func (m *Model) normalizeSmoothed(dst, src []float64) {
 // maximum parameter change drops below Tol or MaxIter is reached. With
 // Config.Parallelism > 1 the E-step fans out over that many goroutines.
 func (m *Model) Fit() FitStats {
+	stats, _ := m.FitContext(context.Background())
+	return stats
+}
+
+// FitContext is Fit with cooperative cancellation: the context is checked
+// once per EM iteration, so a long fit over a large answer log can be
+// abandoned between iterations. On cancellation the model keeps the
+// parameters of the last completed iteration — a valid (if unconverged)
+// estimate — and the context's error is returned alongside the stats
+// accumulated so far.
+func (m *Model) FitContext(ctx context.Context) (FitStats, error) {
 	start := time.Now()
 	stats := FitStats{}
 	// f-values are resolved at Observe time into the flat answer-indexed
@@ -386,6 +398,10 @@ func (m *Model) Fit() FitStats {
 	// instead of one per iteration.
 	spare := m.params.Clone()
 	for iter := 0; iter < m.cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, err
+		}
 		var acc *accumulators
 		if parallel {
 			acc = m.estepParallel(pool)
@@ -410,7 +426,7 @@ func (m *Model) Fit() FitStats {
 		}
 	}
 	stats.Elapsed = time.Since(start)
-	return stats
+	return stats, nil
 }
 
 // accPool holds the per-goroutine accumulators a parallel fit reuses

@@ -276,6 +276,53 @@ func (m *Model) SetWorkerParams(w model.WorkerID, pi float64, pdw []float64) err
 	return nil
 }
 
+// AddTask appends a task to the model after construction. The task's ID must
+// be the next dense index (len(Tasks())); its labels start at the InitPZ
+// prior and its POI influence at the uniform multinomial, exactly as at
+// construction time. Existing estimates, the answer log, and the flat
+// answer-indexed stores are untouched, so the EM hot paths see the new task
+// only through answers that mention it.
+func (m *Model) AddTask(t model.Task) error {
+	if int(t.ID) != len(m.tasks) {
+		return fmt.Errorf("core: new task has ID %d, want next dense index %d", t.ID, len(m.tasks))
+	}
+	if len(t.Labels) == 0 {
+		return fmt.Errorf("core: new task %d has no labels", t.ID)
+	}
+	m.tasks = append(m.tasks, t)
+	pz := make([]float64, len(t.Labels))
+	for k := range pz {
+		pz[k] = m.cfg.InitPZ
+	}
+	m.params.PZ = append(m.params.PZ, pz)
+	m.params.PDT = append(m.params.PDT, m.cfg.FuncSet.Uniform())
+	// Cached distance rows were sized to the old task count; extend them
+	// with the unset marker so the new column is computed on first query.
+	for w := range m.dist {
+		if m.dist[w] != nil {
+			m.dist[w] = append(m.dist[w], -1)
+		}
+	}
+	return nil
+}
+
+// AddWorker appends a worker to the model after construction. The worker's ID
+// must be the next dense index (len(Workers())); their quality starts at the
+// InitPI prior and their distance sensitivity at the uniform multinomial.
+func (m *Model) AddWorker(w model.Worker) error {
+	if int(w.ID) != len(m.workers) {
+		return fmt.Errorf("core: new worker has ID %d, want next dense index %d", w.ID, len(m.workers))
+	}
+	if len(w.Locations) == 0 {
+		return fmt.Errorf("core: new worker %d has no locations", w.ID)
+	}
+	m.workers = append(m.workers, w)
+	m.params.PI = append(m.params.PI, m.cfg.InitPI)
+	m.params.PDW = append(m.params.PDW, m.cfg.FuncSet.Uniform())
+	m.dist = append(m.dist, nil)
+	return nil
+}
+
 // DistanceAwareQuality returns DQ_w(d) for worker w at normalized distance
 // d: the mixture of the function set under the worker's current sensitivity
 // distribution (Definition 5).

@@ -1,0 +1,460 @@
+// Package federation runs the POI-labelling framework over several cities at
+// once: the task universe is carved into geographic cities, each city is
+// fitted by its own geo-sharded fitter (internal/shard), and one federation
+// object routes answers and assignment requests to the right city and merges
+// what crosses city lines.
+//
+// The layering mirrors the parameter structure one level above the shard
+// package. Per-task quantities never leave their city and concatenate
+// directly into the federation-wide result. Per-worker quantities can cross
+// cities — a traveller may answer tasks in Beijing and Shanghai — and are
+// merged exactly the way shards merge them: the answer-count-weighted
+// average of each city's (already shard-merged) estimate, with a
+// single-city worker's estimate copied verbatim so a federation of one city
+// is bit-identical to that city's sharded fit.
+//
+// Task assignment reuses the shard coordinator per city and balances the
+// round's budget across cities proportionally to each city's realizable
+// demand — the same largest-remainder Shares/Trim machinery the coordinator
+// applies across shards, applied once more across cities.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"poilabel/internal/assign"
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+	"poilabel/internal/shard"
+)
+
+// DefaultCities is the city count used when Config.Cities is zero.
+const DefaultCities = 2
+
+// Config configures a federation.
+type Config struct {
+	// Cities is the number of geographic city partitions. Zero means
+	// DefaultCities; values above the task count are clamped to it.
+	Cities int
+	// Shard configures every city's geo-sharded fitter (shard count,
+	// refinement sweeps, model config).
+	Shard shard.Config
+}
+
+// Federation fits the inference model over C geographic cities, each backed
+// by a per-city sharded fitter over the full worker pool. Answers are routed
+// to the city owning their task; Fit runs the cities concurrently and merges
+// cross-city worker estimates.
+//
+// Federation is not safe for concurrent use by multiple goroutines; Fit and
+// Assign fan out over the cities internally.
+type Federation struct {
+	cfg     Config
+	tasks   []model.Task
+	workers []model.Worker
+
+	parts   [][]int    // city -> global task indices, ascending
+	cityOf  []int32    // global task -> city
+	localOf []int32    // global task -> dense city-local index
+	regions []geo.Rect // bounding box of each city's task locations
+
+	cities []*shard.Sharded
+	coords []*shard.Coordinator
+	counts [][]int // counts[c][w]: answers by worker w routed to city c
+
+	// Merged per-worker estimates, refreshed by Fit.
+	pi  []float64
+	pdw [][]float64
+}
+
+// New creates a federation. Task and worker IDs must be dense indices
+// (0..len-1); the normalizer should span the whole federation so distances in
+// every city stay on one scale.
+func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Config) (*Federation, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("federation: no tasks")
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("federation: no workers")
+	}
+	for i := range tasks {
+		if int(tasks[i].ID) != i {
+			return nil, fmt.Errorf("federation: task at index %d has ID %d; IDs must be dense indices", i, tasks[i].ID)
+		}
+	}
+	for i := range workers {
+		if int(workers[i].ID) != i {
+			return nil, fmt.Errorf("federation: worker at index %d has ID %d; IDs must be dense indices", i, workers[i].ID)
+		}
+	}
+	if cfg.Cities < 0 {
+		return nil, fmt.Errorf("federation: negative city count %d", cfg.Cities)
+	}
+	if cfg.Cities == 0 {
+		cfg.Cities = DefaultCities
+	}
+	if cfg.Cities > len(tasks) {
+		cfg.Cities = len(tasks)
+	}
+	if cfg.Shard.Model.FuncSet == nil {
+		cfg.Shard.Model = core.DefaultConfig()
+	}
+
+	pts := make([]geo.Point, len(tasks))
+	for i := range tasks {
+		pts[i] = tasks[i].Location
+	}
+	f := &Federation{
+		cfg:     cfg,
+		tasks:   tasks,
+		workers: workers,
+		parts:   geo.KDPartition(pts, cfg.Cities),
+		cityOf:  make([]int32, len(tasks)),
+		localOf: make([]int32, len(tasks)),
+	}
+	for ci, part := range f.parts {
+		local := make([]model.Task, len(part))
+		locs := make([]geo.Point, len(part))
+		for j, g := range part {
+			local[j] = tasks[g].WithID(model.TaskID(j))
+			locs[j] = tasks[g].Location
+			f.cityOf[g] = int32(ci)
+			f.localOf[g] = int32(j)
+		}
+		sh, err := shard.New(local, workers, norm, cfg.Shard)
+		if err != nil {
+			return nil, err
+		}
+		f.cities = append(f.cities, sh)
+		f.coords = append(f.coords, shard.NewCoordinator(sh))
+		f.counts = append(f.counts, make([]int, len(workers)))
+		f.regions = append(f.regions, geo.Bound(locs))
+	}
+	f.pi = make([]float64, len(workers))
+	f.pdw = make([][]float64, len(workers))
+	for w := range workers {
+		f.pi[w] = cfg.Shard.Model.InitPI
+		f.pdw[w] = cfg.Shard.Model.FuncSet.Uniform()
+	}
+	return f, nil
+}
+
+// AddTask appends a task after construction. The task's ID must be the next
+// dense federation-wide index; it is routed to the city whose task region is
+// nearest to its location and appended to that city's fitter (which in turn
+// routes it to its nearest shard).
+func (f *Federation) AddTask(t model.Task) error {
+	if int(t.ID) != len(f.tasks) {
+		return fmt.Errorf("federation: new task has ID %d, want next dense index %d", t.ID, len(f.tasks))
+	}
+	ci := f.nearestRegion(t.Location)
+	local := t.WithID(model.TaskID(len(f.parts[ci])))
+	if err := f.cities[ci].AddTask(local); err != nil {
+		return err
+	}
+	f.tasks = append(f.tasks, t)
+	f.parts[ci] = append(f.parts[ci], int(t.ID))
+	f.cityOf = append(f.cityOf, int32(ci))
+	f.localOf = append(f.localOf, int32(local.ID))
+	f.regions[ci] = f.regions[ci].Union(geo.Rect{Min: t.Location, Max: t.Location})
+	return nil
+}
+
+// AddWorker appends a worker after construction. The worker's ID must be the
+// next dense index; the worker is registered with every city, like
+// construction-time workers.
+func (f *Federation) AddWorker(w model.Worker) error {
+	if int(w.ID) != len(f.workers) {
+		return fmt.Errorf("federation: new worker has ID %d, want next dense index %d", w.ID, len(f.workers))
+	}
+	for _, c := range f.cities {
+		if err := c.AddWorker(w); err != nil {
+			return err
+		}
+	}
+	f.workers = append(f.workers, w)
+	for ci := range f.counts {
+		f.counts[ci] = append(f.counts[ci], 0)
+	}
+	f.pi = append(f.pi, f.cfg.Shard.Model.InitPI)
+	f.pdw = append(f.pdw, f.cfg.Shard.Model.FuncSet.Uniform())
+	return nil
+}
+
+// nearestRegion returns the city whose task region is nearest to p (ties to
+// the lowest city index).
+func (f *Federation) nearestRegion(p geo.Point) int {
+	best, bestD := 0, p.Dist(f.regions[0].Clamp(p))
+	for ci := 1; ci < len(f.regions); ci++ {
+		if d := p.Dist(f.regions[ci].Clamp(p)); d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// Observe routes an answer to the city owning its task, remapping the task ID
+// to the city's local index. Like the underlying fitters it only appends to
+// the log; call Fit to update estimates.
+func (f *Federation) Observe(a model.Answer) error {
+	if int(a.Task) < 0 || int(a.Task) >= len(f.tasks) {
+		return fmt.Errorf("federation: answer references unknown task %d", a.Task)
+	}
+	if int(a.Worker) < 0 || int(a.Worker) >= len(f.workers) {
+		return fmt.Errorf("federation: answer references unknown worker %d", a.Worker)
+	}
+	ci := f.cityOf[a.Task]
+	local := a
+	local.Task = model.TaskID(f.localOf[a.Task])
+	if err := f.cities[ci].Observe(local); err != nil {
+		return err
+	}
+	f.counts[ci][a.Worker]++
+	return nil
+}
+
+// FitStats reports the outcome of a federated fit.
+type FitStats struct {
+	// Cities holds every city's sharded-fit stats.
+	Cities []shard.FitStats
+	// Converged reports whether every city's fit converged.
+	Converged bool
+	// Roaming is the number of workers with answers in more than one city.
+	Roaming int
+	// Elapsed is the wall-clock duration of the whole federated fit.
+	Elapsed time.Duration
+}
+
+// Fit runs every city's sharded fit concurrently and merges cross-city worker
+// estimates by answer-count-weighted averaging.
+func (f *Federation) Fit() FitStats {
+	st, _ := f.FitContext(context.Background())
+	return st
+}
+
+// FitContext is Fit with cooperative cancellation, propagated into every
+// city's per-shard EM loops. On cancellation the merged estimates are still
+// refreshed from whatever iteration each city reached.
+func (f *Federation) FitContext(ctx context.Context) (FitStats, error) {
+	start := time.Now()
+	st := FitStats{Cities: make([]shard.FitStats, len(f.cities))}
+	errs := make([]error, len(f.cities))
+	var wg sync.WaitGroup
+	for ci := range f.cities {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st.Cities[ci], errs[ci] = f.cities[ci].FitContext(ctx)
+		}(ci)
+	}
+	wg.Wait()
+	f.mergeWorkers()
+	st.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	st.Converged = true
+	for _, cs := range st.Cities {
+		if !cs.Converged {
+			st.Converged = false
+			break
+		}
+	}
+	for w := range f.workers {
+		if f.citiesOf(model.WorkerID(w)) > 1 {
+			st.Roaming++
+		}
+	}
+	return st, nil
+}
+
+// citiesOf returns the number of cities holding answers by worker w.
+func (f *Federation) citiesOf(w model.WorkerID) int {
+	n := 0
+	for ci := range f.cities {
+		if f.counts[ci][w] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeWorkers refreshes the merged per-worker estimates from the cities'
+// (already shard-merged) estimates, weighted by each city's answer count —
+// the same pooling the shard package applies across shards. Workers with
+// answers in a single city get that city's estimate copied verbatim, so a
+// one-city federation reproduces the underlying sharded fit exactly.
+func (f *Federation) mergeWorkers() {
+	for w := range f.workers {
+		wid := model.WorkerID(w)
+		total, contributors, last := 0, 0, -1
+		for ci := range f.cities {
+			if c := f.counts[ci][w]; c > 0 {
+				total += c
+				contributors++
+				last = ci
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if contributors == 1 {
+			f.pi[w] = f.cities[last].WorkerQuality(wid)
+			copy(f.pdw[w], f.cities[last].DistanceSensitivity(wid))
+			continue
+		}
+		pi := 0.0
+		pdw := f.pdw[w]
+		for j := range pdw {
+			pdw[j] = 0
+		}
+		for ci, c := range f.cities {
+			n := float64(f.counts[ci][w])
+			if n == 0 {
+				continue
+			}
+			pi += n * c.WorkerQuality(wid)
+			for j, v := range c.DistanceSensitivity(wid) {
+				pdw[j] += n * v
+			}
+		}
+		inv := 1 / float64(total)
+		f.pi[w] = pi * inv
+		for j := range pdw {
+			pdw[j] *= inv
+		}
+	}
+}
+
+// Assign chooses up to h tasks per requesting worker, spending at most budget
+// (worker, task) pairs in total (negative budget means unlimited). Each
+// worker is planned inside their home city (the city whose task region is
+// nearest to any of their locations); the budget is balanced across cities
+// proportionally to realizable demand, then each city's coordinator balances
+// its share across its shards. Pairs for which skip returns true are
+// excluded during planning; a nil skip excludes nothing. Returned task IDs
+// are federation-global.
+func (f *Federation) Assign(workers []model.WorkerID, h, budget int, skip assign.SkipFunc) assign.Assignment {
+	out := make(assign.Assignment)
+	if h <= 0 || len(workers) == 0 || budget == 0 {
+		return out
+	}
+
+	byCity := make([][]model.WorkerID, len(f.cities))
+	for _, w := range workers {
+		ci := f.homeCity(w)
+		byCity[ci] = append(byCity[ci], w)
+	}
+
+	// Plan every populated city concurrently with an unlimited budget to
+	// learn realizable demand; each goroutine touches only its own city's
+	// coordinator and models, so the fan-out is race-free.
+	local := make([]assign.Assignment, len(f.cities))
+	var wg sync.WaitGroup
+	for ci := range byCity {
+		if len(byCity[ci]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			var localSkip assign.SkipFunc
+			if skip != nil {
+				part := f.parts[ci]
+				localSkip = func(w model.WorkerID, lt model.TaskID) bool {
+					return skip(w, model.TaskID(part[lt]))
+				}
+			}
+			local[ci] = f.coords[ci].AssignExcluding(byCity[ci], h, -1, localSkip)
+		}(ci)
+	}
+	wg.Wait()
+
+	want := make([]int, len(local))
+	for ci := range local {
+		want[ci] = local[ci].TotalTasks()
+	}
+	shares := assign.Shares(budget, want)
+	for ci := range local {
+		for w, ts := range assign.Trim(local[ci], shares[ci]) {
+			for _, lt := range ts {
+				out[w] = append(out[w], model.TaskID(f.parts[ci][lt]))
+			}
+		}
+	}
+	return out
+}
+
+// homeCity returns the city whose task region is nearest to any of worker w's
+// locations (ties to the lowest city index).
+func (f *Federation) homeCity(w model.WorkerID) int {
+	best, bestD := 0, -1.0
+	for ci, r := range f.regions {
+		for _, loc := range f.workers[w].Locations {
+			d := loc.Dist(r.Clamp(loc))
+			if bestD < 0 || d < bestD {
+				best, bestD = ci, d
+			}
+		}
+	}
+	return best
+}
+
+// Result materializes the federation-wide inference: every city's label
+// posteriors copied back to the global task order.
+func (f *Federation) Result() *model.Result {
+	res := model.NewResult(f.tasks)
+	for ci, c := range f.cities {
+		cres := c.Result()
+		for j, g := range f.parts[ci] {
+			copy(res.Prob[g], cres.Prob[j])
+			copy(res.Inferred[g], cres.Inferred[j])
+		}
+	}
+	return res
+}
+
+// WorkerQuality returns the merged estimate of P(i_w = 1): for a cross-city
+// worker, the answer-count-weighted average over the cities they answered in.
+// Valid after Fit.
+func (f *Federation) WorkerQuality(w model.WorkerID) float64 { return f.pi[w] }
+
+// DistanceSensitivity returns a copy of the merged sensitivity multinomial of
+// worker w over the distance-function set.
+func (f *Federation) DistanceSensitivity(w model.WorkerID) []float64 {
+	return append([]float64(nil), f.pdw[w]...)
+}
+
+// NumCities returns the number of city partitions in use.
+func (f *Federation) NumCities() int { return len(f.cities) }
+
+// TaskCity returns the city owning task t.
+func (f *Federation) TaskCity(t model.TaskID) int { return int(f.cityOf[t]) }
+
+// HomeCity returns the city worker w's assignment requests are routed to.
+func (f *Federation) HomeCity(w model.WorkerID) int { return f.homeCity(w) }
+
+// City exposes city ci's sharded fitter for inspection; mutating it bypasses
+// the federation's routing and merge bookkeeping.
+func (f *Federation) City(ci int) *shard.Sharded { return f.cities[ci] }
+
+// Workers returns the worker set the federation was built over.
+func (f *Federation) Workers() []model.Worker { return f.workers }
+
+// Tasks returns the task set the federation was built over.
+func (f *Federation) Tasks() []model.Task { return f.tasks }
+
+// TotalAnswers returns the number of answers observed across all cities.
+func (f *Federation) TotalAnswers() int {
+	n := 0
+	for _, c := range f.cities {
+		n += c.TotalAnswers()
+	}
+	return n
+}

@@ -1,0 +1,339 @@
+package federation_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"poilabel/internal/federation"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+	"poilabel/internal/shard"
+)
+
+// twoCityWorld builds two well-separated city clusters (around (0,0) and
+// (100,100)), each with nPerCity tasks and wPerCity workers.
+func twoCityWorld(nPerCity, wPerCity int) ([]model.Task, []model.Worker, geo.Normalizer) {
+	centers := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 100)}
+	labels := []string{"restaurant", "bar", "cafe"}
+	var tasks []model.Task
+	var workers []model.Worker
+	var pts []geo.Point
+	for _, c := range centers {
+		for i := 0; i < nPerCity; i++ {
+			loc := geo.Pt(c.X+0.31*float64(i%5), c.Y+0.17*float64(i%7))
+			tasks = append(tasks, model.Task{
+				ID:       model.TaskID(len(tasks)),
+				Name:     "t",
+				Location: loc,
+				Labels:   labels[:2+(i%2)],
+			})
+			pts = append(pts, loc)
+		}
+		for j := 0; j < wPerCity; j++ {
+			loc := geo.Pt(c.X+0.23*float64(j%3), c.Y+0.29*float64(j%4))
+			workers = append(workers, model.Worker{
+				ID:        model.WorkerID(len(workers)),
+				Name:      "w",
+				Locations: []geo.Point{loc},
+			})
+			pts = append(pts, loc)
+		}
+	}
+	return tasks, workers, geo.NormalizerFor(pts)
+}
+
+func vote(w model.WorkerID, t model.TaskID, k int) bool {
+	return (int(w)*7+int(t)*3+k)%5 < 3
+}
+
+func answer(tasks []model.Task, w model.WorkerID, t model.TaskID) model.Answer {
+	sel := make([]bool, len(tasks[t].Labels))
+	for k := range sel {
+		sel[k] = vote(w, t, k)
+	}
+	return model.Answer{Worker: w, Task: t, Selected: sel}
+}
+
+// cityAnswers keeps every worker inside their own city: city-0 workers
+// answer city-0 tasks, city-1 workers city-1 tasks.
+func cityAnswers(tasks []model.Task, workers []model.Worker, nPerCity, wPerCity int) []model.Answer {
+	var out []model.Answer
+	for wi := range workers {
+		city := wi / wPerCity
+		for i := 0; i < nPerCity; i++ {
+			if (wi+i)%3 == 0 {
+				continue
+			}
+			out = append(out, answer(tasks, model.WorkerID(wi), model.TaskID(city*nPerCity+i)))
+		}
+	}
+	return out
+}
+
+func TestOneCityFederationMatchesSharded(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(8, 3)
+	scfg := shard.Config{Shards: 4, RefineSweeps: 1}
+
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 1, Shard: scfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := shard.New(tasks, workers, norm, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range cityAnswers(tasks, workers, 8, 3) {
+		if err := fed.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed.Fit()
+	ref.Fit()
+
+	fres, rres := fed.Result(), ref.Result()
+	for ti := range tasks {
+		for k := range tasks[ti].Labels {
+			if fres.Prob[ti][k] != rres.Prob[ti][k] {
+				t.Fatalf("task %d label %d: federated %v != sharded %v",
+					ti, k, fres.Prob[ti][k], rres.Prob[ti][k])
+			}
+			if fres.Inferred[ti][k] != rres.Inferred[ti][k] {
+				t.Fatalf("task %d label %d: decisions differ", ti, k)
+			}
+		}
+	}
+	for wi := range workers {
+		w := model.WorkerID(wi)
+		if fed.WorkerQuality(w) != ref.WorkerQuality(w) {
+			t.Fatalf("worker %d quality: federated %v != sharded %v",
+				wi, fed.WorkerQuality(w), ref.WorkerQuality(w))
+		}
+	}
+}
+
+func TestFederationRoutingAndRoaming(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(8, 3)
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumCities() != 2 {
+		t.Fatalf("NumCities = %d, want 2", fed.NumCities())
+	}
+	// The KD split must recover the two clusters: tasks of one cluster all
+	// share a city, and the two clusters get different cities.
+	if fed.TaskCity(0) == fed.TaskCity(8) {
+		t.Fatal("distinct clusters mapped to one city")
+	}
+	for ti := 1; ti < 8; ti++ {
+		if fed.TaskCity(model.TaskID(ti)) != fed.TaskCity(0) {
+			t.Fatalf("task %d left its cluster's city", ti)
+		}
+	}
+	// Workers are routed home by geography.
+	if fed.HomeCity(0) != fed.TaskCity(0) {
+		t.Fatal("city-0 worker routed away from home")
+	}
+	if fed.HomeCity(3) != fed.TaskCity(8) {
+		t.Fatal("city-1 worker routed away from home")
+	}
+
+	// Worker 0 roams: answers in both cities.
+	for _, a := range cityAnswers(tasks, workers, 8, 3) {
+		if err := fed.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ti := 8; ti < 12; ti++ {
+		if err := fed.Observe(answer(tasks, 0, model.TaskID(ti))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fed.Fit()
+	if !st.Converged {
+		t.Error("federated fit did not converge")
+	}
+	if st.Roaming != 1 {
+		t.Errorf("Roaming = %d, want 1", st.Roaming)
+	}
+
+	// The roamer's merged quality is the answer-count-weighted average of
+	// the two city estimates.
+	c0, c1 := fed.TaskCity(0), fed.TaskCity(8)
+	q0 := fed.City(c0).WorkerQuality(0)
+	q1 := fed.City(c1).WorkerQuality(0)
+	// Worker 0 answered i in 1..7 with (0+i)%3 != 0 → 5 answers at home,
+	// plus 4 in the other city.
+	want := (5*q0 + 4*q1) / 9
+	if got := fed.WorkerQuality(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged roamer quality = %v, want %v", got, want)
+	}
+	// Sensitivity merges the same way and stays a distribution.
+	var sum float64
+	for _, v := range fed.DistanceSensitivity(0) {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("merged sensitivity sums to %v", sum)
+	}
+}
+
+func TestFederationAssignBudgetAndSkip(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(8, 3)
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sparse log so every worker has plenty of undone tasks.
+	for wi := range workers {
+		city := wi / 3
+		if err := fed.Observe(answer(tasks, model.WorkerID(wi), model.TaskID(city*8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed.Fit()
+
+	all := make([]model.WorkerID, len(workers))
+	for i := range workers {
+		all[i] = model.WorkerID(i)
+	}
+	a := fed.Assign(all, 2, -1, nil)
+	if a.TotalTasks() == 0 {
+		t.Fatal("unlimited assignment empty")
+	}
+	// Workers are planned in their home city only.
+	for w, ts := range a {
+		home := fed.HomeCity(w)
+		for _, tid := range ts {
+			if fed.TaskCity(tid) != home {
+				t.Fatalf("worker %d (home %d) was assigned task %d of city %d",
+					w, home, tid, fed.TaskCity(tid))
+			}
+		}
+	}
+
+	// A budget is spent exactly, split across cities.
+	b := fed.Assign(all, 2, 5, nil)
+	if n := b.TotalTasks(); n != 5 {
+		t.Fatalf("budgeted assignment used %d of 5", n)
+	}
+
+	// Skipped pairs are excluded during planning, not after: with every
+	// unlimited pick excluded, fresh pairs still fill the budget.
+	picked := make(map[[2]int]bool)
+	for w, ts := range a {
+		for _, tid := range ts {
+			picked[[2]int{int(w), int(tid)}] = true
+		}
+	}
+	c := fed.Assign(all, 2, 5, func(w model.WorkerID, tid model.TaskID) bool {
+		return picked[[2]int{int(w), int(tid)}]
+	})
+	if n := c.TotalTasks(); n != 5 {
+		t.Fatalf("budgeted skip assignment used %d of 5", n)
+	}
+	for w, ts := range c {
+		for _, tid := range ts {
+			if picked[[2]int{int(w), int(tid)}] {
+				t.Fatalf("excluded pair (%d, %d) handed out again", w, tid)
+			}
+		}
+	}
+}
+
+func TestFederationDynamicAdd(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(6, 2)
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A task near city 1's cluster must land in city 1.
+	nt := model.Task{
+		ID:       model.TaskID(len(tasks)),
+		Name:     "late",
+		Location: geo.Pt(100.5, 100.5),
+		Labels:   []string{"restaurant", "bar"},
+	}
+	if err := fed.AddTask(nt); err != nil {
+		t.Fatal(err)
+	}
+	if fed.TaskCity(nt.ID) != fed.TaskCity(6) {
+		t.Fatal("late task not routed to the nearest city")
+	}
+	nw := model.Worker{
+		ID:        model.WorkerID(len(workers)),
+		Name:      "late",
+		Locations: []geo.Point{geo.Pt(99.9, 100.1)},
+	}
+	if err := fed.AddWorker(nw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Observe(answer(append(tasks, nt), nw.ID, nt.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if st := fed.Fit(); !st.Converged {
+		t.Error("fit after dynamic add did not converge")
+	}
+	if got := len(fed.Result().Inferred); got != len(tasks)+1 {
+		t.Fatalf("result covers %d tasks, want %d", got, len(tasks)+1)
+	}
+	// Dense-ID discipline.
+	if err := fed.AddTask(nt); err == nil {
+		t.Error("duplicate task ID accepted")
+	}
+	if err := fed.AddWorker(nw); err == nil {
+		t.Error("duplicate worker ID accepted")
+	}
+}
+
+func TestFederationFitContextCancellation(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(6, 2)
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range cityAnswers(tasks, workers, 6, 2) {
+		if err := fed.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fed.FitContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitContext error = %v, want context.Canceled", err)
+	}
+	if _, err := fed.FitContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFederationValidation(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(4, 2)
+	if _, err := federation.New(nil, workers, norm, federation.Config{}); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := federation.New(tasks, nil, norm, federation.Config{}); err == nil {
+		t.Error("no workers accepted")
+	}
+	bad := append([]model.Task(nil), tasks...)
+	bad[2].ID = 99
+	if _, err := federation.New(bad, workers, norm, federation.Config{}); err == nil {
+		t.Error("non-dense task IDs accepted")
+	}
+	if _, err := federation.New(tasks, workers, norm, federation.Config{Cities: -1}); err == nil {
+		t.Error("negative city count accepted")
+	}
+	// City counts above the task count clamp.
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumCities() != len(tasks) {
+		t.Errorf("NumCities = %d, want clamp to %d", fed.NumCities(), len(tasks))
+	}
+}

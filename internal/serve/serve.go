@@ -1,0 +1,240 @@
+// Package serve exposes a poilabel.Service over HTTP/JSON — the gateway
+// behind cmd/poiserve. Routing is done by hand (method switch plus path
+// split) so the handler behaves identically across Go versions, and every
+// response is JSON, including errors:
+//
+//	POST /tasks         {"id": "...", "task": {TaskSpec}}      register a task
+//	POST /workers       {"id": "...", "worker": {WorkerSpec}}  register a worker
+//	POST /answers       {"worker": "...", "task": "...", "selected": [...]}
+//	POST /assignments   {"workers": ["...", ...]}              run the assigner
+//	GET  /results                                              current inference
+//	GET  /workers/{id}                                         worker estimate
+//	GET  /healthz                                              liveness + counters
+//
+// Typed service errors map onto statuses: unknown IDs are 404, duplicate
+// registrations 409, an exhausted budget 402, a missing task/worker pool
+// 409, and malformed bodies 400.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"poilabel"
+)
+
+// Handler is the HTTP gateway over one Service.
+type Handler struct {
+	svc *poilabel.Service
+}
+
+// NewHandler returns the gateway for svc.
+func NewHandler(svc *poilabel.Service) *Handler { return &Handler{svc: svc} }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/tasks" && r.Method == http.MethodPost:
+		h.postTask(w, r)
+	case path == "/workers" && r.Method == http.MethodPost:
+		h.postWorker(w, r)
+	case path == "/answers" && r.Method == http.MethodPost:
+		h.postAnswer(w, r)
+	case path == "/assignments" && r.Method == http.MethodPost:
+		h.postAssignments(w, r)
+	case path == "/results" && r.Method == http.MethodGet:
+		h.getResults(w, r)
+	case strings.HasPrefix(path, "/workers/") && r.Method == http.MethodGet:
+		h.getWorker(w, r, strings.TrimPrefix(path, "/workers/"))
+	case path == "/healthz" && r.Method == http.MethodGet:
+		h.getHealth(w, r)
+	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/results" || path == "/healthz":
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on %s", r.Method, path))
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", path))
+	}
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeServiceError maps the service's typed errors onto HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// A fit abandoned mid-request is a server/availability condition,
+		// not a malformed request.
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, poilabel.ErrUnknownWorker), errors.Is(err, poilabel.ErrUnknownTask):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, poilabel.ErrDuplicateID):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, poilabel.ErrBudgetExhausted):
+		writeError(w, http.StatusPaymentRequired, err)
+	case errors.Is(err, poilabel.ErrNoTasks), errors.Is(err, poilabel.ErrNoWorkers):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+type taskRequest struct {
+	ID   string            `json:"id"`
+	Task poilabel.TaskSpec `json:"task"`
+}
+
+func (h *Handler) postTask(w http.ResponseWriter, r *http.Request) {
+	var req taskRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.svc.AddTask(req.ID, req.Task); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+type workerRequest struct {
+	ID     string              `json:"id"`
+	Worker poilabel.WorkerSpec `json:"worker"`
+}
+
+func (h *Handler) postWorker(w http.ResponseWriter, r *http.Request) {
+	var req workerRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.svc.AddWorker(req.ID, req.Worker); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+type answerRequest struct {
+	Worker   string `json:"worker"`
+	Task     string `json:"task"`
+	Selected []bool `json:"selected"`
+}
+
+func (h *Handler) postAnswer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.svc.SubmitAnswer(req.Worker, req.Task, req.Selected); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
+}
+
+type assignmentsRequest struct {
+	Workers []string `json:"workers"`
+}
+
+type assignmentsResponse struct {
+	Assignments map[string][]string `json:"assignments"`
+	// RemainingBudget is the budget left after this round; -1 means
+	// unlimited.
+	RemainingBudget int `json:"remaining_budget"`
+}
+
+func (h *Handler) postAssignments(w http.ResponseWriter, r *http.Request) {
+	var req assignmentsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Workers) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no workers requested"))
+		return
+	}
+	assigned, err := h.svc.RequestTasks(r.Context(), req.Workers)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if assigned == nil {
+		assigned = map[string][]string{}
+	}
+	writeJSON(w, http.StatusOK, assignmentsResponse{
+		Assignments:     assigned,
+		RemainingBudget: h.svc.RemainingBudget(),
+	})
+}
+
+type resultsResponse struct {
+	Results []poilabel.TaskResult `json:"results"`
+}
+
+func (h *Handler) getResults(w http.ResponseWriter, r *http.Request) {
+	results, err := h.svc.Results(r.Context())
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if results == nil {
+		results = []poilabel.TaskResult{}
+	}
+	writeJSON(w, http.StatusOK, resultsResponse{Results: results})
+}
+
+func (h *Handler) getWorker(w http.ResponseWriter, r *http.Request, id string) {
+	info, err := h.svc.WorkerInfo(id)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+type healthResponse struct {
+	OK              bool   `json:"ok"`
+	Engine          string `json:"engine"`
+	Tasks           int    `json:"tasks"`
+	Workers         int    `json:"workers"`
+	Pending         int    `json:"pending"`
+	RemainingBudget int    `json:"remaining_budget"`
+}
+
+func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK:              true,
+		Engine:          h.svc.EngineKind().String(),
+		Tasks:           h.svc.NumTasks(),
+		Workers:         h.svc.NumWorkers(),
+		Pending:         h.svc.PendingCount(),
+		RemainingBudget: h.svc.RemainingBudget(),
+	})
+}

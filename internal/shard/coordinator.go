@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"poilabel/internal/assign"
-	"poilabel/internal/geo"
 	"poilabel/internal/model"
 )
 
@@ -23,24 +22,18 @@ import (
 type Coordinator struct {
 	s        *Sharded
 	planners []*assign.Planner
-	regions  []geo.Rect // bounding box of each shard's task locations
 }
 
 // NewCoordinator builds a coordinator over a sharded fitter, one AccOpt
-// planner per shard.
+// planner per shard. Shard task regions are owned by the fitter, so routing
+// follows tasks added after construction.
 func NewCoordinator(s *Sharded) *Coordinator {
 	c := &Coordinator{
 		s:        s,
 		planners: make([]*assign.Planner, s.NumShards()),
-		regions:  make([]geo.Rect, s.NumShards()),
 	}
-	for si, part := range s.parts {
+	for si := range c.planners {
 		c.planners[si] = assign.NewPlanner()
-		pts := make([]geo.Point, len(part))
-		for j, g := range part {
-			pts[j] = s.tasks[g].Location
-		}
-		c.regions[si] = geo.Bound(pts)
 	}
 	return c
 }
@@ -50,7 +43,8 @@ func NewCoordinator(s *Sharded) *Coordinator {
 // go to the lowest shard index).
 func (c *Coordinator) HomeShard(w model.WorkerID) int {
 	best, bestD := 0, math.Inf(1)
-	for si, r := range c.regions {
+	for si := range c.planners {
+		r := c.s.Region(si)
 		for _, loc := range c.s.workers[w].Locations {
 			if d := loc.Dist(r.Clamp(loc)); d < bestD {
 				best, bestD = si, d
@@ -68,6 +62,15 @@ func (c *Coordinator) HomeShard(w model.WorkerID) int {
 // so no single worker absorbs them. Returned task IDs are global. Duplicate
 // workers are dropped by the per-shard planners.
 func (c *Coordinator) Assign(workers []model.WorkerID, h, budget int) assign.Assignment {
+	return c.AssignExcluding(workers, h, budget, nil)
+}
+
+// AssignExcluding is Assign with an extra exclusion predicate: pairs for
+// which skip returns true (task IDs are global) are dropped from the
+// per-shard plans before the budget is balanced, so excluded pairs — e.g.
+// assignments already pending an answer — consume no budget and the shares
+// reflect only realizable demand. A nil skip excludes nothing.
+func (c *Coordinator) AssignExcluding(workers []model.WorkerID, h, budget int, skip func(model.WorkerID, model.TaskID) bool) assign.Assignment {
 	out := make(assign.Assignment)
 	if h <= 0 || len(workers) == 0 || budget == 0 {
 		return out
@@ -92,7 +95,14 @@ func (c *Coordinator) Assign(workers []model.WorkerID, h, budget int) assign.Ass
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			local[si] = c.planners[si].Assign(c.s.models[si], byShard[si], h)
+			var localSkip assign.SkipFunc
+			if skip != nil {
+				part := c.s.parts[si]
+				localSkip = func(w model.WorkerID, lt model.TaskID) bool {
+					return skip(w, model.TaskID(part[lt]))
+				}
+			}
+			local[si] = c.planners[si].AssignExcluding(c.s.models[si], byShard[si], h, localSkip)
 		}(si)
 	}
 	wg.Wait()

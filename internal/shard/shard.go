@@ -23,6 +23,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -63,9 +64,10 @@ type Sharded struct {
 	tasks   []model.Task
 	workers []model.Worker
 
-	parts   [][]int // shard -> global task indices, ascending
-	shardOf []int32 // global task -> shard
-	localOf []int32 // global task -> dense local index within its shard
+	parts   [][]int    // shard -> global task indices, ascending
+	shardOf []int32    // global task -> shard
+	localOf []int32    // global task -> dense local index within its shard
+	regions []geo.Rect // bounding box of each shard's task locations
 
 	models []*core.Model
 	counts [][]int // counts[s][w]: answers by worker w routed to shard s
@@ -126,8 +128,10 @@ func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Co
 	}
 	for si, part := range s.parts {
 		local := make([]model.Task, len(part))
+		locs := make([]geo.Point, len(part))
 		for j, g := range part {
 			local[j] = tasks[g].WithID(model.TaskID(j))
+			locs[j] = tasks[g].Location
 			s.shardOf[g] = int32(si)
 			s.localOf[g] = int32(j)
 		}
@@ -137,6 +141,7 @@ func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Co
 		}
 		s.models = append(s.models, m)
 		s.counts = append(s.counts, make([]int, len(workers)))
+		s.regions = append(s.regions, geo.Bound(locs))
 	}
 	s.pi = make([]float64, len(workers))
 	s.pdw = make([][]float64, len(workers))
@@ -146,6 +151,65 @@ func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Co
 	}
 	return s, nil
 }
+
+// AddTask appends a task after construction. The task's ID must be the next
+// dense global index; it is routed to the shard whose task region is nearest
+// to its location (ties to the lowest shard index) and appended to that
+// shard's model with the next dense local index. The owning shard's region
+// grows to cover the new location, so subsequent routing sees it.
+func (s *Sharded) AddTask(t model.Task) error {
+	if int(t.ID) != len(s.tasks) {
+		return fmt.Errorf("shard: new task has ID %d, want next dense index %d", t.ID, len(s.tasks))
+	}
+	si := s.nearestRegion(t.Location)
+	local := t.WithID(model.TaskID(len(s.parts[si])))
+	if err := s.models[si].AddTask(local); err != nil {
+		return err
+	}
+	s.tasks = append(s.tasks, t)
+	s.parts[si] = append(s.parts[si], int(t.ID))
+	s.shardOf = append(s.shardOf, int32(si))
+	s.localOf = append(s.localOf, int32(local.ID))
+	s.regions[si] = s.regions[si].Union(geo.Rect{Min: t.Location, Max: t.Location})
+	return nil
+}
+
+// AddWorker appends a worker after construction. The worker's ID must be the
+// next dense global index; like construction-time workers they are registered
+// with every shard's model (answers decide which shards actually estimate
+// them) and start at the configured priors.
+func (s *Sharded) AddWorker(w model.Worker) error {
+	if int(w.ID) != len(s.workers) {
+		return fmt.Errorf("shard: new worker has ID %d, want next dense index %d", w.ID, len(s.workers))
+	}
+	for _, m := range s.models {
+		if err := m.AddWorker(w); err != nil {
+			return err
+		}
+	}
+	s.workers = append(s.workers, w)
+	for si := range s.counts {
+		s.counts[si] = append(s.counts[si], 0)
+	}
+	s.pi = append(s.pi, s.cfg.Model.InitPI)
+	s.pdw = append(s.pdw, s.cfg.Model.FuncSet.Uniform())
+	return nil
+}
+
+// nearestRegion returns the shard whose task region is nearest to p (distance
+// zero when p falls inside; ties to the lowest shard index).
+func (s *Sharded) nearestRegion(p geo.Point) int {
+	best, bestD := 0, p.Dist(s.regions[0].Clamp(p))
+	for si := 1; si < len(s.regions); si++ {
+		if d := p.Dist(s.regions[si].Clamp(p)); d < bestD {
+			best, bestD = si, d
+		}
+	}
+	return best
+}
+
+// Region returns the bounding box of shard si's task locations.
+func (s *Sharded) Region(si int) geo.Rect { return s.regions[si] }
 
 // Observe routes an answer to the shard owning its task, remapping the task
 // ID to the shard's local index. Like core.Model.Observe it only appends to
@@ -192,21 +256,39 @@ type FitStats struct {
 // estimates (answer-count-weighted for roaming workers), and runs the
 // configured cross-shard refinement sweeps.
 func (s *Sharded) Fit() FitStats {
+	st, _ := s.FitContext(context.Background())
+	return st
+}
+
+// FitContext is Fit with cooperative cancellation, checked between EM
+// iterations inside every shard and between refinement sweeps. On
+// cancellation every shard keeps its last completed iteration's parameters
+// and the merged per-worker estimates are refreshed from them, so the
+// fitter is left in a consistent (if unconverged) state.
+func (s *Sharded) FitContext(ctx context.Context) (FitStats, error) {
 	start := time.Now()
 	st := FitStats{Shards: make([]core.FitStats, len(s.models))}
-	s.fitAll(st.Shards, nil)
+	err := s.fitAll(ctx, st.Shards, nil)
 	for _, fs := range st.Shards {
 		if fs.Iterations > st.Iterations {
 			st.Iterations = fs.Iterations
 		}
 	}
 	s.mergeWorkers()
+	if err != nil {
+		st.Elapsed = time.Since(start)
+		return st, err
+	}
 
 	roam := s.roamingWorkers()
 	st.Roaming = len(roam)
 	for sweep := 0; sweep < s.cfg.RefineSweeps && len(roam) > 0; sweep++ {
 		touched := s.pushMerged(roam)
-		s.fitAll(st.Shards, touched)
+		if err := s.fitAll(ctx, st.Shards, touched); err != nil {
+			s.mergeWorkers()
+			st.Elapsed = time.Since(start)
+			return st, err
+		}
 		s.mergeWorkers()
 		st.RefineSweeps++
 	}
@@ -219,15 +301,17 @@ func (s *Sharded) Fit() FitStats {
 		}
 	}
 	st.Elapsed = time.Since(start)
-	return st
+	return st, nil
 }
 
 // fitAll runs Fit on the selected shards (all of them when only is nil) in
 // one goroutine each. Shard models share no mutable state, and each
 // goroutine writes a distinct stats slot, so the fan-out is race-free; the
-// per-shard results do not depend on the interleaving.
-func (s *Sharded) fitAll(into []core.FitStats, only []bool) {
+// per-shard results do not depend on the interleaving. The first context
+// error observed by any shard is returned.
+func (s *Sharded) fitAll(ctx context.Context, into []core.FitStats, only []bool) error {
 	var wg sync.WaitGroup
+	errs := make([]error, len(s.models))
 	for i := range s.models {
 		if only != nil && !only[i] {
 			continue
@@ -235,10 +319,16 @@ func (s *Sharded) fitAll(into []core.FitStats, only []bool) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			into[i] = s.models[i].Fit()
+			into[i], errs[i] = s.models[i].FitContext(ctx)
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // mergeWorkers refreshes the merged per-worker estimates: each worker's

@@ -15,26 +15,53 @@
 //     improvement in overall inference accuracy, within a fixed budget of
 //     paid assignments.
 //
-// The Framework type ties the two together in the paper's alternating
-// protocol: call RequestTasks when workers arrive, hand the chosen tasks to
-// your crowd, and feed answers back through SubmitAnswer. At any point
-// Results returns the current yes/no decision and probability for every
-// label.
+// The Service type ties the two together in the paper's alternating
+// protocol behind one concurrency-safe front door: register tasks and
+// workers under stable string IDs (at construction or on the fly), call
+// RequestTasks when workers arrive, hand the chosen tasks to your crowd,
+// and feed answers back through SubmitAnswer. At any point Results returns
+// the current decision and probability for every label. The backend is
+// pluggable: a single model (default), one city geo-sharded across K
+// concurrent fitters, or a multi-city federation — all behind the same API.
 //
 // # Quick start
 //
-//	fw, err := poilabel.New(tasks, workers)
+//	svc, err := poilabel.NewService(poilabel.WithBudget(1000))
 //	if err != nil { ... }
-//	for fw.RemainingBudget() > 0 {
-//		arrived := pollWorkers()                  // your worker arrivals
-//		assigned, _ := fw.RequestTasks(arrived)   // paper's task assigner
-//		for w, ts := range assigned {
-//			for _, t := range ts {
-//				fw.SubmitAnswer(askWorker(w, t))  // your crowd answers
+//	svc.AddTask("poi:cafe-9", poilabel.TaskSpec{
+//		Location: poilabel.Pt(3.2, 4.1),
+//		Labels:   []string{"cafe", "bar", "wifi"},
+//	})
+//	svc.AddWorker("alice", poilabel.WorkerSpec{Locations: []poilabel.Point{poilabel.Pt(3, 4)}})
+//	for {
+//		assigned, err := svc.RequestTasks(ctx, pollWorkers()) // paper's task assigner
+//		if errors.Is(err, poilabel.ErrBudgetExhausted) {
+//			break
+//		}
+//		for w, tasks := range assigned {
+//			for _, t := range tasks {
+//				svc.SubmitAnswer(w, t, askWorker(w, t)) // your crowd answers
 //			}
 //		}
 //	}
-//	res := fw.Results()
+//	results, _ := svc.Results(ctx)
+//
+// Scale past one model with WithEngine(EngineSharded) for a single large
+// city or WithEngine(EngineFederated) with WithCities(n) for several; see
+// PERFORMANCE.md for guidance. cmd/poiserve exposes the same Service over
+// HTTP/JSON.
+//
+// # Migrating from Framework and ShardedModel
+//
+// Framework (per-answer incremental serving) and ShardedModel (batch
+// sharded fitting) remain as thin wrappers over Service but are deprecated.
+// Framework users: NewService with the same options, register tasks and
+// workers by ID, and use RequestTasks/SubmitAnswer/Results as before — IDs
+// are now strings you choose, and the service is safe for concurrent use.
+// ShardedModel users: NewService(WithEngine(EngineSharded), WithShards(k),
+// WithFullEMInterval(0)) reproduces the batch contract — answers only log
+// until an explicit Fit. Unlike the old ShardedModel, assignment now
+// dedupes pending pairs exactly like the Framework always did.
 //
 // Lower-level building blocks (the raw inference model, the assignment
 // estimator, majority voting and Dawid–Skene baselines, dataset generators
@@ -44,11 +71,11 @@
 package poilabel
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"strconv"
 
-	"poilabel/internal/assign"
 	"poilabel/internal/baseline"
 	"poilabel/internal/core"
 	"poilabel/internal/geo"
@@ -131,16 +158,18 @@ type Options struct {
 }
 
 // Framework is the paper's POI-labelling framework (Figure 1): an inference
-// model and an online task assigner working alternately under a budget.
+// model and an online task assigner working alternately under a budget. It
+// is now a thin wrapper over a Service running the single engine with
+// dense integer IDs.
+//
+// Deprecated: use Service, which serves the same protocol concurrency-
+// safely, accepts stable string IDs with dynamic registration, and scales
+// to sharded and federated backends. Framework is kept for compatibility.
 //
 // Framework is not safe for concurrent use.
 type Framework struct {
-	m       *core.Model
-	asg     assign.Assigner
-	policy  *core.UpdatePolicy
-	h       int
-	budget  int // remaining; negative means unlimited
-	pending map[pairKey]bool
+	svc *Service
+	m   *core.Model
 }
 
 type pairKey struct {
@@ -148,10 +177,56 @@ type pairKey struct {
 	t TaskID
 }
 
+// denseID is the stable string ID the legacy wrappers register dense
+// integer IDs under.
+func denseID(i int) string { return strconv.Itoa(i) }
+
+// registerDense validates the legacy dense-ID contract and registers every
+// task and worker with the service under its stringified index.
+func registerDense(svc *Service, tasks []Task, workers []Worker) error {
+	if len(tasks) == 0 {
+		return errors.New("poilabel: no tasks")
+	}
+	for i := range tasks {
+		if int(tasks[i].ID) != i {
+			return fmt.Errorf("poilabel: task at index %d has ID %d; IDs must be dense indices", i, tasks[i].ID)
+		}
+	}
+	for i := range workers {
+		if int(workers[i].ID) != i {
+			return fmt.Errorf("poilabel: worker at index %d has ID %d; IDs must be dense indices", i, workers[i].ID)
+		}
+		if len(workers[i].Locations) == 0 {
+			return fmt.Errorf("poilabel: worker %d has no locations", i)
+		}
+	}
+	for i := range tasks {
+		if err := svc.AddTask(denseID(i), TaskSpec{
+			Name:     tasks[i].Name,
+			Location: tasks[i].Location,
+			Labels:   tasks[i].Labels,
+			Reviews:  tasks[i].Reviews,
+		}); err != nil {
+			return err
+		}
+	}
+	for i := range workers {
+		if err := svc.AddWorker(denseID(i), WorkerSpec{
+			Name:      workers[i].Name,
+			Locations: workers[i].Locations,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // New creates a Framework over the given tasks and workers. Task IDs must
 // be their indices in the slice (0..len-1), and likewise for workers;
 // distances are normalized by the bounding-box diameter of all task and
 // worker locations.
+//
+// Deprecated: use NewService.
 func New(tasks []Task, workers []Worker, opts ...Options) (*Framework, error) {
 	var o Options
 	switch len(opts) {
@@ -174,97 +249,72 @@ func New(tasks []Task, workers []Worker, opts ...Options) (*Framework, error) {
 	if cfg.FuncSet == nil {
 		cfg = core.DefaultConfig()
 	}
-
-	var pts []Point
-	for i := range tasks {
-		if int(tasks[i].ID) != i {
-			return nil, fmt.Errorf("poilabel: task at index %d has ID %d; IDs must be dense indices", i, tasks[i].ID)
-		}
-		pts = append(pts, tasks[i].Location)
-	}
-	for i := range workers {
-		if int(workers[i].ID) != i {
-			return nil, fmt.Errorf("poilabel: worker at index %d has ID %d; IDs must be dense indices", i, workers[i].ID)
-		}
-		if len(workers[i].Locations) == 0 {
-			return nil, fmt.Errorf("poilabel: worker %d has no locations", i)
-		}
-		pts = append(pts, workers[i].Locations...)
-	}
-	if len(pts) == 0 {
-		return nil, errors.New("poilabel: no tasks")
-	}
-
-	m, err := core.NewModel(tasks, workers, geo.NormalizerFor(pts), cfg)
+	svc, err := NewService(
+		WithEngine(EngineSingle),
+		WithAssigner(o.Assigner),
+		WithBudget(orUnlimited(o.Budget)),
+		WithTasksPerRequest(o.TasksPerRequest),
+		WithFullEMInterval(o.FullEMInterval),
+		WithSeed(o.Seed),
+		WithModelConfig(cfg),
+	)
 	if err != nil {
 		return nil, err
 	}
-
-	var asg assign.Assigner
-	switch o.Assigner {
-	case AssignerAccOpt:
-		// The framework assigns round after round against one model, so
-		// hold a Planner and reuse its O(|W|·|T|) scratch across rounds.
-		asg = assign.NewPlanner()
-	case AssignerSpatialFirst:
-		asg = assign.NewSpatialFirst(tasks)
-	case AssignerRandom:
-		asg = assign.Random{Rand: rand.New(rand.NewSource(o.Seed))}
-	case AssignerEntropy:
-		asg = assign.EntropyFirst{}
-	case AssignerMarginalGreedy:
-		asg = assign.NewMarginalPlanner()
-	default:
-		return nil, fmt.Errorf("poilabel: unknown assigner kind %d", o.Assigner)
+	if err := registerDense(svc, tasks, workers); err != nil {
+		return nil, err
 	}
+	eng, err := svc.engine()
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{svc: svc, m: eng.(*singleEngine).Model()}, nil
+}
 
-	budget := o.Budget
+// orUnlimited maps the legacy Options convention (0 means unlimited) onto
+// WithBudget's (negative means unlimited).
+func orUnlimited(budget int) int {
 	if budget == 0 {
-		budget = -1
+		return -1
 	}
-	return &Framework{
-		m:       m,
-		asg:     asg,
-		policy:  &core.UpdatePolicy{FullEMInterval: o.FullEMInterval, Incremental: true},
-		h:       o.TasksPerRequest,
-		budget:  budget,
-		pending: make(map[pairKey]bool),
-	}, nil
+	return budget
 }
 
 // RemainingBudget returns the number of assignments still available, or -1
 // when the framework was created without a budget.
-func (f *Framework) RemainingBudget() int { return f.budget }
+func (f *Framework) RemainingBudget() int { return f.svc.RemainingBudget() }
 
 // RequestTasks runs the task assigner for a set of requesting workers and
 // returns up to h tasks per worker, bounded by the remaining budget.
 // Returned assignments are recorded as pending; the framework expects a
-// SubmitAnswer for each.
+// SubmitAnswer for each, and pending pairs are excluded from later rounds.
 func (f *Framework) RequestTasks(workers []WorkerID) (map[WorkerID][]TaskID, error) {
-	if f.budget == 0 {
-		return nil, ErrBudgetExhausted
-	}
-	for _, w := range workers {
-		if int(w) < 0 || int(w) >= len(f.m.Workers()) {
-			return nil, fmt.Errorf("poilabel: unknown worker %d", w)
+	ids := make([]string, len(workers))
+	for i, w := range workers {
+		if int(w) < 0 || int(w) >= f.svc.NumWorkers() {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownWorker, w)
 		}
+		ids[i] = denseID(int(w))
 	}
-	a := f.asg.Assign(f.m, workers, f.h)
-	out := make(map[WorkerID][]TaskID, len(a))
-	for _, w := range workers {
-		for _, t := range a[w] {
-			if f.budget == 0 {
-				break
-			}
-			if f.pending[pairKey{w, t}] {
-				continue
-			}
-			out[w] = append(out[w], t)
-			f.pending[pairKey{w, t}] = true
-			if f.budget > 0 {
-				f.budget--
-			}
+	assigned, err := f.svc.RequestTasks(context.Background(), ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[WorkerID][]TaskID, len(assigned))
+	for wid, ts := range assigned {
+		w, err := strconv.Atoi(wid)
+		if err != nil {
+			return nil, fmt.Errorf("poilabel: non-dense worker id %q", wid)
 		}
+		tasks := make([]TaskID, len(ts))
+		for i, tid := range ts {
+			t, err := strconv.Atoi(tid)
+			if err != nil {
+				return nil, fmt.Errorf("poilabel: non-dense task id %q", tid)
+			}
+			tasks[i] = TaskID(t)
+		}
+		out[WorkerID(w)] = tasks
 	}
 	return out, nil
 }
@@ -279,22 +329,23 @@ var ErrBudgetExhausted = errors.New("poilabel: assignment budget exhausted")
 // RequestTasks are accepted too — the model simply learns from them without
 // touching the budget.
 func (f *Framework) SubmitAnswer(a Answer) error {
-	delete(f.pending, pairKey{a.Worker, a.Task})
-	_, err := f.policy.Apply(f.m, a)
-	return err
+	return f.svc.SubmitAnswer(denseID(int(a.Worker)), denseID(int(a.Task)), a.Selected)
 }
 
 // Refit forces a full EM pass over all answers received so far and reports
 // whether it converged within the configured iteration cap.
-func (f *Framework) Refit() bool { return f.m.Fit().Converged }
+func (f *Framework) Refit() bool {
+	converged, _ := f.svc.Fit(context.Background())
+	return converged
+}
 
 // Results returns the current inference: for every task and label, the
 // probability it is a correct label and the thresholded decision.
 func (f *Framework) Results() *Result {
 	// A full EM pass makes the returned snapshot self-consistent (the
 	// incremental updates between full runs only touch local parameters).
-	f.m.Fit()
-	return f.m.Result()
+	res, _ := f.svc.ResultSet(context.Background())
+	return res
 }
 
 // WorkerQuality returns the estimated inherent quality P(i_w = 1) of a
@@ -354,7 +405,15 @@ func (f *Framework) EstimatedAccuracy() float64 {
 func (f *Framework) SaveCheckpoint(path string) error { return f.m.SaveCheckpoint(path) }
 
 // LoadCheckpoint restores learned state saved by SaveCheckpoint.
-func (f *Framework) LoadCheckpoint(path string) error { return f.m.LoadCheckpoint(path) }
+func (f *Framework) LoadCheckpoint(path string) error {
+	if err := f.m.LoadCheckpoint(path); err != nil {
+		return err
+	}
+	// The model changed behind the service's back; force the next Results
+	// to refit over the restored log.
+	f.svc.invalidate()
+	return nil
+}
 
 // Model exposes the underlying inference model for advanced use (parameter
 // inspection, custom assignment). Mutating it bypasses the framework's
@@ -387,22 +446,27 @@ type ShardFitStats = shard.FitStats
 // per-task label posteriors concatenate directly, while roaming workers'
 // quality and distance-sensitivity estimates are averaged weighted by answer
 // count, optionally refined by cross-shard sweeps. Task assignment plans
-// AccOpt within each shard under a thin budget-balancing coordinator.
+// AccOpt within each shard under a thin budget-balancing coordinator. It is
+// now a thin wrapper over a Service running the sharded engine with
+// automatic fits disabled.
 //
-// Use a ShardedModel instead of a Framework when the workload is batch
-// oriented and large — city-scale answer logs where a single model's EM
-// becomes the wall-clock bottleneck (see PERFORMANCE.md for when sharding
-// helps). Methods are not safe for concurrent use; Fit and AssignTasks fan
-// out over the shards internally.
+// Deprecated: use Service with WithEngine(EngineSharded) and
+// WithFullEMInterval(0), which adds concurrency safety, stable string IDs,
+// dynamic registration, and a federated multi-city variant.
+//
+// Methods are not safe for concurrent use; Fit and AssignTasks fan out over
+// the shards internally.
 type ShardedModel struct {
-	sh *shard.Sharded
-	co *shard.Coordinator
+	svc *Service
+	eng *shardedEngine
 }
 
 // NewShardedModel creates a sharded model over the given tasks and workers.
 // ID and location requirements match New; distances are normalized by the
 // bounding-box diameter of all task and worker locations, so per-shard
 // distances stay on the same scale as an unsharded model's.
+//
+// Deprecated: use NewService with WithEngine(EngineSharded).
 func NewShardedModel(tasks []Task, workers []Worker, opts ...ShardOptions) (*ShardedModel, error) {
 	var o ShardOptions
 	switch len(opts) {
@@ -412,74 +476,85 @@ func NewShardedModel(tasks []Task, workers []Worker, opts ...ShardOptions) (*Sha
 	default:
 		return nil, errors.New("poilabel: pass at most one ShardOptions")
 	}
-	var pts []Point
-	for i := range tasks {
-		pts = append(pts, tasks[i].Location)
+	cfg := o.Model
+	if cfg.FuncSet == nil {
+		cfg = core.DefaultConfig()
 	}
-	for i := range workers {
-		if len(workers[i].Locations) == 0 {
-			return nil, fmt.Errorf("poilabel: worker %d has no locations", i)
-		}
-		pts = append(pts, workers[i].Locations...)
-	}
-	if len(pts) == 0 {
-		return nil, errors.New("poilabel: no tasks")
-	}
-	sh, err := shard.New(tasks, workers, geo.NormalizerFor(pts), shard.Config{
-		Shards:       o.Shards,
-		RefineSweeps: o.RefineSweeps,
-		Model:        o.Model,
-	})
+	svc, err := NewService(
+		WithEngine(EngineSharded),
+		WithShards(o.Shards),
+		WithRefineSweeps(o.RefineSweeps),
+		WithModelConfig(cfg),
+		// The batch contract: answers only log until an explicit Fit.
+		WithFullEMInterval(0),
+	)
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedModel{sh: sh, co: shard.NewCoordinator(sh)}, nil
+	if err := registerDense(svc, tasks, workers); err != nil {
+		return nil, err
+	}
+	eng, err := svc.engine()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedModel{svc: svc, eng: eng.(*shardedEngine)}, nil
 }
 
 // SubmitAnswer routes one worker answer to the shard owning its task. Unlike
 // the Framework, a ShardedModel does not update estimates per answer; call
 // Fit after a batch.
-func (sm *ShardedModel) SubmitAnswer(a Answer) error { return sm.sh.Observe(a) }
+func (sm *ShardedModel) SubmitAnswer(a Answer) error {
+	return sm.svc.SubmitAnswer(denseID(int(a.Worker)), denseID(int(a.Task)), a.Selected)
+}
 
 // Fit runs full EM on every shard concurrently, merges roaming-worker
 // estimates, and runs the configured refinement sweeps.
-func (sm *ShardedModel) Fit() ShardFitStats { return sm.sh.Fit() }
+func (sm *ShardedModel) Fit() ShardFitStats {
+	sm.svc.Fit(context.Background())
+	return sm.eng.lastStats
+}
 
 // Results returns the current city-wide inference, concatenated over shards.
-func (sm *ShardedModel) Results() *Result { return sm.sh.Result() }
+// Unlike Service.Results it does not force a fit first.
+func (sm *ShardedModel) Results() *Result {
+	res, _ := sm.svc.currentResult()
+	return res
+}
 
 // AssignTasks chooses up to h tasks per requesting worker — AccOpt planned
 // inside each worker's home shard — spending at most budget (worker, task)
 // pairs in total; a negative budget means unlimited. Returned task IDs are
-// global. The call is stateless: the caller owns budget accounting across
-// rounds.
+// global. The caller owns budget accounting across rounds, but pending
+// dedup is automatic: handed-out pairs are excluded from later rounds until
+// their answer arrives, matching the Framework's contract.
 func (sm *ShardedModel) AssignTasks(workers []WorkerID, h, budget int) (map[WorkerID][]TaskID, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("poilabel: non-positive h %d", h)
 	}
 	for _, w := range workers {
-		if int(w) < 0 || int(w) >= len(sm.sh.Workers()) {
-			return nil, fmt.Errorf("poilabel: unknown worker %d", w)
+		if int(w) < 0 || int(w) >= sm.svc.NumWorkers() {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownWorker, w)
 		}
 	}
-	return sm.co.Assign(workers, h, budget), nil
+	return sm.svc.assignWithExternalBudget(workers, h, budget)
 }
 
 // WorkerQuality returns the merged estimate of P(i_w = 1): for a roaming
 // worker, the answer-count-weighted average over the shards they answered in.
-func (sm *ShardedModel) WorkerQuality(w WorkerID) float64 { return sm.sh.WorkerQuality(w) }
+func (sm *ShardedModel) WorkerQuality(w WorkerID) float64 { return sm.eng.sh.WorkerQuality(w) }
 
 // DistanceSensitivity returns the merged sensitivity weights of worker w
 // over the distance-function set, from steepest to widest.
 func (sm *ShardedModel) DistanceSensitivity(w WorkerID) []float64 {
-	return sm.sh.DistanceSensitivity(w)
+	return sm.eng.sh.DistanceSensitivity(w)
 }
 
 // NumShards returns the number of geographic shards actually in use.
-func (sm *ShardedModel) NumShards() int { return sm.sh.NumShards() }
+func (sm *ShardedModel) NumShards() int { return sm.eng.sh.NumShards() }
 
 // TaskShard returns the shard owning task t.
-func (sm *ShardedModel) TaskShard(t TaskID) int { return sm.sh.TaskShard(t) }
+func (sm *ShardedModel) TaskShard(t TaskID) int { return sm.eng.sh.TaskShard(t) }
 
 // MajorityVote runs the MV baseline over an external answer log.
 // It is a convenience for comparing the paper's model with naive

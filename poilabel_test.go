@@ -333,6 +333,23 @@ func TestShardedModelAssignTasks(t *testing.T) {
 		t.Fatalf("budgeted assignment used %d of 3", n)
 	}
 
+	// Pairs handed out in the first round are pending and must not be
+	// re-assigned before their answers arrive — the same dedup contract the
+	// Framework has always had.
+	first := make(map[[2]int]bool)
+	for w, ts := range a {
+		for _, tid := range ts {
+			first[[2]int{int(w), int(tid)}] = true
+		}
+	}
+	for w, ts := range b {
+		for _, tid := range ts {
+			if first[[2]int{int(w), int(tid)}] {
+				t.Fatalf("pending pair (%d, %d) handed out twice", w, tid)
+			}
+		}
+	}
+
 	if _, err := sm.AssignTasks([]WorkerID{99}, 2, -1); err == nil {
 		t.Error("unknown worker accepted")
 	}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Smoke-test the poiserve HTTP gateway: build it, start it on a demo world,
+# drive the four core endpoints (answers, assignments, results, worker
+# introspection), and assert sane responses. CI runs this; it also works
+# locally: scripts/poiserve_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/poiserve"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/poiserve
+
+"$BIN" -addr "127.0.0.1:${PORT}" -demo 12 -engine sharded -shards 4 -budget 200 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; cat "$LOG"' EXIT
+
+# Wait for the server to come up.
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+fail() { echo "SMOKE FAIL: $1" >&2; exit 1; }
+
+health=$(curl -sf "$BASE/healthz")
+echo "healthz: $health"
+echo "$health" | grep -q '"ok":true' || fail "healthz not ok"
+echo "$health" | grep -q '"engine":"sharded"' || fail "wrong engine"
+echo "$health" | grep -q '"tasks":200' || fail "demo tasks missing"
+
+# Register one extra task and worker over HTTP (dynamic registration).
+curl -sf -X POST "$BASE/tasks" -d '{"id":"smoke-task","task":{"location":{"x":5,"y":5},"labels":["a","b"]}}' >/dev/null || fail "POST /tasks"
+curl -sf -X POST "$BASE/workers" -d '{"id":"smoke-worker","worker":{"locations":[{"x":5,"y":5}]}}' >/dev/null || fail "POST /workers"
+
+# An assignment round for three workers.
+assign=$(curl -sf -X POST "$BASE/assignments" -d '{"workers":["w0","w1","smoke-worker"]}')
+echo "assignments: $assign"
+echo "$assign" | grep -q '"assignments"' || fail "no assignments object"
+echo "$assign" | grep -vq '"assignments":{}' || fail "empty assignment round"
+
+# A few answers, one of them unsolicited.
+curl -sf -X POST "$BASE/answers" -d '{"worker":"smoke-worker","task":"smoke-task","selected":[true,false]}' >/dev/null || fail "POST /answers"
+curl -sf -X POST "$BASE/answers" \
+  -d '{"worker":"w0","task":"t0","selected":[true,true,false,true,false,true,false,true,false,true]}' >/dev/null || fail "POST /answers t0"
+
+# Results cover the registered world (200 demo tasks + 1 smoke task).
+results=$(curl -sf "$BASE/results")
+count=$(echo "$results" | grep -o '"task":' | wc -l)
+echo "results cover $count tasks"
+[ "$count" -eq 201 ] || fail "results cover $count tasks, want 201"
+
+# Worker introspection returns a quality in (0, 1).
+worker=$(curl -sf "$BASE/workers/smoke-worker")
+echo "worker: $worker"
+echo "$worker" | grep -q '"quality":0\.' || fail "no quality estimate"
+
+# Typed error mapping: unknown worker is 404, exhausted budget would be 402.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/workers/ghost")
+[ "$code" -eq 404 ] || fail "unknown worker returned $code, want 404"
+
+trap - EXIT
+kill "$SERVER_PID" 2>/dev/null || true
+echo "SMOKE OK"

@@ -1,0 +1,700 @@
+package poilabel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"poilabel/internal/core"
+	"poilabel/internal/federation"
+	"poilabel/internal/geo"
+	"poilabel/internal/shard"
+)
+
+// Typed errors returned by the Service. Use errors.Is to test for them; the
+// returned errors wrap these sentinels together with the offending ID.
+var (
+	// ErrUnknownWorker reports a worker ID that was never registered.
+	ErrUnknownWorker = errors.New("poilabel: unknown worker")
+	// ErrUnknownTask reports a task ID that was never registered.
+	ErrUnknownTask = errors.New("poilabel: unknown task")
+	// ErrDuplicateID reports a registration under an ID already in use.
+	ErrDuplicateID = errors.New("poilabel: duplicate id")
+	// ErrNoTasks is returned when an operation needs the inference engine
+	// but no task has been registered yet.
+	ErrNoTasks = errors.New("poilabel: no tasks registered")
+	// ErrNoWorkers is returned when an operation needs the inference
+	// engine but no worker has been registered yet.
+	ErrNoWorkers = errors.New("poilabel: no workers registered")
+)
+
+// TaskSpec describes a POI labelling task registered with a Service. The
+// Service assigns the dense internal index; callers identify tasks by their
+// stable string ID.
+type TaskSpec struct {
+	// Name is an optional display name for the POI.
+	Name string `json:"name,omitempty"`
+	// Location is the POI's position.
+	Location Point `json:"location"`
+	// Labels are the candidate labels the crowd votes on. Required.
+	Labels []string `json:"labels"`
+	// Reviews is the POI's review count (the paper's influence proxy).
+	Reviews int `json:"reviews,omitempty"`
+}
+
+// WorkerSpec describes a crowd worker registered with a Service.
+type WorkerSpec struct {
+	// Name is an optional display name.
+	Name string `json:"name,omitempty"`
+	// Locations are the worker's known locations (home, office, …).
+	// At least one is required.
+	Locations []Point `json:"locations"`
+}
+
+// TaskResult is one task's inference outcome, keyed by stable IDs.
+type TaskResult struct {
+	Task     string    `json:"task"`
+	Labels   []string  `json:"labels"`
+	Prob     []float64 `json:"prob"`
+	Inferred []bool    `json:"inferred"`
+}
+
+// WorkerInfo is one worker's current estimate.
+type WorkerInfo struct {
+	Worker string `json:"worker"`
+	// Quality is the estimated inherent quality P(i_w = 1).
+	Quality float64 `json:"quality"`
+	// DistanceSensitivity is the estimated sensitivity multinomial over
+	// the distance-function set, steepest first.
+	DistanceSensitivity []float64 `json:"distance_sensitivity"`
+}
+
+// serviceConfig collects the options a Service is built from.
+type serviceConfig struct {
+	engine         EngineKind
+	budget         int // remaining budget; negative means unlimited
+	h              int
+	assigner       AssignerKind
+	shards         int
+	cities         int
+	refineSweeps   int
+	fullEMInterval int
+	seed           int64
+	model          core.Config
+}
+
+// ServiceOption configures a Service. Options follow the functional-options
+// pattern: pass any number to NewService.
+type ServiceOption func(*serviceConfig) error
+
+// WithEngine selects the backend: EngineSingle (default), EngineSharded, or
+// EngineFederated.
+func WithEngine(kind EngineKind) ServiceOption {
+	return func(c *serviceConfig) error {
+		switch kind {
+		case EngineSingle, EngineSharded, EngineFederated:
+			c.engine = kind
+			return nil
+		}
+		return fmt.Errorf("poilabel: unknown engine kind %d", int(kind))
+	}
+}
+
+// WithBudget caps the total number of (worker, task) assignments the service
+// will hand out. Without this option the budget is unlimited; a negative n
+// also means unlimited.
+func WithBudget(n int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if n < 0 {
+			n = -1
+		}
+		c.budget = n
+		return nil
+	}
+}
+
+// WithTasksPerRequest sets h, the number of tasks offered to each requesting
+// worker. The default is 2, the paper's HIT size.
+func WithTasksPerRequest(h int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if h <= 0 {
+			return fmt.Errorf("poilabel: non-positive TasksPerRequest %d", h)
+		}
+		c.h = h
+		return nil
+	}
+}
+
+// WithAssigner selects the assignment strategy of the single engine. The
+// sharded and federated engines always plan with AccOpt inside each shard.
+// The default is AssignerAccOpt.
+func WithAssigner(kind AssignerKind) ServiceOption {
+	return func(c *serviceConfig) error {
+		switch kind {
+		case AssignerAccOpt, AssignerSpatialFirst, AssignerRandom, AssignerEntropy, AssignerMarginalGreedy:
+			c.assigner = kind
+			return nil
+		}
+		return fmt.Errorf("poilabel: unknown assigner kind %d", int(kind))
+	}
+}
+
+// WithShards sets K, the number of geographic shards per city, for the
+// sharded and federated engines. Zero (the default) means shard.DefaultShards.
+func WithShards(k int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if k < 0 {
+			return fmt.Errorf("poilabel: negative shard count %d", k)
+		}
+		c.shards = k
+		return nil
+	}
+}
+
+// WithCities sets the number of geographic city partitions of the federated
+// engine. Zero (the default) means federation.DefaultCities.
+func WithCities(n int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if n < 0 {
+			return fmt.Errorf("poilabel: negative city count %d", n)
+		}
+		c.cities = n
+		return nil
+	}
+}
+
+// WithRefineSweeps sets the number of cross-shard refinement sweeps per fit
+// for the sharded and federated engines. The default is none.
+func WithRefineSweeps(n int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if n < 0 {
+			return fmt.Errorf("poilabel: negative RefineSweeps %d", n)
+		}
+		c.refineSweeps = n
+		return nil
+	}
+}
+
+// WithFullEMInterval sets how many submitted answers trigger an automatic
+// full fit (Section III-D; the default is 100, the paper's setting). Between
+// full fits the single engine applies incremental EM per answer while the
+// batch engines only log. Zero disables automatic fits entirely — call Fit
+// (or Results, which fits) explicitly.
+func WithFullEMInterval(n int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if n < 0 {
+			return fmt.Errorf("poilabel: negative FullEMInterval %d", n)
+		}
+		c.fullEMInterval = n
+		return nil
+	}
+}
+
+// WithSeed seeds the random assigner. Ignored by the others.
+func WithSeed(seed int64) ServiceOption {
+	return func(c *serviceConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithModelConfig overrides the inference model configuration (a zero
+// FuncSet means core.DefaultConfig).
+func WithModelConfig(cfg core.Config) ServiceOption {
+	return func(c *serviceConfig) error {
+		c.model = cfg
+		return nil
+	}
+}
+
+// pairKey is retained in poilabel.go; the Service shares it.
+
+// Service is the one front door to the POI-labelling system: a
+// concurrency-safe serving type that runs the paper's alternating
+// inference/assignment protocol over a pluggable Engine. It accepts stable
+// string task and worker IDs with dynamic registration — AddTask and
+// AddWorker work before and after answers start flowing — and interns them
+// to the dense indices the flattened EM hot paths expect.
+//
+// All methods are safe for concurrent use; long fits honor their context
+// between EM iterations. Budget and pending semantics are uniform across
+// engines: every pair handed out by RequestTasks spends one budget unit and
+// stays pending (excluded from re-assignment) until its answer arrives, and
+// unsolicited answers are learned from without touching the budget.
+type Service struct {
+	mu  sync.RWMutex
+	cfg serviceConfig
+	eng Engine
+
+	taskIdx   map[string]TaskID
+	taskKeys  []string // dense index -> stable ID
+	tasks     []Task   // dense task definitions
+	workerIdx map[string]WorkerID
+	workerKey []string
+	workers   []Worker
+
+	pending   map[pairKey]bool
+	sinceFull int
+	// dirty reports whether the engine saw new evidence (answers, tasks,
+	// workers) since its last successful full fit; Results skips the
+	// redundant refit when clean.
+	dirty bool
+}
+
+// NewService creates a Service. With no options it serves the single engine
+// with AccOpt assignment, h = 2, an unlimited budget, and a full fit every
+// 100 answers. Register at least one task and one worker before submitting
+// answers or requesting assignments.
+func NewService(opts ...ServiceOption) (*Service, error) {
+	cfg := serviceConfig{
+		engine:         EngineSingle,
+		budget:         -1,
+		h:              2,
+		assigner:       AssignerAccOpt,
+		fullEMInterval: 100,
+		model:          core.DefaultConfig(),
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.model.FuncSet == nil {
+		cfg.model = core.DefaultConfig()
+	}
+	return &Service{
+		cfg:       cfg,
+		taskIdx:   make(map[string]TaskID),
+		workerIdx: make(map[string]WorkerID),
+		pending:   make(map[pairKey]bool),
+		dirty:     true,
+	}, nil
+}
+
+// AddTask registers a labelling task under a stable string ID. Tasks can be
+// added at any time, including after answers have been submitted; new tasks
+// start at the model's priors and become assignable immediately.
+func (s *Service) AddTask(id string, spec TaskSpec) error {
+	if id == "" {
+		return fmt.Errorf("poilabel: empty task id")
+	}
+	if len(spec.Labels) == 0 {
+		return fmt.Errorf("poilabel: task %q has no labels", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.taskIdx[id]; ok {
+		return fmt.Errorf("%w: task %q", ErrDuplicateID, id)
+	}
+	t := Task{
+		ID:       TaskID(len(s.tasks)),
+		Name:     spec.Name,
+		Location: spec.Location,
+		Labels:   append([]string(nil), spec.Labels...),
+		Reviews:  spec.Reviews,
+	}
+	if s.eng != nil {
+		if err := s.eng.AddTask(t); err != nil {
+			return err
+		}
+	}
+	s.taskIdx[id] = t.ID
+	s.taskKeys = append(s.taskKeys, id)
+	s.tasks = append(s.tasks, t)
+	s.dirty = true
+	return nil
+}
+
+// AddWorker registers a crowd worker under a stable string ID. Workers can
+// be added at any time; new workers start at the model's priors.
+func (s *Service) AddWorker(id string, spec WorkerSpec) error {
+	if id == "" {
+		return fmt.Errorf("poilabel: empty worker id")
+	}
+	if len(spec.Locations) == 0 {
+		return fmt.Errorf("poilabel: worker %q has no locations", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workerIdx[id]; ok {
+		return fmt.Errorf("%w: worker %q", ErrDuplicateID, id)
+	}
+	w := Worker{
+		ID:        WorkerID(len(s.workers)),
+		Name:      spec.Name,
+		Locations: append([]Point(nil), spec.Locations...),
+	}
+	if s.eng != nil {
+		if err := s.eng.AddWorker(w); err != nil {
+			return err
+		}
+	}
+	s.workerIdx[id] = w.ID
+	s.workerKey = append(s.workerKey, id)
+	s.workers = append(s.workers, w)
+	s.dirty = true
+	return nil
+}
+
+// ensureEngine builds the configured engine on first use. Callers must hold
+// the write lock. The distance normalizer spans every location registered at
+// build time (later registrations use the same scale, clamped to [0, 1]).
+func (s *Service) ensureEngine() error {
+	if s.eng != nil {
+		return nil
+	}
+	if len(s.tasks) == 0 {
+		return ErrNoTasks
+	}
+	if len(s.workers) == 0 {
+		return ErrNoWorkers
+	}
+	var pts []Point
+	for i := range s.tasks {
+		pts = append(pts, s.tasks[i].Location)
+	}
+	for i := range s.workers {
+		pts = append(pts, s.workers[i].Locations...)
+	}
+	// A zero bounding-box diameter (every location coincides) would panic
+	// inside the normalizer; surface it as an error instead — the model's
+	// distance signal needs spatial extent.
+	diam := geo.Bound(pts).Diameter()
+	if diam <= 0 {
+		return fmt.Errorf("poilabel: all registered locations coincide at %v; distances need spatial extent", pts[0])
+	}
+	norm := geo.NewNormalizer(diam)
+	cfg := s.cfg.model
+	var (
+		eng Engine
+		err error
+	)
+	switch s.cfg.engine {
+	case EngineSingle:
+		eng, err = newSingleEngine(s.tasks, s.workers, norm, cfg, s.cfg.assigner, s.cfg.seed)
+	case EngineSharded:
+		eng, err = newShardedEngine(s.tasks, s.workers, norm, shard.Config{
+			Shards:       s.cfg.shards,
+			RefineSweeps: s.cfg.refineSweeps,
+			Model:        cfg,
+		})
+	case EngineFederated:
+		eng, err = newFederatedEngine(s.tasks, s.workers, norm, federation.Config{
+			Cities: s.cfg.cities,
+			Shard: shard.Config{
+				Shards:       s.cfg.shards,
+				RefineSweeps: s.cfg.refineSweeps,
+				Model:        cfg,
+			},
+		})
+	default:
+		err = fmt.Errorf("poilabel: unknown engine kind %d", int(s.cfg.engine))
+	}
+	if err != nil {
+		return err
+	}
+	s.eng = eng
+	return nil
+}
+
+// lookup resolves stable IDs to dense indices. Callers must hold a lock.
+func (s *Service) lookupWorker(id string) (WorkerID, error) {
+	w, ok := s.workerIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	return w, nil
+}
+
+func (s *Service) lookupTask(id string) (TaskID, error) {
+	t, ok := s.taskIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTask, id)
+	}
+	return t, nil
+}
+
+// SubmitAnswer feeds one worker's votes on one task into the engine. The
+// pair's pending mark (if any) is cleared; unsolicited answers — pairs never
+// handed out by RequestTasks — are learned from exactly the same way and
+// never touch the budget. Every FullEMInterval-th submission triggers a full
+// fit; in between, the single engine applies incremental EM and the batch
+// engines only log.
+func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.lookupWorker(workerID)
+	if err != nil {
+		return err
+	}
+	t, err := s.lookupTask(taskID)
+	if err != nil {
+		return err
+	}
+	if got, want := len(selected), len(s.tasks[t].Labels); got != want {
+		return fmt.Errorf("poilabel: answer to task %q has %d votes, task has %d labels", taskID, got, want)
+	}
+	if err := s.ensureEngine(); err != nil {
+		return err
+	}
+	a := Answer{Worker: w, Task: t, Selected: append([]bool(nil), selected...)}
+	full := s.cfg.fullEMInterval > 0 && s.sinceFull+1 >= s.cfg.fullEMInterval
+	if full {
+		if err := s.eng.Observe(a); err != nil {
+			return err
+		}
+		delete(s.pending, pairKey{w, t})
+		s.sinceFull = 0
+		if _, err := s.eng.Fit(context.Background()); err != nil {
+			s.dirty = true
+			return err
+		}
+		s.dirty = false
+		return nil
+	}
+	if err := s.eng.Learn(a); err != nil {
+		return err
+	}
+	delete(s.pending, pairKey{w, t})
+	s.sinceFull++
+	s.dirty = true
+	return nil
+}
+
+// RequestTasks runs the task assigner for a set of requesting workers and
+// returns up to TasksPerRequest tasks each, bounded by the remaining budget.
+// Returned pairs are recorded as pending — they spend budget immediately and
+// are excluded from later rounds until answered — so re-requesting without
+// answering never hands out duplicates. When the budget is already exhausted
+// RequestTasks returns ErrBudgetExhausted; when it runs out mid-round the
+// round is trimmed to the remaining units.
+func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[string][]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.budget == 0 {
+		return nil, ErrBudgetExhausted
+	}
+	ws := make([]WorkerID, len(workerIDs))
+	for i, id := range workerIDs {
+		w, err := s.lookupWorker(id)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	if err := s.ensureEngine(); err != nil {
+		return nil, err
+	}
+	skip := func(w WorkerID, t TaskID) bool { return s.pending[pairKey{w, t}] }
+	assigned := s.eng.Assign(ws, s.cfg.h, s.cfg.budget, skip)
+	out := make(map[string][]string, len(assigned))
+	for w, ts := range assigned {
+		if len(ts) == 0 {
+			continue
+		}
+		ids := make([]string, len(ts))
+		for i, t := range ts {
+			ids[i] = s.taskKeys[t]
+			s.pending[pairKey{w, t}] = true
+		}
+		out[s.workerKey[w]] = ids
+		if s.cfg.budget > 0 {
+			s.cfg.budget -= len(ts)
+		}
+	}
+	return out, nil
+}
+
+// Fit forces a full fit of the engine and reports whether it converged. The
+// context is honored between EM iterations; on cancellation the engine keeps
+// the last completed iteration's estimates.
+func (s *Service) Fit(ctx context.Context) (converged bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEngine(); err != nil {
+		return false, err
+	}
+	s.sinceFull = 0
+	converged, err = s.eng.Fit(ctx)
+	if err == nil {
+		s.dirty = false
+	}
+	return converged, err
+}
+
+// Results runs a full fit (making the snapshot self-consistent) and returns
+// the current inference for every registered task, keyed by stable IDs.
+func (s *Service) Results(ctx context.Context) ([]TaskResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.fitResult(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TaskResult, len(s.tasks))
+	for t := range s.tasks {
+		out[t] = TaskResult{
+			Task:     s.taskKeys[t],
+			Labels:   s.tasks[t].Labels,
+			Prob:     res.Prob[t],
+			Inferred: res.Inferred[t],
+		}
+	}
+	return out, nil
+}
+
+// ResultSet is Results in dense form: row t of the returned Result is the
+// task registered t-th. The returned value is a copy the caller owns.
+func (s *Service) ResultSet(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fitResult(ctx)
+}
+
+// fitResult runs the fit-then-snapshot sequence, skipping the fit when the
+// engine saw no new evidence since the last one — polling Results on a
+// quiet service stays cheap. Callers must hold the write lock, which keeps
+// the snapshot aligned with the registered task set.
+func (s *Service) fitResult(ctx context.Context) (*Result, error) {
+	if err := s.ensureEngine(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.dirty {
+		s.sinceFull = 0
+		if _, err := s.eng.Fit(ctx); err != nil {
+			return nil, err
+		}
+		s.dirty = false
+	}
+	return s.eng.Result(), nil
+}
+
+// WorkerInfo returns the current estimate of one worker.
+func (s *Service) WorkerInfo(id string) (WorkerInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, err := s.lookupWorker(id)
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	info := WorkerInfo{Worker: id}
+	if s.eng != nil {
+		info.Quality = s.eng.WorkerQuality(w)
+		info.DistanceSensitivity = s.eng.DistanceSensitivity(w)
+	} else {
+		info.Quality = s.cfg.model.InitPI
+		info.DistanceSensitivity = s.cfg.model.FuncSet.Uniform()
+	}
+	return info, nil
+}
+
+// RemainingBudget returns the number of assignments still available, or -1
+// when the service was created without a budget.
+func (s *Service) RemainingBudget() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.budget
+}
+
+// PendingCount returns the number of handed-out pairs still awaiting an
+// answer.
+func (s *Service) PendingCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// NumTasks returns the number of registered tasks.
+func (s *Service) NumTasks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// NumWorkers returns the number of registered workers.
+func (s *Service) NumWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.workers)
+}
+
+// TaskIDs returns the stable IDs of all registered tasks in registration
+// order (the dense order of ResultSet rows).
+func (s *Service) TaskIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.taskKeys...)
+}
+
+// WorkerIDs returns the stable IDs of all registered workers in registration
+// order.
+func (s *Service) WorkerIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.workerKey...)
+}
+
+// EngineKind returns the configured engine kind.
+func (s *Service) EngineKind() EngineKind {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.engine
+}
+
+// currentResult returns the engine's inference without forcing a fit.
+// Wrappers that keep the legacy "no fit on read" semantics use it.
+func (s *Service) currentResult() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEngine(); err != nil {
+		return nil, err
+	}
+	return s.eng.Result(), nil
+}
+
+// invalidate marks the engine as holding unfitted evidence. The legacy
+// wrappers call it after mutating the underlying model behind the
+// service's back (checkpoint restore).
+func (s *Service) invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty = true
+}
+
+// engine returns the built engine, constructing it on demand. Wrappers use
+// it for engine-specific introspection.
+func (s *Service) engine() (Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEngine(); err != nil {
+		return nil, err
+	}
+	return s.eng, nil
+}
+
+// assignWithExternalBudget runs one assignment round whose budget is owned
+// by the caller instead of the service (the legacy ShardedModel contract).
+// Pending dedup still applies: handed-out pairs are recorded and excluded
+// until answered.
+func (s *Service) assignWithExternalBudget(ws []WorkerID, h, budget int) (map[WorkerID][]TaskID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEngine(); err != nil {
+		return nil, err
+	}
+	skip := func(w WorkerID, t TaskID) bool { return s.pending[pairKey{w, t}] }
+	assigned := s.eng.Assign(ws, h, budget, skip)
+	for w, ts := range assigned {
+		for _, t := range ts {
+			s.pending[pairKey{w, t}] = true
+		}
+	}
+	return assigned, nil
+}

@@ -1,0 +1,159 @@
+package poilabel_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"poilabel"
+	"poilabel/internal/experiment"
+	"poilabel/internal/model"
+)
+
+// serviceBenchWorld builds a mid-scale synthetic world (2000 tasks, 100
+// workers — 200k distinct pairs, enough fresh answers for any benchtime)
+// and pre-generates one simulated answer per (worker, task) pair in a fixed
+// order, so every benchmark iteration submits a distinct fresh pair.
+func serviceBenchWorld(b *testing.B) (*experiment.Env, []model.Answer) {
+	b.Helper()
+	env, err := experiment.SyntheticEnv(2000, 100, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	answers := make([]model.Answer, 0, len(env.Data.Tasks)*len(env.Workers))
+	for ti := range env.Data.Tasks {
+		for wi := range env.Workers {
+			answers = append(answers, env.Sim.Answer(model.WorkerID(wi), model.TaskID(ti)))
+		}
+	}
+	return env, answers
+}
+
+func newBenchService(b *testing.B, env *experiment.Env) *poilabel.Service {
+	b.Helper()
+	// FullEMInterval 0 keeps every submission on the incremental path, the
+	// same work the direct model comparison performs.
+	svc, err := poilabel.NewService(poilabel.WithFullEMInterval(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, t := range env.Data.Tasks {
+		if err := svc.AddTask(fmt.Sprintf("t%d", i), poilabel.TaskSpec{
+			Name:     t.Name,
+			Location: t.Location,
+			Labels:   t.Labels,
+			Reviews:  t.Reviews,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, w := range env.Workers {
+		if err := svc.AddWorker(fmt.Sprintf("w%d", i), poilabel.WorkerSpec{
+			Name:      w.Name,
+			Locations: w.Locations,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkServiceSubmit measures one answer submission through the Service
+// front door — mutex, string-ID interning, pending bookkeeping, and the
+// same incremental EM update the model applies — against submitting to the
+// core model directly (BenchmarkDirectModelSubmit). The difference is the
+// Service layer's overhead; PERFORMANCE.md records reference numbers.
+func BenchmarkServiceSubmit(b *testing.B) {
+	env, answers := serviceBenchWorld(b)
+	svc := newBenchService(b, env)
+	if b.N > len(answers) {
+		b.Fatalf("benchtime needs %d fresh pairs, world has %d", b.N, len(answers))
+	}
+	ids := make([][2]string, len(answers))
+	for i, a := range answers {
+		ids[i] = [2]string{fmt.Sprintf("w%d", a.Worker), fmt.Sprintf("t%d", a.Task)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.SubmitAnswer(ids[i][0], ids[i][1], answers[i].Selected); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSubmitParallel is BenchmarkServiceSubmit from many
+// goroutines at once: the submissions serialize on the service mutex, so
+// per-op time approaches the serial cost plus contention.
+func BenchmarkServiceSubmitParallel(b *testing.B) {
+	env, answers := serviceBenchWorld(b)
+	svc := newBenchService(b, env)
+	if b.N > len(answers) {
+		b.Fatalf("benchtime needs %d fresh pairs, world has %d", b.N, len(answers))
+	}
+	ids := make([][2]string, len(answers))
+	for i, a := range answers {
+		ids[i] = [2]string{fmt.Sprintf("w%d", a.Worker), fmt.Sprintf("t%d", a.Task)}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) - 1
+			if i >= len(answers) {
+				b.Fatal("fresh-pair pool exhausted")
+			}
+			if err := svc.SubmitAnswer(ids[i][0], ids[i][1], answers[i].Selected); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectModelSubmit is the no-service baseline: the same answers
+// applied straight to a core model's incremental update.
+func BenchmarkDirectModelSubmit(b *testing.B) {
+	env, answers := serviceBenchWorld(b)
+	m, err := env.NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > len(answers) {
+		b.Fatalf("benchtime needs %d fresh pairs, world has %d", b.N, len(answers))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Update(answers[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceRequestTasks measures one Service assignment round (10
+// requesting workers, h = 2) on a warm model, including pending bookkeeping
+// and string mapping. Each round requests a different worker cohort so the
+// pending set keeps growing as it would in production.
+func BenchmarkServiceRequestTasks(b *testing.B) {
+	env, answers := serviceBenchWorld(b)
+	svc := newBenchService(b, env)
+	// Warm with a sparse log, as the AccOpt benches do.
+	for i := 0; i < len(answers); i += 97 {
+		a := answers[i]
+		if err := svc.SubmitAnswer(fmt.Sprintf("w%d", a.Worker), fmt.Sprintf("t%d", a.Task), a.Selected); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := svc.Fit(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	cohort := make([]string, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cohort {
+			cohort[j] = fmt.Sprintf("w%d", (10*i+j)%len(env.Workers))
+		}
+		if _, err := svc.RequestTasks(context.Background(), cohort); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
