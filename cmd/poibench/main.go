@@ -37,6 +37,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for the 'sharded' experiment (0 = default)")
 	checkDir := flag.String("checkperf", "", "rerun the S-size perf sweeps and fail if a hot path regressed vs the BENCH_*.json baselines in <dir>")
 	perfTol := flag.Float64("perftol", 0.25, "allowed fractional regression for -checkperf (0.25 = 25%)")
+	snapBench := flag.Bool("snapbench", false, "measure snapshot encode/decode throughput on the L-size Fig13 workload")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "poibench: %v\n", err)
 			os.Exit(1)
 		}
-		if flag.NArg() == 0 && *jsonDir == "" {
+		if flag.NArg() == 0 && *jsonDir == "" && !*snapBench {
 			return
 		}
 	}
@@ -67,6 +68,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "poibench: %v\n", err)
 			os.Exit(1)
 		}
+		if flag.NArg() == 0 && !*snapBench {
+			return
+		}
+	}
+
+	if *snapBench {
+		out, err := experiment.RunSnapshotBench(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poibench: snapbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
 		if flag.NArg() == 0 {
 			return
 		}

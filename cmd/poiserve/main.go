@@ -7,6 +7,7 @@
 //	         [-shards K] [-cities N] [-budget N] [-h N]
 //	         [-assigner accopt|marginal|sf|entropy|random]
 //	         [-fullem N] [-demo N] [-seed N]
+//	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
 //
 // The server starts empty: register tasks and workers over HTTP, stream
 // answers, request assignments, and read results (see internal/serve for
@@ -18,15 +19,27 @@
 //	poiserve -demo 30 -engine sharded -shards 4 &
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/assignments -d '{"workers":["w0","w1"]}'
+//
+// With -checkpoint the server persists its full learned state to the given
+// file on POST /checkpoint (and, with -checkpoint-interval, periodically);
+// writes are atomic write-then-rename. A restarted server passes -restore
+// with the same engine flags to resume exactly where the snapshot left off
+// — identical results, assignment plans, and remaining budget:
+//
+//	poiserve -demo 30 -checkpoint /var/lib/poi.snap -checkpoint-interval 30s &
+//	curl -s -X POST localhost:8080/checkpoint
+//	kill %1 && poiserve -restore /var/lib/poi.snap &
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"time"
 
 	"poilabel"
 	"poilabel/internal/crowd"
@@ -45,15 +58,20 @@ func main() {
 	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only)")
 	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
 	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
+	ckpt := flag.String("checkpoint", "", "snapshot file enabling POST /checkpoint (empty = disabled)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0, "also auto-checkpoint at this interval (0 = manual only; needs -checkpoint)")
+	restore := flag.String("restore", "", "restore state from this snapshot file at startup (engine flags must match)")
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *seed); err != nil {
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *seed,
+		*ckpt, *ckptEvery, *restore); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo int, seed int64) error {
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo int, seed int64,
+	ckptPath string, ckptEvery time.Duration, restorePath string) error {
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
 		poilabel.WithTasksPerRequest(h),
@@ -87,19 +105,43 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 		return fmt.Errorf("unknown assigner %q (want accopt, marginal, sf, entropy, or random)", assigner)
 	}
 
+	if ckptEvery > 0 && ckptPath == "" {
+		return fmt.Errorf("-checkpoint-interval needs -checkpoint")
+	}
+
 	svc, err := poilabel.NewService(opts...)
 	if err != nil {
 		return err
 	}
-	if demo > 0 {
+	switch {
+	case restorePath != "":
+		if err := svc.LoadCheckpoint(restorePath); err != nil {
+			return err
+		}
+		if demo > 0 {
+			log.Printf("-restore given; skipping -demo seeding")
+		}
+		log.Printf("restored %s: %d tasks, %d workers, budget %d",
+			restorePath, svc.NumTasks(), svc.NumWorkers(), svc.RemainingBudget())
+	case demo > 0:
 		if err := seedDemoWorld(svc, demo, seed); err != nil {
 			return err
 		}
 		log.Printf("demo world registered: %d tasks, %d workers", svc.NumTasks(), svc.NumWorkers())
 	}
 
+	var serveOpts []serve.Option
+	if ckptPath != "" {
+		ck := serve.NewCheckpointer(svc, ckptPath)
+		serveOpts = append(serveOpts, serve.WithCheckpointer(ck))
+		if ckptEvery > 0 {
+			go ck.Run(context.Background(), ckptEvery)
+			log.Printf("auto-checkpointing to %s every %s", ckptPath, ckptEvery)
+		}
+	}
+
 	log.Printf("poiserve listening on %s (engine %s, budget %d, h %d)", addr, engine, budget, h)
-	return http.ListenAndServe(addr, serve.NewHandler(svc))
+	return http.ListenAndServe(addr, serve.NewHandler(svc, serveOpts...))
 }
 
 // seedDemoWorld registers the synthetic Beijing dataset and a simulated

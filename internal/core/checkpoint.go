@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"poilabel/internal/model"
+	"poilabel/internal/snapshot"
 )
 
 // Checkpoint is a serializable snapshot of a model's learned state: the
@@ -133,6 +134,50 @@ func (m *Model) SaveCheckpoint(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// CheckpointState captures the model's learned state in the durable
+// snapshot wire format: the answer log in submission order and the current
+// parameter estimates. Derived stores (the answer-indexed f-values, the
+// distance cache) are not serialized; RestoreState rebuilds them.
+func (m *Model) CheckpointState() *snapshot.ModelState {
+	c := m.Snapshot()
+	st := &snapshot.ModelState{
+		Answers: make([]snapshot.Answer, len(c.Answers)),
+		Params: snapshot.Params{
+			PZ:  c.Params.PZ,
+			PI:  c.Params.PI,
+			PDW: c.Params.PDW,
+			PDT: c.Params.PDT,
+		},
+	}
+	for i, a := range c.Answers {
+		st.Answers[i] = snapshot.Answer{Worker: int(a.Worker), Task: int(a.Task), Selected: a.Selected}
+	}
+	return st
+}
+
+// RestoreState replaces the model's answers and parameters with a state
+// captured by CheckpointState, with the same shape validation as Restore.
+// The model takes ownership of the state's slices; do not reuse st after a
+// successful restore.
+func (m *Model) RestoreState(st *snapshot.ModelState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil model state")
+	}
+	c := &Checkpoint{
+		Answers: make([]model.Answer, len(st.Answers)),
+		Params: &Params{
+			PZ:  st.Params.PZ,
+			PI:  st.Params.PI,
+			PDW: st.Params.PDW,
+			PDT: st.Params.PDT,
+		},
+	}
+	for i, a := range st.Answers {
+		c.Answers[i] = model.Answer{Worker: model.WorkerID(a.Worker), Task: model.TaskID(a.Task), Selected: a.Selected}
+	}
+	return m.Restore(c)
 }
 
 // LoadCheckpoint restores the model from a checkpoint file.

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"time"
+
+	"poilabel/internal/snapshot"
+	"poilabel/internal/stats"
+)
+
+// RunSnapshotBench measures the durable-snapshot codec on the L-size Fig13
+// workload (the largest tracked inference sweep point: 40k answers over an
+// 8k-task, 100-worker synthetic city). It fits the model once, captures the
+// learned state into the service-shaped wire format — including the task
+// and worker tables a real poilabel.Service snapshot carries — and reports
+// capture, encode, decode, and restore cost with encode/decode throughput,
+// sizing the pause a production checkpoint (poiserve POST /checkpoint) adds
+// at that scale.
+func RunSnapshotBench(seed int64) (string, error) {
+	n := PerfInferenceSizes[len(PerfInferenceSizes)-1] // the L sweep point
+	env, err := SyntheticEnv(n/5, 100, seed)
+	if err != nil {
+		return "", err
+	}
+	full, err := env.Sim.CollectBiased(5, 0.10, 0.45)
+	if err != nil {
+		return "", err
+	}
+	answers := full.Truncate(n)
+	m, err := env.NewModel()
+	if err != nil {
+		return "", err
+	}
+	for _, a := range answers.All() {
+		if err := m.Observe(a); err != nil {
+			return "", err
+		}
+	}
+	m.Fit()
+
+	captureStart := time.Now()
+	state := m.CheckpointState()
+	captureSec := time.Since(captureStart).Seconds()
+
+	sv := snapshot.ServiceState{
+		Engine:       "single",
+		EngineBuilt:  true,
+		BuiltTasks:   len(env.Data.Tasks),
+		BuiltWorkers: len(env.Workers),
+		Budget:       -1,
+		Dirty:        false,
+		Tasks:        make([]snapshot.Task, len(env.Data.Tasks)),
+		Workers:      make([]snapshot.Worker, len(env.Workers)),
+		Single:       state,
+	}
+	for i, t := range env.Data.Tasks {
+		sv.Tasks[i] = snapshot.TaskState("t"+strconv.Itoa(i), t)
+	}
+	for i, w := range env.Workers {
+		sv.Workers[i] = snapshot.WorkerState("w"+strconv.Itoa(i), w)
+	}
+	snap := snapshot.New(sv)
+
+	var buf bytes.Buffer
+	encStart := time.Now()
+	if err := snapshot.Encode(&buf, snap); err != nil {
+		return "", err
+	}
+	encSec := time.Since(encStart).Seconds()
+	size := buf.Len()
+
+	decStart := time.Now()
+	decoded, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return "", err
+	}
+	decSec := time.Since(decStart).Seconds()
+
+	m2, err := env.NewModel()
+	if err != nil {
+		return "", err
+	}
+	resStart := time.Now()
+	if err := m2.RestoreState(decoded.Service.Single); err != nil {
+		return "", err
+	}
+	resSec := time.Since(resStart).Seconds()
+
+	mb := float64(size) / (1 << 20)
+	t := stats.NewTable(
+		fmt.Sprintf("Snapshot codec on the L-size Fig13 workload (%d answers, %d tasks, %d workers)",
+			n, len(env.Data.Tasks), len(env.Workers)),
+		"phase", "seconds", "MB/s")
+	t.AddRow("capture", fmt.Sprintf("%.3f", captureSec), "-")
+	t.AddRow("encode", fmt.Sprintf("%.3f", encSec), fmt.Sprintf("%.1f", mb/encSec))
+	t.AddRow("decode", fmt.Sprintf("%.3f", decSec), fmt.Sprintf("%.1f", mb/decSec))
+	t.AddRow("restore", fmt.Sprintf("%.3f", resSec), "-")
+	t.AddRow("snapshot bytes", strconv.Itoa(size), fmt.Sprintf("%.1f MB", mb))
+	return t.String(), nil
+}

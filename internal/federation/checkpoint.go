@@ -1,0 +1,74 @@
+package federation
+
+import (
+	"fmt"
+
+	"poilabel/internal/model"
+	"poilabel/internal/snapshot"
+)
+
+// CheckpointState captures the federation's learned state in the durable
+// snapshot wire format: every city's sharded state (answer logs carry
+// city-shard-local task IDs) plus the merged cross-city per-worker
+// estimates. Like the shard layer, the city partition itself is not
+// serialized — the restoring side reconstructs it deterministically from the
+// same task sequence before calling RestoreState.
+func (f *Federation) CheckpointState() *snapshot.FederationState {
+	st := &snapshot.FederationState{
+		Cities: make([]snapshot.ShardedState, len(f.cities)),
+		PI:     append([]float64(nil), f.pi...),
+		PDW:    make([][]float64, len(f.pdw)),
+	}
+	for ci, c := range f.cities {
+		st.Cities[ci] = *c.CheckpointState()
+	}
+	for w := range f.pdw {
+		st.PDW[w] = append([]float64(nil), f.pdw[w]...)
+	}
+	return st
+}
+
+// RestoreState replaces the federation's learned state with one captured by
+// CheckpointState. The federation must have been constructed over the same
+// task and worker sets; per-city answer counts are recomputed from the
+// restored logs. On error the federation may hold a partially restored
+// state and should be discarded.
+func (f *Federation) RestoreState(st *snapshot.FederationState) error {
+	if st == nil {
+		return fmt.Errorf("federation: nil state")
+	}
+	if len(st.Cities) != len(f.cities) {
+		return fmt.Errorf("federation: snapshot has %d cities, federation has %d", len(st.Cities), len(f.cities))
+	}
+	if len(st.PI) != len(f.workers) || len(st.PDW) != len(f.workers) {
+		return fmt.Errorf("federation: snapshot has %d/%d merged worker rows, federation has %d",
+			len(st.PI), len(st.PDW), len(f.workers))
+	}
+	nf := f.cfg.Shard.Model.FuncSet.Len()
+	for w := range st.PDW {
+		if len(st.PDW[w]) != nf {
+			return fmt.Errorf("federation: snapshot worker %d has %d sensitivity weights, federation has %d",
+				w, len(st.PDW[w]), nf)
+		}
+	}
+	for ci, c := range f.cities {
+		if err := c.RestoreState(&st.Cities[ci]); err != nil {
+			return fmt.Errorf("city %d: %w", ci, err)
+		}
+	}
+	for ci, c := range f.cities {
+		cnt := f.counts[ci]
+		for w := range cnt {
+			total := 0
+			for si := 0; si < c.NumShards(); si++ {
+				total += c.AnswerCount(si, model.WorkerID(w))
+			}
+			cnt[w] = total
+		}
+	}
+	for w := range f.pi {
+		f.pi[w] = st.PI[w]
+		copy(f.pdw[w], st.PDW[w])
+	}
+	return nil
+}

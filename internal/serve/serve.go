@@ -7,6 +7,7 @@
 //	POST /workers       {"id": "...", "worker": {WorkerSpec}}  register a worker
 //	POST /answers       {"worker": "...", "task": "...", "selected": [...]}
 //	POST /assignments   {"workers": ["...", ...]}              run the assigner
+//	POST /checkpoint                                           snapshot to disk
 //	GET  /results                                              current inference
 //	GET  /workers/{id}                                         worker estimate
 //	GET  /healthz                                              liveness + counters
@@ -14,6 +15,12 @@
 // Typed service errors map onto statuses: unknown IDs are 404, duplicate
 // registrations 409, an exhausted budget 402, a missing task/worker pool
 // 409, and malformed bodies 400.
+//
+// Durability is provided by a Checkpointer (WithCheckpointer): POST
+// /checkpoint persists the service's full learned state to the configured
+// file with atomic write-then-rename semantics, Checkpointer.Run does the
+// same on a periodic ticker, and a restarted process resumes bit-identically
+// via poilabel.Service.LoadCheckpoint (cmd/poiserve's -restore flag).
 package serve
 
 import (
@@ -21,19 +28,84 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
+	"sync"
+	"time"
 
 	"poilabel"
 )
 
+// Checkpointer persists one service's snapshot to a fixed file. Writes are
+// atomic (write-then-rename, see snapshot.WriteFileAtomic) and serialized
+// by an internal mutex, so a manual POST /checkpoint racing the periodic
+// ticker never interleaves two writers on the same path.
+type Checkpointer struct {
+	svc  *poilabel.Service
+	path string
+	mu   sync.Mutex
+}
+
+// NewCheckpointer returns a checkpointer writing svc's snapshots to path.
+func NewCheckpointer(svc *poilabel.Service, path string) *Checkpointer {
+	return &Checkpointer{svc: svc, path: path}
+}
+
+// Path returns the snapshot file path.
+func (c *Checkpointer) Path() string { return c.path }
+
+// Checkpoint writes one snapshot now, returning the number of bytes
+// written.
+func (c *Checkpointer) Checkpoint() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.SaveCheckpoint(c.path)
+}
+
+// Run checkpoints every interval until the context is done. Failures are
+// logged and retried at the next tick rather than aborting the loop — an
+// operator fixing a full disk should not need to restart the server to
+// resume auto-checkpointing.
+func (c *Checkpointer) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n, err := c.Checkpoint(); err != nil {
+				log.Printf("serve: auto-checkpoint failed: %v", err)
+			} else {
+				log.Printf("serve: checkpointed %d bytes to %s", n, c.path)
+			}
+		}
+	}
+}
+
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithCheckpointer enables the POST /checkpoint endpoint, backed by c.
+func WithCheckpointer(c *Checkpointer) Option {
+	return func(h *Handler) { h.ckpt = c }
+}
+
 // Handler is the HTTP gateway over one Service.
 type Handler struct {
-	svc *poilabel.Service
+	svc  *poilabel.Service
+	ckpt *Checkpointer // nil when checkpointing is not configured
 }
 
 // NewHandler returns the gateway for svc.
-func NewHandler(svc *poilabel.Service) *Handler { return &Handler{svc: svc} }
+func NewHandler(svc *poilabel.Service, opts ...Option) *Handler {
+	h := &Handler{svc: svc}
+	for _, opt := range opts {
+		opt(h)
+	}
+	return h
+}
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -47,13 +119,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.postAnswer(w, r)
 	case path == "/assignments" && r.Method == http.MethodPost:
 		h.postAssignments(w, r)
+	case path == "/checkpoint" && r.Method == http.MethodPost:
+		h.postCheckpoint(w, r)
 	case path == "/results" && r.Method == http.MethodGet:
 		h.getResults(w, r)
 	case strings.HasPrefix(path, "/workers/") && r.Method == http.MethodGet:
 		h.getWorker(w, r, strings.TrimPrefix(path, "/workers/"))
 	case path == "/healthz" && r.Method == http.MethodGet:
 		h.getHealth(w, r)
-	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/results" || path == "/healthz":
+	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/checkpoint" || path == "/results" || path == "/healthz":
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on %s", r.Method, path))
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", path))
@@ -192,6 +266,25 @@ func (h *Handler) postAssignments(w http.ResponseWriter, r *http.Request) {
 		Assignments:     assigned,
 		RemainingBudget: h.svc.RemainingBudget(),
 	})
+}
+
+type checkpointResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+func (h *Handler) postCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if h.ckpt == nil {
+		writeError(w, http.StatusConflict,
+			errors.New("checkpointing not configured; start the server with a checkpoint path"))
+		return
+	}
+	n, err := h.ckpt.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{Path: h.ckpt.Path(), Bytes: n})
 }
 
 type resultsResponse struct {

@@ -202,3 +202,98 @@ func TestGatewayEmptyServiceConflict(t *testing.T) {
 		t.Errorf("empty service: status %d, want 409", code)
 	}
 }
+
+// TestGatewayCheckpointRestart drives the full operational durability loop:
+// seed a world over HTTP, POST /checkpoint, boot a second gateway restored
+// from the snapshot file, and require identical /results and /healthz
+// accounting — the in-process version of the smoke script's kill-and-restart.
+func TestGatewayCheckpointRestart(t *testing.T) {
+	path := t.TempDir() + "/gateway.snap"
+	opts := []poilabel.ServiceOption{poilabel.WithBudget(50), poilabel.WithFullEMInterval(3)}
+
+	svc, err := poilabel.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := serve.NewCheckpointer(svc, path)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithCheckpointer(ck)))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 6; i++ {
+		postTask(t, srv, fmt.Sprintf("t%d", i), float64(i), 0, []string{"a", "b"})
+	}
+	postWorker(t, srv, "alice", 0, 1)
+	postWorker(t, srv, "bob", 4, 1)
+	var ar struct {
+		Assignments map[string][]string `json:"assignments"`
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/assignments", map[string]any{"workers": []string{"alice", "bob"}}, &ar); code != http.StatusOK {
+		t.Fatalf("POST /assignments: %d", code)
+	}
+	// Answer only alice's pairs; bob's stay pending across the restart.
+	for _, tid := range ar.Assignments["alice"] {
+		body := map[string]any{"worker": "alice", "task": tid, "selected": []bool{true, false}}
+		if code := do(t, http.MethodPost, srv.URL+"/answers", body, nil); code != http.StatusAccepted {
+			t.Fatalf("POST /answers: %d", code)
+		}
+	}
+
+	var before json.RawMessage
+	if code := do(t, http.MethodGet, srv.URL+"/results", nil, &before); code != http.StatusOK {
+		t.Fatalf("GET /results: %d", code)
+	}
+	var beforeHealth json.RawMessage
+	if code := do(t, http.MethodGet, srv.URL+"/healthz", nil, &beforeHealth); code != http.StatusOK {
+		t.Fatal("healthz")
+	}
+
+	var cp struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/checkpoint", nil, &cp); code != http.StatusOK {
+		t.Fatalf("POST /checkpoint: %d", code)
+	}
+	if cp.Path != path || cp.Bytes == 0 {
+		t.Fatalf("checkpoint response %+v", cp)
+	}
+
+	// "Restart": a fresh service restored from the file behind a new
+	// gateway.
+	svc2, err := poilabel.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(serve.NewHandler(svc2))
+	t.Cleanup(srv2.Close)
+
+	var after json.RawMessage
+	if code := do(t, http.MethodGet, srv2.URL+"/results", nil, &after); code != http.StatusOK {
+		t.Fatalf("GET /results after restart: %d", code)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("results changed across restart:\n%s\nvs\n%s", before, after)
+	}
+	var afterHealth json.RawMessage
+	if code := do(t, http.MethodGet, srv2.URL+"/healthz", nil, &afterHealth); code != http.StatusOK {
+		t.Fatal("healthz after restart")
+	}
+	if !bytes.Equal(beforeHealth, afterHealth) {
+		t.Fatalf("health accounting changed across restart:\n%s\nvs\n%s", beforeHealth, afterHealth)
+	}
+}
+
+// TestGatewayCheckpointUnconfigured maps a /checkpoint on a server started
+// without a checkpoint path to 409.
+func TestGatewayCheckpointUnconfigured(t *testing.T) {
+	srv := newServer(t)
+	if code := do(t, http.MethodPost, srv.URL+"/checkpoint", nil, nil); code != http.StatusConflict {
+		t.Fatalf("POST /checkpoint without config: status %d, want 409", code)
+	}
+	if code := do(t, http.MethodGet, srv.URL+"/checkpoint", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint: status %d, want 405", code)
+	}
+}

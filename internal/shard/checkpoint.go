@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+
+	"poilabel/internal/snapshot"
+)
+
+// CheckpointState captures the fitter's learned state in the durable
+// snapshot wire format: every shard's model state (answer logs carry
+// shard-local task IDs) plus the merged per-worker estimates. The partition
+// structure itself is not serialized — it is a deterministic function of the
+// construction-time task set and the subsequent AddTask sequence, which the
+// restoring side replays before calling RestoreState.
+func (s *Sharded) CheckpointState() *snapshot.ShardedState {
+	st := &snapshot.ShardedState{
+		Shards: make([]snapshot.ModelState, len(s.models)),
+		PI:     append([]float64(nil), s.pi...),
+		PDW:    make([][]float64, len(s.pdw)),
+	}
+	for si, m := range s.models {
+		st.Shards[si] = *m.CheckpointState()
+	}
+	for w := range s.pdw {
+		st.PDW[w] = append([]float64(nil), s.pdw[w]...)
+	}
+	return st
+}
+
+// RestoreState replaces the fitter's learned state with one captured by
+// CheckpointState. The fitter must have been constructed over the same task
+// and worker sets (shape mismatches are rejected); per-shard answer counts
+// are recomputed from the restored logs. On error the fitter may hold a
+// partially restored state and should be discarded.
+func (s *Sharded) RestoreState(st *snapshot.ShardedState) error {
+	if st == nil {
+		return fmt.Errorf("shard: nil state")
+	}
+	if len(st.Shards) != len(s.models) {
+		return fmt.Errorf("shard: snapshot has %d shards, fitter has %d", len(st.Shards), len(s.models))
+	}
+	if len(st.PI) != len(s.workers) || len(st.PDW) != len(s.workers) {
+		return fmt.Errorf("shard: snapshot has %d/%d merged worker rows, fitter has %d",
+			len(st.PI), len(st.PDW), len(s.workers))
+	}
+	nf := s.cfg.Model.FuncSet.Len()
+	for w := range st.PDW {
+		if len(st.PDW[w]) != nf {
+			return fmt.Errorf("shard: snapshot worker %d has %d sensitivity weights, fitter has %d",
+				w, len(st.PDW[w]), nf)
+		}
+	}
+	for si, m := range s.models {
+		if err := m.RestoreState(&st.Shards[si]); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	for si, m := range s.models {
+		cnt := s.counts[si]
+		for w := range cnt {
+			cnt[w] = 0
+		}
+		ans := m.Answers()
+		for i := 0; i < ans.Len(); i++ {
+			w, _ := ans.Pair(i)
+			cnt[w]++
+		}
+	}
+	for w := range s.pi {
+		s.pi[w] = st.PI[w]
+		copy(s.pdw[w], st.PDW[w])
+	}
+	return nil
+}

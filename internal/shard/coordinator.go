@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"poilabel/internal/assign"
@@ -38,17 +39,29 @@ func NewCoordinator(s *Sharded) *Coordinator {
 	return c
 }
 
+// regionDist returns the minimum distance from any of worker w's locations
+// to shard si's task region (zero when a location falls inside it). Home
+// routing and the fallback search order both derive from it, so they can
+// never disagree.
+func (c *Coordinator) regionDist(w model.WorkerID, si int) float64 {
+	r := c.s.Region(si)
+	d := math.Inf(1)
+	for _, loc := range c.s.workers[w].Locations {
+		if dd := loc.Dist(r.Clamp(loc)); dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
 // HomeShard returns the shard whose task region is nearest to any of worker
 // w's locations (distance zero when a location falls inside the region; ties
 // go to the lowest shard index).
 func (c *Coordinator) HomeShard(w model.WorkerID) int {
 	best, bestD := 0, math.Inf(1)
 	for si := range c.planners {
-		r := c.s.Region(si)
-		for _, loc := range c.s.workers[w].Locations {
-			if d := loc.Dist(r.Clamp(loc)); d < bestD {
-				best, bestD = si, d
-			}
+		if d := c.regionDist(w, si); d < bestD {
+			best, bestD = si, d
 		}
 	}
 	return best
@@ -56,11 +69,13 @@ func (c *Coordinator) HomeShard(w model.WorkerID) int {
 
 // Assign chooses up to h tasks per requesting worker, at most budget
 // (worker, task) pairs in total (negative budget means unlimited). Each
-// worker is planned inside their home shard; the budget is split across
-// shards proportionally to each shard's realizable demand (largest-remainder
-// rounding), and per-shard cuts fall round-robin across that shard's workers
-// so no single worker absorbs them. Returned task IDs are global. Duplicate
-// workers are dropped by the per-shard planners.
+// worker is planned inside their home shard; a worker whose home shard has
+// no assignable tasks left falls back to the next-nearest shards rather
+// than receiving an empty plan. The budget is split across shards
+// proportionally to each shard's realizable demand (largest-remainder
+// rounding), and per-shard cuts fall round-robin across that shard's
+// workers so no single worker absorbs them. Returned task IDs are global.
+// Duplicate workers are dropped by the per-shard planners.
 func (c *Coordinator) Assign(workers []model.WorkerID, h, budget int) assign.Assignment {
 	return c.AssignExcluding(workers, h, budget, nil)
 }
@@ -95,17 +110,41 @@ func (c *Coordinator) AssignExcluding(workers []model.WorkerID, h, budget int, s
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			var localSkip assign.SkipFunc
-			if skip != nil {
-				part := c.s.parts[si]
-				localSkip = func(w model.WorkerID, lt model.TaskID) bool {
-					return skip(w, model.TaskID(part[lt]))
-				}
-			}
-			local[si] = c.planners[si].AssignExcluding(c.s.models[si], byShard[si], h, localSkip)
+			local[si] = c.planners[si].AssignExcluding(c.s.models[si], byShard[si], h, c.localSkip(si, skip))
 		}(si)
 	}
 	wg.Wait()
+
+	// Home-shard fallback: a worker whose home shard produced nothing for
+	// them — its supply exhausted by answered, pending, or excluded pairs —
+	// is planned in the next-nearest shards instead of walking away with an
+	// empty round while neighboring shards still have work. The pass runs
+	// sequentially after the fan-out, so it touches other shards' planners
+	// without racing them, and its picks join the demand pool before the
+	// budget is balanced.
+	fellBack := make(map[model.WorkerID]bool)
+	for si := range byShard {
+		for _, w := range byShard[si] {
+			if len(local[si][w]) > 0 || fellBack[w] {
+				continue
+			}
+			fellBack[w] = true
+			for _, alt := range c.shardsByDistance(w) {
+				if alt == si {
+					continue
+				}
+				plan := c.planners[alt].AssignExcluding(c.s.models[alt], []model.WorkerID{w}, h, c.localSkip(alt, skip))
+				if len(plan[w]) == 0 {
+					continue
+				}
+				if local[alt] == nil {
+					local[alt] = make(assign.Assignment)
+				}
+				local[alt][w] = plan[w]
+				break
+			}
+		}
+	}
 
 	// Balance the budget over what each shard's greedy actually produced,
 	// then trim and remap local task IDs back to global.
@@ -122,4 +161,42 @@ func (c *Coordinator) AssignExcluding(workers []model.WorkerID, h, budget int, s
 		}
 	}
 	return out
+}
+
+// localSkip remaps a global-task-ID exclusion predicate into shard si's
+// local index space; a nil skip stays nil.
+func (c *Coordinator) localSkip(si int, skip assign.SkipFunc) assign.SkipFunc {
+	if skip == nil {
+		return nil
+	}
+	part := c.s.parts[si]
+	return func(w model.WorkerID, lt model.TaskID) bool {
+		return skip(w, model.TaskID(part[lt]))
+	}
+}
+
+// shardsByDistance returns every shard index ordered by the minimum
+// distance from any of worker w's locations to the shard's task region
+// (ties to the lowest index) — the fallback search order when the home
+// shard has nothing to assign.
+func (c *Coordinator) shardsByDistance(w model.WorkerID) []int {
+	type entry struct {
+		si int
+		d  float64
+	}
+	entries := make([]entry, len(c.planners))
+	for si := range c.planners {
+		entries[si] = entry{si: si, d: c.regionDist(w, si)}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].d != entries[b].d {
+			return entries[a].d < entries[b].d
+		}
+		return entries[a].si < entries[b].si
+	})
+	order := make([]int, len(entries))
+	for i, e := range entries {
+		order[i] = e.si
+	}
+	return order
 }

@@ -100,6 +100,65 @@ func TestCoordinatorBudgetBalancing(t *testing.T) {
 	}
 }
 
+// TestCoordinatorHomeShardFallback is the regression test for the
+// dried-up-home-shard bug: a worker whose home shard has no assignable
+// tasks used to walk away with an empty plan even when neighboring shards
+// had plenty. They must now be planned in the next-nearest shard.
+func TestCoordinatorHomeShardFallback(t *testing.T) {
+	tasks, workers, norm := quadWorld(2, 1)
+	sh, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(sh)
+	w := model.WorkerID(0)
+	home := c.HomeShard(w)
+	// Exhaust the home shard: the worker answers every task it holds.
+	for _, g := range sh.Partition()[home] {
+		if err := sh.Observe(answer(tasks, w, model.TaskID(g))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Fit()
+
+	out := c.Assign([]model.WorkerID{w}, 2, -1)
+	if len(out[w]) == 0 {
+		t.Fatal("home shard dry and no fallback: worker got an empty plan")
+	}
+	for _, task := range out[w] {
+		if got := sh.TaskShard(task); got == home {
+			t.Fatalf("task %d is from the exhausted home shard %d", task, got)
+		}
+	}
+
+	// The same dryness induced through the exclusion predicate (pending
+	// pairs) must fall back too, and the skip must hold in the fallback
+	// shard as well.
+	sh2, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCoordinator(sh2)
+	home2 := c2.HomeShard(w)
+	pending := make(map[model.TaskID]bool)
+	for _, g := range sh2.Partition()[home2] {
+		pending[model.TaskID(g)] = true
+	}
+	skip := func(_ model.WorkerID, task model.TaskID) bool { return pending[task] }
+	out2 := c2.AssignExcluding([]model.WorkerID{w}, 2, -1, skip)
+	if len(out2[w]) == 0 {
+		t.Fatal("pending-exhausted home shard and no fallback")
+	}
+	for _, task := range out2[w] {
+		if pending[task] {
+			t.Fatalf("fallback handed out excluded task %d", task)
+		}
+		if got := sh2.TaskShard(task); got == home2 {
+			t.Fatalf("task %d is from the excluded home shard %d", task, got)
+		}
+	}
+}
+
 func TestCoordinatorDeterministic(t *testing.T) {
 	shA := fittedWorld(t, 8, 2)
 	shB := fittedWorld(t, 8, 2)

@@ -1,0 +1,263 @@
+// Package snapshot defines the durable wire format of the POI-labelling
+// system's learned state and the codec that reads and writes it. A snapshot
+// captures everything a poilabel.Service has learned or accounted for —
+// registered tasks and workers with their stable string keys, every answer
+// observed by every inference model, every estimated parameter, handed-out
+// pending pairs, and the remaining assignment budget — so a crashed or
+// restarted process can resume serving with bit-identical results and
+// assignment plans instead of re-collecting and re-fitting history.
+//
+// The format is a single JSON document wrapped in a versioned envelope:
+//
+//	{"format": "poilabel-snapshot", "version": 1, "service": {...}}
+//
+// # Version-compatibility policy
+//
+// The codec is forward-compatible within a format version: additive changes
+// (new optional fields) do not bump Version, and Decode ignores fields it
+// does not know, so snapshots written by a newer minor revision load in an
+// older binary and vice versa. Incompatible changes — removing or
+// reinterpreting a field — bump Version; Decode rejects snapshots whose
+// Version is above the binary's with an explicit "upgrade" error rather
+// than misreading them, and rejects anything that does not carry the
+// "poilabel-snapshot" format marker. See docs/ARCHITECTURE.md for the full
+// policy.
+//
+// The package holds only plain data types plus the codec; the capture and
+// restore logic lives with the state it serializes (core.Model,
+// shard.Sharded, federation.Federation, and poilabel.Service each implement
+// CheckpointState/RestoreState or Checkpoint/Restore over these types), so
+// snapshot imports nothing above internal/model and never cycles.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+const (
+	// Format is the envelope marker identifying a poilabel snapshot.
+	Format = "poilabel-snapshot"
+	// Version is the current (and highest decodable) format version.
+	Version = 1
+)
+
+// Snapshot is the versioned envelope around one service's durable state.
+type Snapshot struct {
+	Format  string       `json:"format"`
+	Version int          `json:"version"`
+	Service ServiceState `json:"service"`
+}
+
+// New wraps a service state in a correctly stamped envelope.
+func New(svc ServiceState) *Snapshot {
+	return &Snapshot{Format: Format, Version: Version, Service: svc}
+}
+
+// ServiceState is the full durable state of one poilabel.Service.
+type ServiceState struct {
+	// Engine is the configured engine kind ("single", "sharded",
+	// "federated"). Restore validates it against the restoring service's
+	// configuration: the engine shapes every section below.
+	Engine string `json:"engine"`
+	// Shards and Cities are the configured partition counts (as configured,
+	// i.e. 0 means "the default"). Validated on restore for the engines they
+	// shape.
+	Shards int `json:"shards"`
+	Cities int `json:"cities"`
+
+	// Tasks and Workers are the registered definitions in dense
+	// registration order, carrying their stable string keys.
+	Tasks   []Task   `json:"tasks"`
+	Workers []Worker `json:"workers"`
+
+	// EngineBuilt reports whether the engine had been constructed when the
+	// snapshot was taken (it is built lazily on first use). BuiltTasks and
+	// BuiltWorkers are the registration counts at construction time — the
+	// prefix the distance normalizer and geographic partitions were computed
+	// over. Restore rebuilds the engine at exactly this boundary and replays
+	// the remaining registrations dynamically, reproducing the original
+	// partition structure.
+	EngineBuilt  bool `json:"engine_built"`
+	BuiltTasks   int  `json:"built_tasks"`
+	BuiltWorkers int  `json:"built_workers"`
+
+	// Budget is the remaining assignment budget (-1 means unlimited).
+	// Restoring it rather than re-reading the service's construction option
+	// is what keeps a crash from double-spending.
+	Budget int `json:"budget"`
+	// SinceFull is the number of answers submitted since the last full fit.
+	SinceFull int `json:"since_full"`
+	// Dirty reports whether the engine saw evidence after its last full fit.
+	Dirty bool `json:"dirty"`
+	// Pending are the handed-out (worker, task) pairs still awaiting an
+	// answer, sorted by worker then task for deterministic encoding.
+	Pending []Pair `json:"pending,omitempty"`
+
+	// Exactly one of the following is set when EngineBuilt, matching Engine.
+	Single    *ModelState      `json:"single,omitempty"`
+	Sharded   *ShardedState    `json:"sharded,omitempty"`
+	Federated *FederationState `json:"federated,omitempty"`
+}
+
+// Task is one registered task definition plus its stable string key. The
+// dense index is the position in ServiceState.Tasks.
+type Task struct {
+	Key      string    `json:"key"`
+	Name     string    `json:"name,omitempty"`
+	Location geo.Point `json:"location"`
+	Labels   []string  `json:"labels"`
+	Reviews  int       `json:"reviews,omitempty"`
+}
+
+// Worker is one registered worker definition plus its stable string key.
+type Worker struct {
+	Key       string      `json:"key"`
+	Name      string      `json:"name,omitempty"`
+	Locations []geo.Point `json:"locations"`
+}
+
+// Pair is a dense (worker, task) pair.
+type Pair struct {
+	Worker int `json:"w"`
+	Task   int `json:"t"`
+}
+
+// Answer is one observed answer in a model's log. IDs are dense in the
+// owning model's local index space (shard- or city-local for the
+// partitioned engines).
+type Answer struct {
+	Worker   int    `json:"w"`
+	Task     int    `json:"t"`
+	Selected []bool `json:"sel"`
+}
+
+// Params mirrors core.Params: every estimated quantity of one inference
+// model.
+type Params struct {
+	PZ  [][]float64 `json:"pz"`
+	PI  []float64   `json:"pi"`
+	PDW [][]float64 `json:"pdw"`
+	PDT [][]float64 `json:"pdt"`
+}
+
+// ModelState is the learned state of one core.Model: its answer log in
+// submission order and its current parameter estimates. Derived stores (the
+// answer-indexed f-values, distance caches) are rebuilt on restore.
+type ModelState struct {
+	Answers []Answer `json:"answers"`
+	Params  Params   `json:"params"`
+}
+
+// ShardedState is the learned state of one shard.Sharded fitter: every
+// shard's model state (answers carry shard-local task IDs) plus the merged
+// per-worker estimates. Per-shard answer counts are recomputed from the
+// restored logs.
+type ShardedState struct {
+	Shards []ModelState `json:"shards"`
+	PI     []float64    `json:"pi"`
+	PDW    [][]float64  `json:"pdw"`
+}
+
+// FederationState is the learned state of one federation.Federation: every
+// city's sharded state plus the merged cross-city per-worker estimates.
+type FederationState struct {
+	Cities []ShardedState `json:"cities"`
+	PI     []float64      `json:"pi"`
+	PDW    [][]float64    `json:"pdw"`
+}
+
+// TaskState converts a registered task definition to its wire form.
+func TaskState(key string, t model.Task) Task {
+	return Task{Key: key, Name: t.Name, Location: t.Location, Labels: t.Labels, Reviews: t.Reviews}
+}
+
+// WorkerState converts a registered worker definition to its wire form.
+func WorkerState(key string, w model.Worker) Worker {
+	return Worker{Key: key, Name: w.Name, Locations: w.Locations}
+}
+
+// Encode writes the snapshot as one JSON document. The encoding is
+// deterministic for a given snapshot value (struct fields encode in
+// declaration order), so encode → decode → encode is byte-stable.
+func Encode(w io.Writer, s *Snapshot) error {
+	if s.Format != Format || s.Version < 1 || s.Version > Version {
+		return fmt.Errorf("snapshot: refusing to encode envelope %q v%d (want %q v1..%d)",
+			s.Format, s.Version, Format, Version)
+	}
+	if err := json.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one snapshot, validating the envelope. Unknown fields are
+// ignored (the format's forward-compatibility contract); a snapshot from a
+// future incompatible version is rejected with an explicit error.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.Format != Format {
+		return nil, fmt.Errorf("snapshot: not a poilabel snapshot (format %q)", s.Format)
+	}
+	if s.Version < 1 || s.Version > Version {
+		return nil, fmt.Errorf("snapshot: version %d not supported (this binary reads 1..%d); upgrade to restore it",
+			s.Version, Version)
+	}
+	return &s, nil
+}
+
+// countingWriter counts the bytes passing through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFileAtomic streams write into a temporary file in path's directory,
+// fsyncs it, and renames it over path, so a crash mid-checkpoint never
+// leaves a truncated snapshot where a complete one (or none) used to be.
+// It returns the number of bytes written.
+func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: create temp: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	cw := &countingWriter{w: f}
+	if err := write(cw); err != nil {
+		cleanup()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("snapshot: sync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: close temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: rename: %w", err)
+	}
+	return cw.n, nil
+}

@@ -1,0 +1,160 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"poilabel/internal/geo"
+)
+
+func sample() *Snapshot {
+	return New(ServiceState{
+		Engine: "single",
+		Tasks: []Task{
+			{Key: "t0", Name: "cafe", Location: geo.Pt(1, 2), Labels: []string{"a", "b"}, Reviews: 7},
+		},
+		Workers: []Worker{
+			{Key: "w0", Locations: []geo.Point{geo.Pt(0, 0), geo.Pt(3, 4)}},
+		},
+		EngineBuilt:  true,
+		BuiltTasks:   1,
+		BuiltWorkers: 1,
+		Budget:       42,
+		SinceFull:    3,
+		Dirty:        true,
+		Pending:      []Pair{{Worker: 0, Task: 0}},
+		Single: &ModelState{
+			Answers: []Answer{{Worker: 0, Task: 0, Selected: []bool{true, false}}},
+			Params: Params{
+				PZ:  [][]float64{{0.25, 0.75}},
+				PI:  []float64{0.7},
+				PDW: [][]float64{{0.5, 0.5}},
+				PDT: [][]float64{{0.5, 0.5}},
+			},
+		},
+	})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, sample())
+	}
+}
+
+func TestEncodeIsByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Encode(&a, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	s := sample()
+	s.Version = Version + 1
+	var buf bytes.Buffer
+	// Bypass Encode's stamp check by marshalling through a copy encoder.
+	if err := Encode(&buf, New(s.Service)); err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(buf.String(), `"version":1`, `"version":999`, 1)
+	if _, err := Decode(strings.NewReader(bumped)); err == nil {
+		t.Fatal("decoded a snapshot from the future")
+	} else if !strings.Contains(err.Error(), "upgrade") {
+		t.Fatalf("future-version error should tell the operator to upgrade, got: %v", err)
+	}
+}
+
+func TestDecodeRejectsWrongFormat(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"format":"something-else","version":1}`)); err == nil {
+		t.Fatal("decoded a non-poilabel document")
+	}
+	if _, err := Decode(strings.NewReader(`{"truncated`)); err == nil {
+		t.Fatal("decoded a truncated stream")
+	}
+}
+
+func TestDecodeIgnoresUnknownFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	// A future minor revision added a field; this binary must still load it.
+	extended := strings.Replace(buf.String(), `"engine":"single"`,
+		`"engine":"single","a_future_field":{"x":1}`, 1)
+	got, err := Decode(strings.NewReader(extended))
+	if err != nil {
+		t.Fatalf("unknown field broke decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatal("known fields corrupted by unknown-field skip")
+	}
+}
+
+func TestEncodeRefusesBadEnvelope(t *testing.T) {
+	s := sample()
+	s.Format = "bogus"
+	if err := Encode(&bytes.Buffer{}, s); err == nil {
+		t.Fatal("encoded a mis-stamped envelope")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	n, err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("wrote %d bytes, want 5", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("file holds %q", got)
+	}
+
+	// A failed write must leave the previous snapshot intact and clean up
+	// its temp file.
+	if _, err := WriteFileAtomic(path, func(io.Writer) error {
+		return errors.New("disk on fire")
+	}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("failed write corrupted the previous snapshot: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}

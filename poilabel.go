@@ -51,6 +51,17 @@
 // PERFORMANCE.md for guidance. cmd/poiserve exposes the same Service over
 // HTTP/JSON.
 //
+// # Durability
+//
+// Service.Checkpoint and Service.Restore (with the file-level
+// SaveCheckpoint/LoadCheckpoint) persist and recover the service's entire
+// learned state — answers, estimates, pending assignments, and remaining
+// budget — through a versioned snapshot format (internal/snapshot). A
+// restored service produces bit-identical Results and assignment plans for
+// every engine; docs/ARCHITECTURE.md documents the format and its
+// compatibility policy, and cmd/poiserve wires it to -checkpoint/-restore
+// flags and a POST /checkpoint endpoint.
+//
 // # Migrating from Framework and ShardedModel
 //
 // Framework (per-answer incremental serving) and ShardedModel (batch

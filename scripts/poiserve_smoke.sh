@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Smoke-test the poiserve HTTP gateway: build it, start it on a demo world,
-# drive the four core endpoints (answers, assignments, results, worker
-# introspection), and assert sane responses. CI runs this; it also works
-# locally: scripts/poiserve_smoke.sh [port]
+# drive the core endpoints (answers, assignments, results, worker
+# introspection), checkpoint it, kill it, restart it with -restore, and
+# assert the restarted server reports identical results and budget. CI runs
+# this; it also works locally: scripts/poiserve_smoke.sh [port]
 set -euo pipefail
 
 PORT="${1:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 BIN="$(mktemp -d)/poiserve"
 LOG="$(mktemp)"
+SNAP="$(mktemp -d)/poiserve.snap"
 
 go build -o "$BIN" ./cmd/poiserve
 
-"$BIN" -addr "127.0.0.1:${PORT}" -demo 12 -engine sharded -shards 4 -budget 200 >"$LOG" 2>&1 &
+"$BIN" -addr "127.0.0.1:${PORT}" -demo 12 -engine sharded -shards 4 -budget 200 \
+  -checkpoint "$SNAP" >"$LOG" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; cat "$LOG"' EXIT
 
@@ -61,6 +64,38 @@ echo "$worker" | grep -q '"quality":0\.' || fail "no quality estimate"
 # Typed error mapping: unknown worker is 404, exhausted budget would be 402.
 code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/workers/ghost")
 [ "$code" -eq 404 ] || fail "unknown worker returned $code, want 404"
+
+# --- Durability: checkpoint, kill, restart with -restore, compare state. ---
+pre_results=$(curl -sf "$BASE/results")
+pre_health=$(curl -sf "$BASE/healthz")
+
+ckpt=$(curl -sf -X POST "$BASE/checkpoint")
+echo "checkpoint: $ckpt"
+echo "$ckpt" | grep -q '"bytes":' || fail "checkpoint returned no byte count"
+[ -s "$SNAP" ] || fail "snapshot file missing or empty"
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+# Restart from the snapshot: same engine flags, no -demo seeding.
+"$BIN" -addr "127.0.0.1:${PORT}" -engine sharded -shards 4 -restore "$SNAP" >>"$LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+post_results=$(curl -sf "$BASE/results")
+post_health=$(curl -sf "$BASE/healthz")
+[ "$pre_results" = "$post_results" ] || fail "results changed across restart"
+[ "$pre_health" = "$post_health" ] || fail "health accounting (budget/pending) changed across restart"
+echo "restart: results and budget identical after -restore"
+
+# The restored server keeps serving: one more assignment round succeeds.
+assign2=$(curl -sf -X POST "$BASE/assignments" -d '{"workers":["w2","w3"]}')
+echo "$assign2" | grep -q '"assignments"' || fail "no assignments after restore"
 
 trap - EXIT
 kill "$SERVER_PID" 2>/dev/null || true

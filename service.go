@@ -240,6 +240,15 @@ type Service struct {
 	// workers) since its last successful full fit; Results skips the
 	// redundant refit when clean.
 	dirty bool
+
+	// builtTasks/builtWorkers are the registration counts at the moment the
+	// engine was built (zero until then). The distance normalizer and the
+	// geographic partitions of the sharded/federated engines are computed
+	// over exactly this prefix, so a checkpoint records the boundary and a
+	// restore rebuilds the engine at it before replaying later
+	// registrations.
+	builtTasks   int
+	builtWorkers int
 }
 
 // NewService creates a Service. With no options it serves the single engine
@@ -276,14 +285,19 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 // added at any time, including after answers have been submitted; new tasks
 // start at the model's priors and become assignable immediately.
 func (s *Service) AddTask(id string, spec TaskSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addTaskLocked(id, spec)
+}
+
+// addTaskLocked is AddTask's body; callers must hold the write lock.
+func (s *Service) addTaskLocked(id string, spec TaskSpec) error {
 	if id == "" {
 		return fmt.Errorf("poilabel: empty task id")
 	}
 	if len(spec.Labels) == 0 {
 		return fmt.Errorf("poilabel: task %q has no labels", id)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.taskIdx[id]; ok {
 		return fmt.Errorf("%w: task %q", ErrDuplicateID, id)
 	}
@@ -309,14 +323,19 @@ func (s *Service) AddTask(id string, spec TaskSpec) error {
 // AddWorker registers a crowd worker under a stable string ID. Workers can
 // be added at any time; new workers start at the model's priors.
 func (s *Service) AddWorker(id string, spec WorkerSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addWorkerLocked(id, spec)
+}
+
+// addWorkerLocked is AddWorker's body; callers must hold the write lock.
+func (s *Service) addWorkerLocked(id string, spec WorkerSpec) error {
 	if id == "" {
 		return fmt.Errorf("poilabel: empty worker id")
 	}
 	if len(spec.Locations) == 0 {
 		return fmt.Errorf("poilabel: worker %q has no locations", id)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.workerIdx[id]; ok {
 		return fmt.Errorf("%w: worker %q", ErrDuplicateID, id)
 	}
@@ -395,6 +414,8 @@ func (s *Service) ensureEngine() error {
 		return err
 	}
 	s.eng = eng
+	s.builtTasks = len(s.tasks)
+	s.builtWorkers = len(s.workers)
 	return nil
 }
 
