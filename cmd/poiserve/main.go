@@ -6,19 +6,27 @@
 //	poiserve [-addr :8080] [-engine single|sharded|federated]
 //	         [-shards K] [-cities N] [-budget N] [-h N]
 //	         [-assigner accopt|marginal|sf|entropy|random]
-//	         [-fullem N] [-demo N] [-seed N]
+//	         [-fullem N] [-demo N] [-demo-tasks N] [-seed N]
 //	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
+//	         [-shutdown-timeout D]
 //
 // The server starts empty: register tasks and workers over HTTP, stream
 // answers, request assignments, and read results (see internal/serve for
-// the endpoint list, or GET /healthz for liveness). With -demo N a
-// deterministic synthetic world — the Beijing dataset of the reproduction
-// experiments plus N simulated workers — is pre-registered so the server is
-// immediately usable:
+// the endpoint list, GET /healthz for liveness, or GET /metrics for
+// Prometheus counters and latency summaries). With -demo N a deterministic
+// synthetic world — the Beijing dataset of the reproduction experiments
+// plus N simulated workers, or a -demo-tasks sized synthetic city — is
+// pre-registered so the server is immediately usable (and so cmd/poiload,
+// given the same seed, can regenerate the identical world client-side):
 //
 //	poiserve -demo 30 -engine sharded -shards 4 &
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/assignments -d '{"workers":["w0","w1"]}'
+//
+// poiserve shuts down gracefully on SIGTERM/SIGINT: the listener closes,
+// in-flight requests drain for up to -shutdown-timeout, and with
+// -checkpoint a final snapshot is written after the drain, so a rolling
+// restart with -restore loses nothing that was ever acknowledged.
 //
 // With -checkpoint the server persists its full learned state to the given
 // file on POST /checkpoint (and, with -checkpoint-interval, periodically);
@@ -36,14 +44,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"poilabel"
 	"poilabel/internal/crowd"
-	"poilabel/internal/dataset"
+	"poilabel/internal/metrics"
 	"poilabel/internal/serve"
 )
 
@@ -57,21 +65,23 @@ func main() {
 	assigner := flag.String("assigner", "accopt", "single-engine assigner: accopt, marginal, sf, entropy, or random")
 	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only)")
 	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
+	demoTasks := flag.Int("demo-tasks", 0, "demo world task count (0 = the 200-POI Beijing dataset; needs -demo)")
 	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
 	ckpt := flag.String("checkpoint", "", "snapshot file enabling POST /checkpoint (empty = disabled)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "also auto-checkpoint at this interval (0 = manual only; needs -checkpoint)")
 	restore := flag.String("restore", "", "restore state from this snapshot file at startup (engine flags must match)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGTERM/SIGINT (0 = wait indefinitely)")
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *seed,
-		*ckpt, *ckptEvery, *restore); err != nil {
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *demoTasks, *seed,
+		*ckpt, *ckptEvery, *restore, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo int, seed int64,
-	ckptPath string, ckptEvery time.Duration, restorePath string) error {
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo, demoTasks int, seed int64,
+	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration) error {
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
 		poilabel.WithTasksPerRequest(h),
@@ -124,31 +134,46 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 		log.Printf("restored %s: %d tasks, %d workers, budget %d",
 			restorePath, svc.NumTasks(), svc.NumWorkers(), svc.RemainingBudget())
 	case demo > 0:
-		if err := seedDemoWorld(svc, demo, seed); err != nil {
+		if err := seedDemoWorld(svc, demoTasks, demo, seed); err != nil {
 			return err
 		}
 		log.Printf("demo world registered: %d tasks, %d workers", svc.NumTasks(), svc.NumWorkers())
 	}
 
+	// Graceful shutdown: SIGTERM/SIGINT closes the listener, drains
+	// in-flight requests, and (with -checkpoint) writes a final snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var serveOpts []serve.Option
+	var ck *serve.Checkpointer
 	if ckptPath != "" {
-		ck := serve.NewCheckpointer(svc, ckptPath)
+		ck = serve.NewCheckpointer(svc, ckptPath)
 		serveOpts = append(serveOpts, serve.WithCheckpointer(ck))
 		if ckptEvery > 0 {
-			go ck.Run(context.Background(), ckptEvery)
+			go ck.Run(ctx, ckptEvery)
 			log.Printf("auto-checkpointing to %s every %s", ckptPath, ckptEvery)
 		}
 	}
+	serveOpts = append(serveOpts, serve.WithMetrics(serve.NewMetrics(metrics.NewRegistry(), svc)))
 
 	log.Printf("poiserve listening on %s (engine %s, budget %d, h %d)", addr, engine, budget, h)
-	return http.ListenAndServe(addr, serve.NewHandler(svc, serveOpts...))
+	err = serve.ListenAndServe(ctx, addr, serve.NewHandler(svc, serveOpts...), shutdownTimeout, ck)
+	if err == nil {
+		log.Printf("poiserve: drained and stopped")
+	}
+	return err
 }
 
-// seedDemoWorld registers the synthetic Beijing dataset and a simulated
-// worker population, so the server answers assignment and result queries
-// out of the box. Task IDs are t0..tN-1 and worker IDs w0..wM-1.
-func seedDemoWorld(svc *poilabel.Service, numWorkers int, seed int64) error {
-	data := dataset.Beijing(seed)
+// seedDemoWorld registers the shared deterministic demo world
+// (crowd.DemoWorld) so the server answers assignment and result queries out
+// of the box — and so a load generator with the same seed can rebuild the
+// identical world client-side. Task IDs are t0..tN-1, worker IDs w0..wM-1.
+func seedDemoWorld(svc *poilabel.Service, numTasks, numWorkers int, seed int64) error {
+	data, workers, _, err := crowd.DemoWorld(numTasks, numWorkers, seed)
+	if err != nil {
+		return err
+	}
 	for i, t := range data.Tasks {
 		if err := svc.AddTask(fmt.Sprintf("t%d", i), poilabel.TaskSpec{
 			Name:     t.Name,
@@ -158,12 +183,6 @@ func seedDemoWorld(svc *poilabel.Service, numWorkers int, seed int64) error {
 		}); err != nil {
 			return err
 		}
-	}
-	cfg := crowd.DefaultPopulation(data.Bounds)
-	cfg.NumWorkers = numWorkers
-	workers, _, err := crowd.GeneratePopulation(cfg, rand.New(rand.NewSource(seed+1)))
-	if err != nil {
-		return err
 	}
 	for i, w := range workers {
 		if err := svc.AddWorker(fmt.Sprintf("w%d", i), poilabel.WorkerSpec{

@@ -80,6 +80,8 @@ type Engine interface {
 	// DistanceSensitivity returns a copy of the worker's estimated
 	// sensitivity multinomial over the distance-function set.
 	DistanceSensitivity(w WorkerID) []float64
+	// TotalAnswers returns the number of answers observed so far.
+	TotalAnswers() int
 }
 
 // newAssigner builds the configured assignment strategy. Every assigner in
@@ -151,6 +153,7 @@ func (e *singleEngine) AddTask(t Task) error {
 	return nil
 }
 func (e *singleEngine) AddWorker(w Worker) error         { return e.m.AddWorker(w) }
+func (e *singleEngine) TotalAnswers() int                { return e.m.Answers().Len() }
 func (e *singleEngine) WorkerQuality(w WorkerID) float64 { return e.m.WorkerQuality(w) }
 func (e *singleEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return append([]float64(nil), e.m.Params().PDW[w]...)
@@ -194,6 +197,7 @@ func (e *shardedEngine) Assign(workers []WorkerID, h, budget int, skip func(Work
 
 func (e *shardedEngine) AddTask(t Task) error             { return e.sh.AddTask(t) }
 func (e *shardedEngine) AddWorker(w Worker) error         { return e.sh.AddWorker(w) }
+func (e *shardedEngine) TotalAnswers() int                { return e.sh.TotalAnswers() }
 func (e *shardedEngine) WorkerQuality(w WorkerID) float64 { return e.sh.WorkerQuality(w) }
 func (e *shardedEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return e.sh.DistanceSensitivity(w)
@@ -230,6 +234,7 @@ func (e *federatedEngine) Assign(workers []WorkerID, h, budget int, skip func(Wo
 
 func (e *federatedEngine) AddTask(t Task) error             { return e.fed.AddTask(t) }
 func (e *federatedEngine) AddWorker(w Worker) error         { return e.fed.AddWorker(w) }
+func (e *federatedEngine) TotalAnswers() int                { return e.fed.TotalAnswers() }
 func (e *federatedEngine) WorkerQuality(w WorkerID) float64 { return e.fed.WorkerQuality(w) }
 func (e *federatedEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return e.fed.DistanceSensitivity(w)

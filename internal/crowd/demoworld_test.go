@@ -1,0 +1,97 @@
+package crowd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"poilabel/internal/dataset"
+	"poilabel/internal/model"
+)
+
+// TestDemoWorldMatchesLegacySeeding pins the contract the load generator
+// depends on: DemoWorld with numTasks ≤ 0 reproduces exactly the world
+// poiserve has always seeded for -demo (Beijing dataset + DefaultPopulation
+// with the seed+1 RNG), so client and server can rebuild it independently.
+func TestDemoWorldMatchesLegacySeeding(t *testing.T) {
+	const seed, nw = 7, 12
+	data, workers, profiles, err := DemoWorld(0, nw, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantData := dataset.Beijing(seed)
+	cfg := DefaultPopulation(wantData.Bounds)
+	cfg.NumWorkers = nw
+	wantWorkers, wantProfiles, err := GeneratePopulation(cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data.Tasks, wantData.Tasks) {
+		t.Fatal("demo world tasks differ from legacy seeding")
+	}
+	if !reflect.DeepEqual(workers, wantWorkers) {
+		t.Fatal("demo world workers differ from legacy seeding")
+	}
+	if !reflect.DeepEqual(profiles, wantProfiles) {
+		t.Fatal("demo world profiles differ from legacy seeding")
+	}
+}
+
+func TestDemoWorldDeterministicAndSized(t *testing.T) {
+	a, aw, ap, err := DemoWorld(500, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bw, bp, err := DemoWorld(500, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != 500 || len(aw) != 8 || len(ap) != 8 {
+		t.Fatalf("world sized %d tasks / %d workers / %d profiles", len(a.Tasks), len(aw), len(ap))
+	}
+	if !reflect.DeepEqual(a.Tasks, b.Tasks) || !reflect.DeepEqual(aw, bw) || !reflect.DeepEqual(ap, bp) {
+		t.Fatal("same-seed demo worlds differ")
+	}
+	if _, _, _, err := DemoWorld(200, 0, 3); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+// TestSimulatorCloneIndependentStreams: clones share the world but answer
+// from independent RNG streams, and a clone with the base's seed replays the
+// base's answers.
+func TestSimulatorCloneIndependentStreams(t *testing.T) {
+	data, workers, profiles, err := DemoWorld(0, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(data, workers, profiles, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := sim.Clone(99)
+	c1 := sim.Clone(1)
+	if sim.Tasks == nil || &sim.Tasks[0] != &replay.Tasks[0] {
+		t.Fatal("clone did not share task profiles")
+	}
+	for i := 0; i < 50; i++ {
+		w, task := model.WorkerID(i%len(workers)), model.TaskID(i%len(data.Tasks))
+		if !reflect.DeepEqual(sim.Answer(w, task), replay.Answer(w, task)) {
+			t.Fatal("same-seed clone diverged from base")
+		}
+	}
+	// Different seed: same latent probabilities, different coin flips —
+	// across many answers at least one must differ.
+	base := sim.Clone(2)
+	diff := false
+	for i := 0; i < 200 && !diff; i++ {
+		w, task := model.WorkerID(i%len(workers)), model.TaskID(i%len(data.Tasks))
+		if !reflect.DeepEqual(base.Answer(w, task), c1.Answer(w, task)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different-seed clones produced identical answer streams")
+	}
+}

@@ -51,6 +51,26 @@ func NewSimulator(d *dataset.Dataset, workers []model.Worker, profiles []WorkerP
 	}, nil
 }
 
+// Clone returns a simulator over the same world — dataset, workers, latent
+// profiles, task profiles, and mixing parameters are shared, not copied —
+// drawing from an independent random stream seeded with seed. A load
+// generator hands each concurrent client its own clone so answer generation
+// needs no locking and stays deterministic per worker regardless of
+// goroutine interleaving.
+func (s *Simulator) Clone(seed int64) *Simulator {
+	return &Simulator{
+		Data:     s.Data,
+		Workers:  s.Workers,
+		Profiles: s.Profiles,
+		Tasks:    s.Tasks,
+		Norm:     s.Norm,
+		Alpha:    s.Alpha,
+		Noise:    s.Noise,
+		Activity: s.Activity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
 // Distance returns the normalized distance between worker w and task t.
 func (s *Simulator) Distance(w model.WorkerID, t model.TaskID) float64 {
 	return s.Norm.MinDistance(s.Workers[w].Locations, s.Data.Tasks[t].Location)

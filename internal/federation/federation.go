@@ -22,6 +22,7 @@ package federation
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -335,11 +336,14 @@ func (f *Federation) mergeWorkers() {
 // Assign chooses up to h tasks per requesting worker, spending at most budget
 // (worker, task) pairs in total (negative budget means unlimited). Each
 // worker is planned inside their home city (the city whose task region is
-// nearest to any of their locations); the budget is balanced across cities
-// proportionally to realizable demand, then each city's coordinator balances
-// its share across its shards. Pairs for which skip returns true are
-// excluded during planning; a nil skip excludes nothing. Returned task IDs
-// are federation-global.
+// nearest to any of their locations); a worker whose whole home city has no
+// assignable tasks left — every pair answered, pending, or excluded across
+// all of its shards — is routed to the next-nearest cities instead of
+// walking away empty, mirroring the within-city home-shard fallback. The
+// budget is balanced across cities proportionally to realizable demand,
+// then each city's coordinator balances its share across its shards. Pairs
+// for which skip returns true are excluded during planning; a nil skip
+// excludes nothing. Returned task IDs are federation-global.
 func (f *Federation) Assign(workers []model.WorkerID, h, budget int, skip assign.SkipFunc) assign.Assignment {
 	out := make(assign.Assignment)
 	if h <= 0 || len(workers) == 0 || budget == 0 {
@@ -364,17 +368,44 @@ func (f *Federation) Assign(workers []model.WorkerID, h, budget int, skip assign
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			var localSkip assign.SkipFunc
-			if skip != nil {
-				part := f.parts[ci]
-				localSkip = func(w model.WorkerID, lt model.TaskID) bool {
-					return skip(w, model.TaskID(part[lt]))
-				}
-			}
-			local[ci] = f.coords[ci].AssignExcluding(byCity[ci], h, -1, localSkip)
+			local[ci] = f.coords[ci].AssignExcluding(byCity[ci], h, -1, f.localSkip(ci, skip))
 		}(ci)
 	}
 	wg.Wait()
+
+	// Cross-city dry fallback: a worker whose home city produced nothing —
+	// its entire supply exhausted by answered, pending, or excluded pairs,
+	// since the per-city coordinator already searched every shard — is
+	// planned in the next-nearest cities. The pass runs sequentially after
+	// the fan-out, so it touches other cities' coordinators without racing
+	// them, and its picks join the demand pool before budget balancing.
+	// Cost: one extra planner pass per dry worker per city probed (the
+	// shard coordinator's fallback has the same shape). In a fully drained
+	// world every polling worker pays the full sweep; that is the
+	// end-state of a load run, not the steady state a budget targets.
+	fellBack := make(map[model.WorkerID]bool)
+	for ci := range byCity {
+		for _, w := range byCity[ci] {
+			if len(local[ci][w]) > 0 || fellBack[w] {
+				continue
+			}
+			fellBack[w] = true
+			for _, alt := range f.citiesByDistance(w) {
+				if alt == ci {
+					continue
+				}
+				plan := f.coords[alt].AssignExcluding([]model.WorkerID{w}, h, -1, f.localSkip(alt, skip))
+				if len(plan[w]) == 0 {
+					continue
+				}
+				if local[alt] == nil {
+					local[alt] = make(assign.Assignment)
+				}
+				local[alt][w] = plan[w]
+				break
+			}
+		}
+	}
 
 	want := make([]int, len(local))
 	for ci := range local {
@@ -391,16 +422,63 @@ func (f *Federation) Assign(workers []model.WorkerID, h, budget int, skip assign
 	return out
 }
 
+// localSkip remaps a federation-global exclusion predicate into city ci's
+// local task index space; a nil skip stays nil.
+func (f *Federation) localSkip(ci int, skip assign.SkipFunc) assign.SkipFunc {
+	if skip == nil {
+		return nil
+	}
+	part := f.parts[ci]
+	return func(w model.WorkerID, lt model.TaskID) bool {
+		return skip(w, model.TaskID(part[lt]))
+	}
+}
+
+// cityDist returns the minimum distance from any of worker w's locations to
+// city ci's task region (zero when a location falls inside it).
+func (f *Federation) cityDist(w model.WorkerID, ci int) float64 {
+	d := -1.0
+	for _, loc := range f.workers[w].Locations {
+		if dd := loc.Dist(f.regions[ci].Clamp(loc)); d < 0 || dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// citiesByDistance returns every city index ordered by the minimum distance
+// from any of worker w's locations to the city's task region (ties to the
+// lowest index) — the fallback search order when the home city is dry.
+func (f *Federation) citiesByDistance(w model.WorkerID) []int {
+	type entry struct {
+		ci int
+		d  float64
+	}
+	entries := make([]entry, len(f.cities))
+	for ci := range f.cities {
+		entries[ci] = entry{ci: ci, d: f.cityDist(w, ci)}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].d != entries[b].d {
+			return entries[a].d < entries[b].d
+		}
+		return entries[a].ci < entries[b].ci
+	})
+	order := make([]int, len(entries))
+	for i, e := range entries {
+		order[i] = e.ci
+	}
+	return order
+}
+
 // homeCity returns the city whose task region is nearest to any of worker w's
-// locations (ties to the lowest city index).
+// locations (ties to the lowest city index). It shares cityDist with the
+// fallback order, so routing and fallback can never disagree on the metric.
 func (f *Federation) homeCity(w model.WorkerID) int {
-	best, bestD := 0, -1.0
-	for ci, r := range f.regions {
-		for _, loc := range f.workers[w].Locations {
-			d := loc.Dist(r.Clamp(loc))
-			if bestD < 0 || d < bestD {
-				best, bestD = ci, d
-			}
+	best, bestD := 0, f.cityDist(w, 0)
+	for ci := 1; ci < len(f.regions); ci++ {
+		if d := f.cityDist(w, ci); d < bestD {
+			best, bestD = ci, d
 		}
 	}
 	return best

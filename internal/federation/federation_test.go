@@ -337,3 +337,73 @@ func TestFederationValidation(t *testing.T) {
 		t.Errorf("NumCities = %d, want clamp to %d", fed.NumCities(), len(tasks))
 	}
 }
+
+// TestFederationCrossCityFallback is the regression test for the
+// dried-up-city bug: a worker whose whole home city has no assignable tasks
+// — every pair answered or pending across all of its shards — used to walk
+// away with an empty round even when the neighboring city had plenty. They
+// must now be routed to the next-nearest city.
+func TestFederationCrossCityFallback(t *testing.T) {
+	tasks, workers, norm := twoCityWorld(3, 1)
+	fed, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := model.WorkerID(0)
+	home := fed.HomeCity(w)
+	// Dry up the home city: the worker answers every task it owns.
+	for ti := range tasks {
+		if fed.TaskCity(model.TaskID(ti)) != home {
+			continue
+		}
+		if err := fed.Observe(answer(tasks, w, model.TaskID(ti))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed.Fit()
+
+	out := fed.Assign([]model.WorkerID{w}, 2, -1, nil)
+	if len(out[w]) == 0 {
+		t.Fatal("home city dry and no fallback: worker got an empty round")
+	}
+	for _, task := range out[w] {
+		if got := fed.TaskCity(task); got == home {
+			t.Fatalf("task %d is from the exhausted home city %d", task, got)
+		}
+	}
+
+	// The same dryness induced through the exclusion predicate (pending
+	// pairs) must fall back too, and the exclusion must hold in the
+	// fallback city as well.
+	fed2, err := federation.New(tasks, workers, norm, federation.Config{Cities: 2, Shard: shard.Config{Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home2 := fed2.HomeCity(w)
+	pending := make(map[model.TaskID]bool)
+	for ti := range tasks {
+		if fed2.TaskCity(model.TaskID(ti)) == home2 {
+			pending[model.TaskID(ti)] = true
+		}
+	}
+	skip := func(_ model.WorkerID, task model.TaskID) bool { return pending[task] }
+	out2 := fed2.Assign([]model.WorkerID{w}, 2, -1, skip)
+	if len(out2[w]) == 0 {
+		t.Fatal("pending-exhausted home city and no fallback")
+	}
+	for _, task := range out2[w] {
+		if pending[task] {
+			t.Fatalf("fallback handed out excluded task %d", task)
+		}
+		if got := fed2.TaskCity(task); got == home2 {
+			t.Fatalf("task %d is from the excluded home city %d", task, got)
+		}
+	}
+
+	// A fully dry federation (every city excluded) still returns an empty
+	// round rather than looping or inventing pairs.
+	all := func(model.WorkerID, model.TaskID) bool { return true }
+	if out3 := fed2.Assign([]model.WorkerID{w}, 2, -1, all); len(out3[w]) != 0 {
+		t.Fatalf("fully excluded federation still handed out %d tasks", len(out3[w]))
+	}
+}

@@ -1,0 +1,215 @@
+// Package loadgen is the closed-loop crowd simulator that load-tests a live
+// poiserve endpoint over HTTP — the missing half of the paper's premise.
+// The inference and assignment engines were built for "many concurrent
+// crowd workers requesting POI tasks and streaming answers back"; this
+// package is those workers. Each simulated worker loops the paper's
+// deployment protocol (Section V-A) against the real front door:
+//
+//	request assignments  →  think  →  submit answers  →  repeat
+//
+// with answers drawn from the same synthetic ground-truth world the server
+// seeded (crowd.DemoWorld with a shared seed), so the traffic is not random
+// noise but the generative model's own crowd: spatially plausible answer
+// streams whose accuracy decays with distance exactly as the inference
+// engine assumes.
+//
+// Two workload models are supported. The closed model runs a fixed number
+// of concurrent workers, each issuing its next request as soon as the
+// previous session finishes — throughput is concurrency-limited, the
+// classic closed loop. The open model fires sessions at a Poisson arrival
+// rate regardless of how many are still in flight — the arrival process a
+// public crowdsourcing platform actually sees, and the one that exposes
+// latency collapse under overload.
+//
+// A run has a warmup phase (traffic flows, nothing is recorded) and a
+// measure phase. Per-endpoint latency lands in fixed-bucket log-linear
+// histograms (internal/metrics) — recording is two atomic adds, no
+// per-request allocation in steady state — reported as p50/p90/p99/max.
+// Every run also keeps exact client-side accounting: requests and errors
+// per endpoint, answers acknowledged by the server, and (after the run) the
+// server's own /healthz and /metrics counters, so a report can assert
+// zero lost answers and that the server's request counters match the
+// client's — the end-to-end bookkeeping check that makes the numbers
+// trustworthy.
+//
+// Scenarios: ScenarioSteady holds the load constant; ScenarioSurge doubles
+// the offered load (closed: concurrency, open: arrival rate) for the middle
+// fifth of the measure phase; ScenarioRollingRestart checkpoints, kills,
+// and restarts the server mid-measure through a caller-provided Restarter
+// and asserts the durability story end to end — clients ride the outage
+// with bounded retries, and the restarted server must still hold every
+// answer it ever acknowledged.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Model selects the workload model.
+type Model int
+
+const (
+	// Closed runs Workers concurrent simulated workers, each looping
+	// request → think → answer; offered load adapts to server speed.
+	Closed Model = iota
+	// Open fires worker sessions at Poisson rate Rate per second,
+	// independent of completions; offered load does not adapt.
+	Open
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel parses "closed" or "open".
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "closed":
+		return Closed, nil
+	case "open":
+		return Open, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown workload model %q (want closed or open)", s)
+}
+
+// Scenario selects the run shape.
+type Scenario int
+
+const (
+	// ScenarioSteady holds the configured load for the whole run.
+	ScenarioSteady Scenario = iota
+	// ScenarioSurge doubles the offered load during the middle fifth of
+	// the measure phase (extra closed workers, or doubled open rate).
+	ScenarioSurge
+	// ScenarioRollingRestart checkpoints, kills, and restarts the server
+	// halfway through the measure phase via Config.Restarter, then asserts
+	// nothing acknowledged was lost.
+	ScenarioRollingRestart
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioSteady:
+		return "steady"
+	case ScenarioSurge:
+		return "surge"
+	case ScenarioRollingRestart:
+		return "rolling-restart"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// ParseScenario parses "steady", "surge", or "rolling-restart".
+func ParseScenario(s string) (Scenario, error) {
+	switch s {
+	case "steady":
+		return ScenarioSteady, nil
+	case "surge":
+		return ScenarioSurge, nil
+	case "rolling-restart":
+		return ScenarioRollingRestart, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown scenario %q (want steady, surge, or rolling-restart)", s)
+}
+
+// Restarter restarts the server under test mid-run. Restart must block
+// until the server answers /healthz again (or the context dies); the load
+// keeps flowing while it runs, riding the outage on retries.
+type Restarter interface {
+	Restart(ctx context.Context) error
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the closed-model concurrency, and the identity pool for
+	// the open model. Must not exceed the world's worker count (surge
+	// additionally needs 2×Workers identities).
+	Workers int
+	// Rate is the open-model Poisson arrival rate, sessions per second.
+	Rate float64
+	// Duration is the measure phase length.
+	Duration time.Duration
+	// Warmup runs traffic without recording before measuring begins.
+	Warmup time.Duration
+	// Think is the mean exponential think time between receiving an
+	// assignment and submitting each answer. Zero means 5ms.
+	Think time.Duration
+	// Model selects closed or open. Scenario selects the run shape.
+	Model    Model
+	Scenario Scenario
+	// Seed makes the run deterministic (world regeneration, think times,
+	// simulated answers, arrival process). It must match the server's
+	// -seed so client and server agree on the demo world.
+	Seed int64
+	// WorldTasks / WorldWorkers size the regenerated demo world and must
+	// match the server's -demo-tasks / -demo flags. WorldWorkers zero
+	// defaults to what the scenario needs (Workers, or 2×Workers for a
+	// closed surge).
+	WorldTasks   int
+	WorldWorkers int
+	// Restarter is required by (and only used for) ScenarioRollingRestart.
+	Restarter Restarter
+	// HTTPTimeout bounds each request. Zero means 30s.
+	HTTPTimeout time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RequiredWorldWorkers returns how many worker identities a run needs: the
+// concurrency, doubled for a closed surge (the surge window's extra clients
+// use the second half of the identity pool). cmd/poiload uses the same rule
+// to size the server's -demo flag, so the two worlds cannot drift.
+func RequiredWorldWorkers(m Model, s Scenario, workers int) int {
+	if s == ScenarioSurge && m == Closed {
+		return 2 * workers
+	}
+	return workers
+}
+
+// withDefaults fills derived defaults and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if c.Workers <= 0 {
+		return c, fmt.Errorf("loadgen: Workers must be positive, got %d", c.Workers)
+	}
+	if c.Model == Open && c.Rate <= 0 {
+		return c, fmt.Errorf("loadgen: open model needs a positive Rate, got %g", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("loadgen: Duration must be positive, got %s", c.Duration)
+	}
+	if c.Scenario == ScenarioRollingRestart && c.Restarter == nil {
+		return c, fmt.Errorf("loadgen: rolling-restart scenario needs a Restarter")
+	}
+	if c.Think <= 0 {
+		c.Think = 5 * time.Millisecond
+	}
+	if c.HTTPTimeout <= 0 {
+		c.HTTPTimeout = 30 * time.Second
+	}
+	need := RequiredWorldWorkers(c.Model, c.Scenario, c.Workers)
+	if c.WorldWorkers == 0 {
+		c.WorldWorkers = need
+	}
+	if c.WorldWorkers < need {
+		return c, fmt.Errorf("loadgen: world has %d workers, scenario needs %d identities", c.WorldWorkers, need)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}

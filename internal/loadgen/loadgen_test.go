@@ -1,0 +1,355 @@
+package loadgen_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"poilabel"
+	"poilabel/internal/loadgen"
+	"poilabel/internal/metrics"
+	"poilabel/internal/serve"
+)
+
+const (
+	testSeed    = 7
+	testWorkers = 4
+)
+
+// demoService builds a service pre-seeded with the shared demo world, the
+// way poiserve -demo does.
+func demoService(t *testing.T, worldWorkers int, opts ...poilabel.ServiceOption) *poilabel.Service {
+	t.Helper()
+	svc, err := poilabel.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := loadgen.NewWorld(0, worldWorkers, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range w.Data.Tasks {
+		if err := svc.AddTask(w.TaskIDs[i], poilabel.TaskSpec{
+			Name: task.Name, Location: task.Location, Labels: task.Labels, Reviews: task.Reviews,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, wk := range w.Workers {
+		if err := svc.AddWorker(w.WorkerIDs[i], poilabel.WorkerSpec{
+			Name: wk.Name, Locations: wk.Locations,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc
+}
+
+func TestWorldMatchesServerSeeding(t *testing.T) {
+	svc := demoService(t, testWorkers)
+	w, err := loadgen.NewWorld(0, testWorkers, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.NumTasks() != len(w.TaskIDs) || svc.NumWorkers() != len(w.WorkerIDs) {
+		t.Fatalf("world shape mismatch: server %d/%d vs client %d/%d",
+			svc.NumTasks(), svc.NumWorkers(), len(w.TaskIDs), len(w.WorkerIDs))
+	}
+	// Client answers are valid against server tasks: same label counts.
+	ans, err := w.AnswerFor(0, "t5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitAnswer("w0", "t5", ans.Selected); err != nil {
+		t.Fatalf("client-generated answer rejected by server world: %v", err)
+	}
+}
+
+// TestClosedLoopAgainstRealHandler is the subsystem's core integration
+// test: a closed-model run against the real gateway must record latencies,
+// lose nothing, and agree with the server's own counters exactly.
+func TestClosedLoopAgainstRealHandler(t *testing.T) {
+	svc := demoService(t, testWorkers, poilabel.WithFullEMInterval(25))
+	m := serve.NewMetrics(metrics.NewRegistry(), svc)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithMetrics(m)))
+	defer srv.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:      srv.URL,
+		Workers:      testWorkers,
+		Duration:     800 * time.Millisecond,
+		Warmup:       200 * time.Millisecond,
+		Think:        time.Millisecond,
+		Model:        loadgen.Closed,
+		Scenario:     loadgen.ScenarioSteady,
+		Seed:         testSeed,
+		WorldWorkers: testWorkers,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.AnswersAcked == 0 {
+		t.Fatal("no answers acknowledged")
+	}
+	if rep.LostAnswers != 0 {
+		t.Fatalf("lost %d answers on a steady in-process run", rep.LostAnswers)
+	}
+	if rep.ServerAnswers != int(rep.AnswersAcked) {
+		t.Fatalf("server holds %d answers, client acked %d", rep.ServerAnswers, rep.AnswersAcked)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("steady run recorded %d errors", rep.Errors)
+	}
+	for _, ep := range []string{"assignments", "answers"} {
+		st, ok := rep.Endpoints[ep]
+		if !ok || st.Count == 0 {
+			t.Fatalf("endpoint %s not measured: %+v", ep, rep.Endpoints)
+		}
+		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms || st.MaxMs < st.P99Ms {
+			t.Fatalf("endpoint %s percentiles inconsistent: %+v", ep, st)
+		}
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatal("no measured throughput")
+	}
+	if rep.Counters == nil {
+		t.Fatal("counter match missing")
+	}
+	if !rep.Counters.Match {
+		t.Fatalf("client/server counters disagree: %+v", rep.Counters)
+	}
+	// The acceptance property, asserted directly against the service too.
+	if svc.AnswerCount() != int(rep.AnswersAcked) {
+		t.Fatalf("service answer count %d != acked %d", svc.AnswerCount(), rep.AnswersAcked)
+	}
+}
+
+func TestOpenModelPoissonArrivals(t *testing.T) {
+	svc := demoService(t, testWorkers)
+	m := serve.NewMetrics(metrics.NewRegistry(), svc)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithMetrics(m)))
+	defer srv.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:      srv.URL,
+		Workers:      testWorkers,
+		Rate:         200,
+		Duration:     700 * time.Millisecond,
+		Warmup:       100 * time.Millisecond,
+		Think:        time.Millisecond,
+		Model:        loadgen.Open,
+		Scenario:     loadgen.ScenarioSteady,
+		Seed:         testSeed,
+		WorldWorkers: testWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "open" || rep.RatePerS != 200 {
+		t.Fatalf("report model/rate wrong: %s %g", rep.Model, rep.RatePerS)
+	}
+	if rep.Endpoints["assignments"].Count == 0 {
+		t.Fatal("open model issued no assignment requests")
+	}
+	if rep.LostAnswers != 0 {
+		t.Fatalf("lost %d answers", rep.LostAnswers)
+	}
+}
+
+// restartableServer hosts a demo-seeded service behind a stable TCP
+// address and can be gracefully stopped and resurrected from its
+// checkpoint — the in-process stand-in for the poiserve process in the
+// rolling-restart scenario (the process-level version runs in
+// scripts/poiload_smoke.sh and CI's load-smoke job).
+type restartableServer struct {
+	t    *testing.T
+	snap string
+	opts []poilabel.ServiceOption
+
+	mu   sync.Mutex
+	addr string
+	srv  *http.Server
+	svc  *poilabel.Service
+	ck   *serve.Checkpointer
+	done chan struct{}
+}
+
+// start boots the server; restore selects fresh demo seeding vs checkpoint
+// restore. The first start binds an ephemeral port; restarts rebind it.
+func (rs *restartableServer) start(restore bool) error {
+	var svc *poilabel.Service
+	var err error
+	if restore {
+		svc, err = poilabel.NewService(rs.opts...)
+		if err == nil {
+			err = svc.LoadCheckpoint(rs.snap)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		svc = demoService(rs.t, testWorkers, rs.opts...)
+	}
+	rs.svc = svc
+	rs.ck = serve.NewCheckpointer(svc, rs.snap)
+	handler := serve.NewHandler(svc,
+		serve.WithMetrics(serve.NewMetrics(metrics.NewRegistry(), svc)),
+		serve.WithCheckpointer(rs.ck))
+	bind := rs.addr
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return err
+	}
+	rs.addr = ln.Addr().String()
+	rs.srv = &http.Server{Handler: handler}
+	rs.done = make(chan struct{})
+	go func(srv *http.Server, done chan struct{}) {
+		srv.Serve(ln)
+		close(done)
+	}(rs.srv, rs.done)
+	return nil
+}
+
+// Restart mirrors poiserve's SIGTERM path: drain in-flight requests, write
+// a final checkpoint, stay down for a visible window, come back restored.
+func (rs *restartableServer) Restart(ctx context.Context) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-rs.done
+	if _, err := rs.ck.Checkpoint(); err != nil {
+		return err
+	}
+	time.Sleep(150 * time.Millisecond) // clients must ride a real outage
+	return rs.start(true)
+}
+
+func (rs *restartableServer) stop() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.srv.Close()
+}
+
+// TestRollingRestartScenario is the durability acceptance test in-process:
+// kill the server mid-measure, restore from the final checkpoint, and every
+// acknowledged answer must survive.
+func TestRollingRestartScenario(t *testing.T) {
+	rs := &restartableServer{
+		t:    t,
+		snap: filepath.Join(t.TempDir(), "poi.snap"),
+		opts: []poilabel.ServiceOption{poilabel.WithFullEMInterval(50)},
+	}
+	if err := rs.start(false); err != nil {
+		t.Fatal(err)
+	}
+	defer rs.stop()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:      "http://" + rs.addr,
+		Workers:      testWorkers,
+		Duration:     1500 * time.Millisecond,
+		Warmup:       200 * time.Millisecond,
+		Think:        time.Millisecond,
+		Model:        loadgen.Closed,
+		Scenario:     loadgen.ScenarioRollingRestart,
+		Seed:         testSeed,
+		WorldWorkers: testWorkers,
+		Restarter:    rs,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.LostAnswers != 0 {
+		t.Fatalf("rolling restart lost %d acknowledged answers", rep.LostAnswers)
+	}
+	if rep.AnswersAcked == 0 {
+		t.Fatal("no answers acknowledged across the restart")
+	}
+	if rep.ServerAnswers < int(rep.AnswersAcked) {
+		t.Fatalf("server holds %d answers, client acked %d", rep.ServerAnswers, rep.AnswersAcked)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no transport retries recorded across a real outage")
+	}
+	if rep.ErrorRate > 0.01 {
+		t.Fatalf("error rate %.4f > 1%% across restart", rep.ErrorRate)
+	}
+}
+
+func TestSurgeScenarioDoublesLoad(t *testing.T) {
+	svc := demoService(t, 2*testWorkers)
+	m := serve.NewMetrics(metrics.NewRegistry(), svc)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithMetrics(m)))
+	defer srv.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:      srv.URL,
+		Workers:      testWorkers,
+		Duration:     time.Second,
+		Think:        time.Millisecond,
+		Model:        loadgen.Closed,
+		Scenario:     loadgen.ScenarioSurge,
+		Seed:         testSeed,
+		WorldWorkers: 2 * testWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostAnswers != 0 {
+		t.Fatalf("surge lost %d answers", rep.LostAnswers)
+	}
+	if rep.Scenario != "surge" {
+		t.Fatalf("scenario = %s", rep.Scenario)
+	}
+}
+
+// TestParseRequestTotals covers the scrape parser on real exposition text.
+func TestParseRequestTotals(t *testing.T) {
+	text := `# HELP poiserve_http_requests_total x
+# TYPE poiserve_http_requests_total counter
+poiserve_http_requests_total{endpoint="answers",code="202"} 10
+poiserve_http_requests_total{endpoint="answers",code="404"} 2
+poiserve_http_requests_total{endpoint="assignments",code="200"} 5
+poiserve_other{endpoint="answers"} 99
+`
+	got, err := loadgen.ParseRequestTotals(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["answers"] != 12 || got["assignments"] != 5 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+// TestConfigValidation exercises withDefaults through Run's error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []loadgen.Config{
+		{},                    // no BaseURL
+		{BaseURL: "http://x"}, // no workers
+		{BaseURL: "http://x", Workers: 2, Model: loadgen.Open, Duration: time.Second},                      // open, no rate
+		{BaseURL: "http://x", Workers: 2, Duration: time.Second, Scenario: loadgen.ScenarioRollingRestart}, // no restarter
+		{BaseURL: "http://x", Workers: 4, Duration: time.Second, WorldWorkers: 2},                          // pool too small
+	}
+	for i, cfg := range bad {
+		if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EndpointStats is one endpoint's measured behaviour.
+type EndpointStats struct {
+	// Count is the number of responses recorded during the measure phase
+	// (the histogram population); Total and Errors are lifetime counts
+	// including warmup, which is what the server's counters see.
+	Count  uint64 `json:"count"`
+	Total  uint64 `json:"total"`
+	Errors uint64 `json:"errors"`
+	// Latency percentiles in milliseconds, measure phase only.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// CounterMatch compares the load generator's exact client-side request
+// counts against the server's /metrics counters — the bookkeeping check
+// that the observability pipeline measures the same reality the client
+// experienced. Counts are lifetime totals per endpoint summed over status
+// codes.
+type CounterMatch struct {
+	ClientAssignments uint64 `json:"client_assignments"`
+	ServerAssignments uint64 `json:"server_assignments"`
+	ClientAnswers     uint64 `json:"client_answers"`
+	ServerAnswers     uint64 `json:"server_answers"`
+	// Match is true when both endpoints agree exactly. A run with
+	// restarts may legitimately mismatch: requests processed during the
+	// shutdown drain whose response the client never saw.
+	Match bool `json:"match"`
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	Scenario string  `json:"scenario"`
+	Model    string  `json:"model"`
+	Engine   string  `json:"engine"`
+	Workers  int     `json:"workers"`
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+	Seed     int64   `json:"seed"`
+
+	WarmupSeconds  float64 `json:"warmup_seconds"`
+	MeasureSeconds float64 `json:"measure_seconds"`
+	ThinkMeanMs    float64 `json:"think_mean_ms"`
+	WorldTasks     int     `json:"world_tasks"`
+	WorldWorkers   int     `json:"world_workers"`
+
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+
+	// ThroughputRPS is measure-phase responses per second across the
+	// protocol endpoints (assignments + answers).
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// AnswersPerS is the measure-phase answer submission rate.
+	AnswersPerS float64 `json:"answers_per_s"`
+	// ErrorRate is lifetime non-2xx responses over lifetime responses.
+	ErrorRate float64 `json:"error_rate"`
+
+	Requests        uint64 `json:"requests"`
+	Errors          uint64 `json:"errors"`
+	Retries         uint64 `json:"retries"`
+	DroppedArrivals uint64 `json:"dropped_arrivals,omitempty"`
+	TasksAssigned   uint64 `json:"tasks_assigned"`
+
+	// The durability ledger. AnswersAcked is every answer the server
+	// acknowledged (202s plus duplicate-rejected retries it already
+	// held); ServerAnswers is the server's own /healthz count at the end
+	// of the run minus what it held at the start. LostAnswers > 0 means
+	// the server dropped acknowledged state — the failure the
+	// rolling-restart scenario exists to catch.
+	AnswersAcked     uint64 `json:"answers_acked"`
+	DuplicateAnswers uint64 `json:"duplicate_answers,omitempty"`
+	ServerAnswers    int    `json:"server_answers"`
+	LostAnswers      int64  `json:"lost_answers"`
+
+	Restarts        int     `json:"restarts,omitempty"`
+	DowntimeSeconds float64 `json:"downtime_seconds,omitempty"`
+
+	PendingAtEnd    int `json:"pending_at_end"`
+	BudgetRemaining int `json:"budget_remaining"`
+
+	Counters *CounterMatch `json:"counters,omitempty"`
+}
+
+// buildReport assembles the report and the final server-side accounting.
+func (r *runner) buildReport(ctx context.Context, measured time.Duration, answersBefore int) (*Report, error) {
+	health, err := r.getHealth(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final health check: %w", err)
+	}
+
+	rep := &Report{
+		Scenario:         r.cfg.Scenario.String(),
+		Model:            r.cfg.Model.String(),
+		Engine:           health.Engine,
+		Workers:          r.cfg.Workers,
+		Seed:             r.cfg.Seed,
+		WarmupSeconds:    r.cfg.Warmup.Seconds(),
+		MeasureSeconds:   measured.Seconds(),
+		ThinkMeanMs:      roundMS(r.cfg.Think),
+		WorldTasks:       len(r.world.Data.Tasks),
+		WorldWorkers:     r.cfg.WorldWorkers,
+		Endpoints:        make(map[string]EndpointStats, len(r.endpoints)),
+		Retries:          r.retries.Load(),
+		DroppedArrivals:  r.dropped.Load(),
+		TasksAssigned:    r.assigned.Load(),
+		AnswersAcked:     r.acked.Load(),
+		DuplicateAnswers: r.duplicates.Load(),
+		ServerAnswers:    health.Answers - answersBefore,
+		Restarts:         int(r.restarts.Load()),
+		DowntimeSeconds:  time.Duration(r.downtimeNS.Load()).Seconds(),
+		PendingAtEnd:     health.Pending,
+		BudgetRemaining:  health.RemainingBudget,
+	}
+	if r.cfg.Model == Open {
+		rep.RatePerS = r.cfg.Rate
+	}
+	var measuredTotal uint64
+	for name, rec := range r.endpoints {
+		st := EndpointStats{
+			Count:  rec.hist.Count(),
+			Total:  rec.total.Load(),
+			Errors: rec.errors.Load(),
+			P50Ms:  quantileMS(rec.hist, 0.50),
+			P90Ms:  quantileMS(rec.hist, 0.90),
+			P99Ms:  quantileMS(rec.hist, 0.99),
+			MaxMs:  roundMS(rec.hist.Max()),
+			MeanMs: roundMS(rec.hist.Mean()),
+		}
+		rep.Endpoints[name] = st
+		rep.Requests += st.Total
+		rep.Errors += st.Errors
+		measuredTotal += st.Count
+	}
+	if sec := measured.Seconds(); sec > 0 {
+		rep.ThroughputRPS = float64(measuredTotal) / sec
+		rep.AnswersPerS = float64(r.endpoints[epAnswers].hist.Count()) / sec
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	rep.LostAnswers = int64(rep.AnswersAcked) - int64(rep.ServerAnswers)
+	if rep.LostAnswers < 0 {
+		// More answers server-side than we tracked: either another client,
+		// or responses lost in transit after processing. Not a loss.
+		rep.LostAnswers = 0
+	}
+
+	if cm, err := r.counterMatch(ctx); err != nil {
+		r.cfg.Logf("loadgen: counter match skipped: %v", err)
+	} else {
+		rep.Counters = cm
+	}
+	return rep, nil
+}
+
+// counterMatch scrapes /metrics and compares request counters.
+func (r *runner) counterMatch(ctx context.Context) (*CounterMatch, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	byEndpoint, err := ParseRequestTotals(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	cm := &CounterMatch{
+		ClientAssignments: r.endpoints[epAssignments].total.Load(),
+		ServerAssignments: byEndpoint[epAssignments],
+		ClientAnswers:     r.endpoints[epAnswers].total.Load(),
+		ServerAnswers:     byEndpoint[epAnswers],
+	}
+	cm.Match = cm.ClientAssignments == cm.ServerAssignments && cm.ClientAnswers == cm.ServerAnswers
+	return cm, nil
+}
+
+// ParseRequestTotals extracts poiserve_http_requests_total from Prometheus
+// text exposition, summed over status codes per endpoint.
+func ParseRequestTotals(body io.Reader) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "poiserve_http_requests_total{") {
+			continue
+		}
+		rest := line[len("poiserve_http_requests_total{"):]
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			continue
+		}
+		labels, valueStr := rest[:end], strings.TrimSpace(rest[end+1:])
+		endpoint := ""
+		for _, kv := range strings.Split(labels, ",") {
+			if k, v, ok := strings.Cut(kv, "="); ok && k == "endpoint" {
+				endpoint = strings.Trim(v, `"`)
+			}
+		}
+		if endpoint == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(valueStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad counter line %q: %w", line, err)
+		}
+		out[endpoint] += v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,455 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poilabel/internal/metrics"
+)
+
+// Endpoint labels the runner records under.
+const (
+	epAssignments = "assignments"
+	epAnswers     = "answers"
+)
+
+// endpointRec is one endpoint's accounting: exact lifetime counters for the
+// counter-match check, and a measure-phase histogram for the percentiles.
+type endpointRec struct {
+	hist   *metrics.Histogram // measure-phase latencies only
+	total  atomic.Uint64      // lifetime responses received
+	errors atomic.Uint64      // lifetime non-2xx responses
+}
+
+// runner is one load run's mutable state.
+type runner struct {
+	cfg    Config
+	world  *World
+	client *http.Client
+
+	measuring atomic.Bool
+	endpoints map[string]*endpointRec
+
+	assigned   atomic.Uint64 // tasks handed out to us (lifetime)
+	acked      atomic.Uint64 // answers the server definitely holds
+	duplicates atomic.Uint64 // answer retries the server had already seen
+	retries    atomic.Uint64 // transport-level retries (conn refused/reset)
+	dropped    atomic.Uint64 // open-model arrivals shed at the session cap
+	sessions   atomic.Int64  // open-model sessions in flight
+	restarts   atomic.Uint64
+	downtimeNS atomic.Int64 // cumulative transport-retry wait
+	surge      atomic.Bool  // inside the surge window
+	stopping   atomic.Bool  // run over; drain, don't persist
+}
+
+// Run executes one load run and returns its report. The context bounds the
+// whole run; cancelling it aborts cleanly with a partial report error.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	world, err := NewWorld(cfg.WorldTasks, cfg.WorldWorkers, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:   cfg,
+		world: world,
+		client: &http.Client{
+			Timeout: cfg.HTTPTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * cfg.Workers,
+				MaxIdleConnsPerHost: 4 * cfg.Workers,
+			},
+		},
+		endpoints: map[string]*endpointRec{
+			epAssignments: {hist: metrics.NewHistogram()},
+			epAnswers:     {hist: metrics.NewHistogram()},
+		},
+	}
+
+	health, err := r.awaitReady(ctx, 15*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if health.Tasks != len(world.Data.Tasks) || health.Workers < cfg.WorldWorkers {
+		return nil, fmt.Errorf("loadgen: server world (%d tasks, %d workers) does not match client world (%d tasks, ≥%d workers wanted); align -seed/-demo/-demo-tasks",
+			health.Tasks, health.Workers, len(world.Data.Tasks), cfg.WorldWorkers)
+	}
+	answersBefore := health.Answers
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// Traffic.
+	switch cfg.Model {
+	case Closed:
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				r.clientLoop(runCtx, idx)
+			}(i)
+		}
+	case Open:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.arrivalLoop(runCtx)
+		}()
+	}
+
+	// Phases. Warmup → measure → stop; scenario hooks key off measureStart.
+	if cfg.Warmup > 0 {
+		r.cfg.Logf("loadgen: warmup %s", cfg.Warmup)
+		if err := sleepCtx(ctx, cfg.Warmup); err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+	}
+	r.measuring.Store(true)
+	measureStart := time.Now()
+	r.cfg.Logf("loadgen: measuring %s (%s, %s)", cfg.Duration, cfg.Model, cfg.Scenario)
+
+	var scenarioErr error
+	var scenarioWG sync.WaitGroup
+	switch cfg.Scenario {
+	case ScenarioSurge:
+		scenarioWG.Add(1)
+		go func() {
+			defer scenarioWG.Done()
+			r.runSurge(runCtx)
+		}()
+	case ScenarioRollingRestart:
+		scenarioWG.Add(1)
+		go func() {
+			defer scenarioWG.Done()
+			if err := sleepCtx(runCtx, cfg.Duration/2); err != nil {
+				return
+			}
+			r.cfg.Logf("loadgen: rolling restart at t+%s", time.Since(measureStart).Round(time.Millisecond))
+			start := time.Now()
+			if err := cfg.Restarter.Restart(runCtx); err != nil {
+				scenarioErr = fmt.Errorf("loadgen: restart: %w", err)
+				cancel()
+				return
+			}
+			r.restarts.Add(1)
+			r.cfg.Logf("loadgen: server back after %s", time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
+	// Sleep on runCtx, not ctx: a failed scenario (restart that never came
+	// back) cancels runCtx, and the run must report that now rather than
+	// idling out the rest of the configured duration first.
+	err = sleepCtx(runCtx, cfg.Duration)
+	measured := time.Since(measureStart)
+	r.measuring.Store(false)
+	r.stopping.Store(true)
+	cancel()
+	wg.Wait()
+	scenarioWG.Wait()
+	if scenarioErr != nil {
+		return nil, scenarioErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Final server-side accounting over a fresh context: runCtx is dead.
+	return r.buildReport(ctx, measured, answersBefore)
+}
+
+// clientLoop is one closed-model worker: session after session until the
+// run ends.
+func (r *runner) clientLoop(ctx context.Context, idx int) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 7000 + int64(idx)))
+	for ctx.Err() == nil {
+		r.session(ctx, idx, rng)
+	}
+}
+
+// arrivalLoop fires open-model sessions with exponential inter-arrival
+// times. Arrivals beyond the in-flight cap are shed (and counted) instead
+// of queueing — an open-model generator that queues is secretly closed.
+func (r *runner) arrivalLoop(ctx context.Context) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 5000))
+	cap64 := int64(64 * r.cfg.Workers)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for ctx.Err() == nil {
+		rate := r.cfg.Rate
+		if r.cfg.Scenario == ScenarioSurge && r.inSurgeWindow() {
+			rate *= 2
+		}
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if err := sleepCtx(ctx, wait); err != nil {
+			return
+		}
+		if r.sessions.Load() >= cap64 {
+			r.dropped.Add(1)
+			continue
+		}
+		idx := rng.Intn(r.cfg.Workers)
+		seed := rng.Int63()
+		r.sessions.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer r.sessions.Add(-1)
+			r.session(ctx, idx, rand.New(rand.NewSource(seed)))
+		}()
+	}
+}
+
+func (r *runner) inSurgeWindow() bool { return r.surge.Load() }
+
+// runSurge doubles the offered load for the middle fifth of the measure
+// phase: the closed model starts Workers extra identities, the open model
+// doubles the arrival rate.
+func (r *runner) runSurge(ctx context.Context) {
+	if err := sleepCtx(ctx, r.cfg.Duration*2/5); err != nil {
+		return
+	}
+	window := r.cfg.Duration / 5
+	r.cfg.Logf("loadgen: surge on for %s", window)
+	r.surge.Store(true)
+	defer r.surge.Store(false)
+	if r.cfg.Model == Closed {
+		surgeCtx, cancel := context.WithTimeout(ctx, window)
+		defer cancel()
+		var wg sync.WaitGroup
+		for i := r.cfg.Workers; i < 2*r.cfg.Workers; i++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				r.clientLoop(surgeCtx, idx)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		sleepCtx(ctx, window)
+	}
+	r.cfg.Logf("loadgen: surge off")
+}
+
+// session is one worker's protocol round trip: request assignments, then
+// think and answer each assigned task. Requests themselves are never
+// cancelled mid-flight — a response the server produces must be counted, or
+// the client/server counter match would break on every shutdown — so run
+// teardown drains sessions instead of aborting them; ctx only gates loops
+// and sleeps.
+func (r *runner) session(ctx context.Context, idx int, rng *rand.Rand) {
+	if r.stopping.Load() {
+		return
+	}
+	reqCtx := context.WithoutCancel(ctx)
+	workerID := r.world.WorkerIDs[idx]
+	var resp struct {
+		Assignments map[string][]string `json:"assignments"`
+	}
+	status, err := r.do(reqCtx, epAssignments, "/assignments",
+		map[string]any{"workers": []string{workerID}}, &resp, false)
+	if err != nil || status != http.StatusOK {
+		// Transport failure past retries, run shutdown, or a server-side
+		// error; back off briefly so a persistent failure cannot hot-spin.
+		sleepCtx(ctx, 20*time.Millisecond)
+		return
+	}
+	tasks := resp.Assignments[workerID]
+	if len(tasks) == 0 {
+		// Supply dry for this worker (everything answered or pending).
+		// Idle like a real worker checking back later.
+		sleepCtx(ctx, r.think(rng)*4)
+		return
+	}
+	r.assigned.Add(uint64(len(tasks)))
+	for _, taskID := range tasks {
+		if err := sleepCtx(ctx, r.think(rng)); err != nil {
+			// The run is over; still submit what was handed to us so the
+			// closed loop does not strand pending pairs at every shutdown.
+		}
+		ans, aerr := r.world.AnswerFor(idx, taskID)
+		if aerr != nil {
+			r.cfg.Logf("loadgen: %v", aerr)
+			continue
+		}
+		status, err := r.do(reqCtx, epAnswers, "/answers", map[string]any{
+			"worker":   workerID,
+			"task":     taskID,
+			"selected": ans.Selected,
+		}, nil, true)
+		if err == nil && status == http.StatusAccepted {
+			r.acked.Add(1)
+		}
+	}
+}
+
+// think draws an exponential think time with the configured mean, capped at
+// 4× to keep the tail from stalling shutdown.
+func (r *runner) think(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(r.cfg.Think))
+	if max := 4 * r.cfg.Think; d > max {
+		d = max
+	}
+	return d
+}
+
+// do issues one JSON request, recording latency and counting the response.
+// Transport errors (connection refused/reset — the rolling-restart window)
+// are retried with backoff for up to ~15s; each retry is counted and its
+// wait adds to the downtime tally. For answers, a 400 "duplicate answer"
+// after a transport retry means the first attempt actually landed: it is
+// converted into an ack, not an error — the server has the answer.
+func (r *runner) do(ctx context.Context, endpoint, path string, body, out any, isAnswer bool) (int, error) {
+	rec := r.endpoints[endpoint]
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	const (
+		maxRetries = 150
+		backoff    = 100 * time.Millisecond
+	)
+	retried := false
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := r.client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			// During teardown a dead server gets a short grace, not the
+			// full outage budget — the run is over.
+			if attempt >= maxRetries || (r.stopping.Load() && attempt >= 2) {
+				return 0, err
+			}
+			r.retries.Add(1)
+			r.downtimeNS.Add(int64(backoff))
+			if serr := sleepCtx(ctx, backoff); serr != nil {
+				return 0, serr
+			}
+			retried = true
+			continue
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		rec.total.Add(1)
+		if r.measuring.Load() {
+			rec.hist.Observe(elapsed)
+		}
+		status := resp.StatusCode
+		if isAnswer && retried && status == http.StatusConflict &&
+			strings.Contains(string(respBody), "duplicate answer") {
+			// 409 + poilabel.ErrDuplicateAnswer: the pre-retry attempt was
+			// processed and the answer is already recorded. Report 202 so
+			// the caller acks it (exactly once).
+			r.duplicates.Add(1)
+			return http.StatusAccepted, nil
+		}
+		if status >= 400 {
+			rec.errors.Add(1)
+			return status, nil
+		}
+		if out != nil {
+			if err := json.Unmarshal(respBody, out); err != nil {
+				return status, fmt.Errorf("loadgen: %s: bad response: %w", path, err)
+			}
+		}
+		return status, nil
+	}
+}
+
+// healthState mirrors the server's /healthz body.
+type healthState struct {
+	OK              bool   `json:"ok"`
+	Engine          string `json:"engine"`
+	Tasks           int    `json:"tasks"`
+	Workers         int    `json:"workers"`
+	Answers         int    `json:"answers"`
+	Pending         int    `json:"pending"`
+	RemainingBudget int    `json:"remaining_budget"`
+}
+
+// getHealth reads /healthz once.
+func (r *runner) getHealth(ctx context.Context) (healthState, error) {
+	var h healthState
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("loadgen: /healthz status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// awaitReady polls /healthz until the server answers or the deadline
+// passes.
+func (r *runner) awaitReady(ctx context.Context, within time.Duration) (healthState, error) {
+	deadline := time.Now().Add(within)
+	for {
+		h, err := r.getHealth(ctx)
+		if err == nil && h.OK {
+			return h, nil
+		}
+		if time.Now().After(deadline) {
+			return h, fmt.Errorf("loadgen: server at %s not ready within %s: %v", r.cfg.BaseURL, within, err)
+		}
+		if serr := sleepCtx(ctx, 50*time.Millisecond); serr != nil {
+			return h, serr
+		}
+	}
+}
+
+// sleepCtx sleeps d or returns the context error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// quantileMS converts a histogram quantile to milliseconds.
+func quantileMS(h *metrics.Histogram, q float64) float64 {
+	return roundMS(h.Quantile(q))
+}
+
+func roundMS(d time.Duration) float64 {
+	return math.Round(d.Seconds()*1e6) / 1e3 // µs precision, in ms
+}

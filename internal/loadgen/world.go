@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+
+	"poilabel/internal/crowd"
+	"poilabel/internal/dataset"
+	"poilabel/internal/model"
+)
+
+// World is the client-side copy of the server's demo world: the same tasks
+// (IDs t0..tN-1), worker identities (w0..wM-1), and latent ground-truth
+// profiles, regenerated deterministically from the shared seed. It is what
+// lets the load generator submit answers the server's inference engine can
+// actually learn from.
+type World struct {
+	Data      *dataset.Dataset
+	Workers   []model.Worker
+	Profiles  []crowd.WorkerProfile
+	TaskIDs   []string
+	WorkerIDs []string
+
+	taskIdx map[string]model.TaskID
+	sims    []simSlot
+}
+
+// simSlot serializes answer generation per worker identity: the open model
+// may run two sessions of the same identity concurrently, and a simulator's
+// RNG is not goroutine-safe.
+type simSlot struct {
+	mu  sync.Mutex
+	sim *crowd.Simulator
+}
+
+// NewWorld regenerates the demo world (crowd.DemoWorld semantics: numTasks
+// ≤ 0 is the Beijing dataset) and prepares one independent simulator stream
+// per worker identity.
+func NewWorld(numTasks, numWorkers int, seed int64) (*World, error) {
+	data, workers, profiles, err := crowd.DemoWorld(numTasks, numWorkers, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := crowd.NewSimulator(data, workers, profiles, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Data:      data,
+		Workers:   workers,
+		Profiles:  profiles,
+		TaskIDs:   make([]string, len(data.Tasks)),
+		WorkerIDs: make([]string, len(workers)),
+		taskIdx:   make(map[string]model.TaskID, len(data.Tasks)),
+		sims:      make([]simSlot, len(workers)),
+	}
+	for i := range data.Tasks {
+		id := fmt.Sprintf("t%d", i)
+		w.TaskIDs[i] = id
+		w.taskIdx[id] = model.TaskID(i)
+	}
+	for i := range workers {
+		w.WorkerIDs[i] = fmt.Sprintf("w%d", i)
+		// Distinct per-identity streams keep a worker's answers
+		// deterministic regardless of which goroutine asks.
+		w.sims[i] = simSlot{sim: base.Clone(seed + 100 + int64(i))}
+	}
+	return w, nil
+}
+
+// AnswerFor generates worker identity wi's answer to the task with stable
+// ID taskID. Safe for concurrent use.
+func (w *World) AnswerFor(wi int, taskID string) (model.Answer, error) {
+	t, ok := w.taskIdx[taskID]
+	if !ok {
+		return model.Answer{}, fmt.Errorf("loadgen: server assigned unknown task %q", taskID)
+	}
+	slot := &w.sims[wi]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	return slot.sim.Answer(model.WorkerID(wi), t), nil
+}

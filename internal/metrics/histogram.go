@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry. Durations are recorded in units of 2^unitShift
+// nanoseconds (≈1 µs). The first 2^subBits buckets are linear — one unit
+// wide — and every power of two above that is split into 2^subBits linear
+// sub-buckets, so the width of any bucket is at most 1/2^subBits (≈3.1%) of
+// the values it holds. That bounds the quantile estimation error at ~3%
+// relative across the whole range, which covers ~1 µs to ~2.4 hours before
+// clamping into the final bucket.
+const (
+	unitShift  = 10 // 1 unit = 1024 ns
+	subBits    = 5  // 32 linear sub-buckets per power of two
+	subCount   = 1 << subBits
+	numBuckets = 30 * subCount // top shift 28 → upper bound ≈ 2^33 units ≈ 2.4 h
+)
+
+// Histogram is a fixed-bucket log-linear latency histogram. Observe is
+// lock-free and allocation-free — suitable for steady-state request paths —
+// and quantile reads are approximate within the bucket geometry's ~3.1%
+// relative error. The zero value is NOT ready to use; call NewHistogram.
+//
+// A Histogram tracks count, sum, and max exactly; quantiles come from the
+// bucket counts.
+type Histogram struct {
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, numBuckets)}
+}
+
+// bucketIndex maps a duration in units (value >> unitShift) onto the
+// log-linear grid.
+func bucketIndex(u uint64) int {
+	if u < subCount {
+		return int(u)
+	}
+	shift := bits.Len64(u) - 1 - subBits // ≥ 0
+	idx := shift<<subBits + int(u>>uint(shift))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpperNS returns the exclusive upper bound of bucket i in
+// nanoseconds.
+func bucketUpperNS(i int) int64 {
+	var hiUnits uint64
+	if i < subCount {
+		hiUnits = uint64(i) + 1
+	} else {
+		shift := i>>subBits - 1
+		m := uint64(i - shift<<subBits) // mantissa in [subCount, 2*subCount)
+		hiUnits = (m + 1) << uint(shift)
+	}
+	return int64(hiUnits << unitShift)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := d.Nanoseconds()
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(uint64(v)>>unitShift)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observed duration (exactly, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the mean observed duration, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q ≤ 1) as the upper
+// bound of the bucket holding the target rank, clamped to the exact max.
+// With no observations it returns 0. Concurrent Observe calls may skew a
+// concurrent Quantile by the in-flight observations; scrape-time reads
+// tolerate that.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			ub := bucketUpperNS(i)
+			if mx := h.max.Load(); ub > mx {
+				ub = mx
+			}
+			return time.Duration(ub)
+		}
+	}
+	return h.Max()
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	g := r.Gauge("depth", "queue depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(2.5)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %g, want -1", got)
+	}
+}
+
+func TestCounterVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "by endpoint and code", "endpoint", "code")
+	v.With("answers", "202").Add(3)
+	v.With("answers", "404").Inc()
+	v.With("results", "200").Inc()
+	if got := v.With("answers", "202").Value(); got != 3 {
+		t.Fatalf("child = %d, want 3", got)
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_total by endpoint and code",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{endpoint="answers",code="202"} 3`,
+		`http_requests_total{endpoint="answers",code="404"} 1`,
+		`http_requests_total{endpoint="results",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children sorted by label tuple: answers before results.
+	if strings.Index(out, `endpoint="answers"`) > strings.Index(out, `endpoint="results"`) {
+		t.Fatalf("children not sorted:\n%s", out)
+	}
+}
+
+func TestGaugeFuncReadsAtScrape(t *testing.T) {
+	r := NewRegistry()
+	val := 1.0
+	var mu sync.Mutex
+	r.GaugeFunc("budget_remaining", "budget", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return val
+	})
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "budget_remaining 1") {
+		t.Fatalf("missing gauge value:\n%s", b.String())
+	}
+	mu.Lock()
+	val = 42
+	mu.Unlock()
+	b.Reset()
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "budget_remaining 42") {
+		t.Fatalf("gauge func not re-read:\n%s", b.String())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestHistogramBucketGeometry(t *testing.T) {
+	// Indices are monotone in the value and bounds bracket the value.
+	prev := -1
+	for _, u := range []uint64{0, 1, 5, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 32, 1 << 40} {
+		idx := bucketIndex(u)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", u, idx, prev)
+		}
+		prev = idx
+		if idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", u, idx)
+		}
+		if u<<unitShift < uint64(1<<40) { // below the clamp region
+			ub := bucketUpperNS(idx)
+			if int64(u<<unitShift) >= ub {
+				t.Fatalf("value %d outside bucket %d upper bound %d", u<<unitShift, idx, ub)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantilesAgainstExact is the accuracy pin: percentiles read
+// from the log-linear buckets must track exact sample quantiles within the
+// geometry's relative error bound across a heavy-tailed latency-like
+// distribution.
+func TestHistogramQuantilesAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHistogram()
+	const n = 50000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-uniform over [20µs, 2s]: five decades, like real endpoint
+		// latency under load.
+		exp := rng.Float64() * 5
+		d := time.Duration(20e3 * math.Pow(10, exp))
+		samples[i] = d
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(math.Ceil(q*float64(n)))-1]
+		got := h.Quantile(q)
+		relErr := math.Abs(got.Seconds()-exact.Seconds()) / exact.Seconds()
+		// Bucket width ≤ 1/32 ≈ 3.1%; the estimate returns the bucket's
+		// upper bound, so allow slightly more headroom.
+		if relErr > 0.05 {
+			t.Fatalf("q=%g: histogram %v vs exact %v (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q=1 %v != max %v", h.Quantile(1), h.Max())
+	}
+	if h.Max() != samples[n-1] {
+		t.Fatalf("max %v != exact max %v", h.Max(), samples[n-1])
+	}
+}
+
+func TestHistogramEmptyAndSummaryExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fit_seconds", "fit durations")
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(100 * time.Millisecond)
+	h.Observe(200 * time.Millisecond)
+
+	v := r.HistogramVec("req_seconds", "request durations", "endpoint")
+	v.With("answers").Observe(time.Millisecond)
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fit_seconds summary",
+		`fit_seconds{quantile="0.5"}`,
+		`fit_seconds{quantile="0.99"}`,
+		"fit_seconds_sum 0.3",
+		"fit_seconds_count 2",
+		`req_seconds{endpoint="answers",quantile="0.9"}`,
+		`req_seconds_count{endpoint="answers"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const per = 2000
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8*per {
+		t.Fatalf("count = %d, want %d", h.Count(), 8*per)
+	}
+	if h.Max() != 8*time.Millisecond {
+		t.Fatalf("max = %v, want 8ms", h.Max())
+	}
+}

@@ -1,6 +1,16 @@
 package model
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDuplicateAnswer reports a second submission for a (worker, task) pair:
+// the platform assigns each task to a worker at most once. Callers that
+// retry submissions over a lossy transport rely on errors.Is against this
+// sentinel to recognize "already recorded" — it is a durability signal, not
+// just a validation failure.
+var ErrDuplicateAnswer = errors.New("model: duplicate answer")
 
 // AnswerSet is the growing answer log R with the per-task and per-worker
 // indexes the inference and assignment algorithms need:
@@ -48,7 +58,7 @@ func NewAnswerSet() *AnswerSet {
 func (s *AnswerSet) Add(a Answer) error {
 	key := pairKey{a.Worker, a.Task}
 	if s.done[key] {
-		return fmt.Errorf("model: duplicate answer from worker %d on task %d", a.Worker, a.Task)
+		return fmt.Errorf("%w: worker %d on task %d", ErrDuplicateAnswer, a.Worker, a.Task)
 	}
 	idx := len(s.answers)
 	s.answers = append(s.answers, a)

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs handler on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain for up to
+// shutdownTimeout (zero or negative waits indefinitely), and, when ck is
+// non-nil, a final checkpoint is written after the drain. Draining before
+// checkpointing is the ordering the zero-lost-answers guarantee rests on —
+// every request the server ever acknowledged is in the final snapshot, so a
+// restart with -restore resumes as if the process had never died.
+//
+// Serve returns nil after a clean shutdown, the listener error if serving
+// failed, and the drain or checkpoint error otherwise. It always closes ln.
+func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer) error {
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed on its own; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+
+	drainCtx := context.Background()
+	if shutdownTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, shutdownTimeout)
+		defer cancel()
+	}
+	drainErr := srv.Shutdown(drainCtx)
+	if drainErr != nil {
+		// The timeout expired with requests still in flight; cut them off
+		// rather than hanging forever. Their clients see a reset, which is
+		// exactly what the load generator's retry accounting expects.
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ck != nil {
+		if n, err := ck.Checkpoint(); err != nil {
+			return fmt.Errorf("serve: final checkpoint: %w", err)
+		} else {
+			log.Printf("serve: final checkpoint: %d bytes to %s", n, ck.Path())
+		}
+	}
+	if drainErr != nil {
+		return fmt.Errorf("serve: drain: %w", drainErr)
+	}
+	return nil
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, handler, shutdownTimeout, ck)
+}

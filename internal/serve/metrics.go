@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"poilabel"
+	"poilabel/internal/metrics"
+)
+
+// Metrics is the gateway's observability surface: per-endpoint request
+// counters and latency histograms recorded by the handler middleware,
+// engine-fit instrumentation received through the service's Observer hooks,
+// and gauges that read the service's live counters at scrape time. It is
+// created by WithMetrics and exposed at GET /metrics in Prometheus text
+// format.
+//
+// Metric families, all prefixed poiserve_:
+//
+//	http_requests_total{endpoint,code}        requests served, by outcome
+//	http_request_duration_seconds{endpoint}   latency summary (p50/p90/p99)
+//	engine_fits_total{outcome}                full fits: converged|unconverged|error
+//	engine_fit_duration_seconds               full-fit wall-clock summary
+//	answers_total{kind}                       accepted answers: incremental|full_fit
+//	assign_dedup_hits_total                   pending pairs skipped while planning
+//	tasks, workers, pending_pairs, answers_observed, budget_remaining  gauges
+type Metrics struct {
+	reg *metrics.Registry
+
+	requests   *metrics.CounterVec
+	latency    *metrics.HistogramVec
+	fits       *metrics.CounterVec
+	fitSeconds *metrics.Histogram
+	answers    *metrics.CounterVec
+	dedupHits  *metrics.Counter
+}
+
+// NewMetrics registers the gateway's metric families for svc on reg and
+// attaches the fit/answer/dedup observer to the service. Pass the result to
+// NewHandler via WithMetrics. Registering two services on one registry
+// panics (duplicate names); give each service its own registry.
+func NewMetrics(reg *metrics.Registry, svc *poilabel.Service) *Metrics {
+	m := &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("poiserve_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		latency: reg.HistogramVec("poiserve_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", "endpoint"),
+		fits: reg.CounterVec("poiserve_engine_fits_total",
+			"Full engine fits, by outcome (converged, unconverged, error).", "outcome"),
+		fitSeconds: reg.Histogram("poiserve_engine_fit_duration_seconds",
+			"Wall-clock duration of full engine fits."),
+		answers: reg.CounterVec("poiserve_answers_total",
+			"Accepted answers, by update kind (incremental, full_fit).", "kind"),
+		dedupHits: reg.Counter("poiserve_assign_dedup_hits_total",
+			"Candidate pairs skipped during assignment because they were still pending an answer."),
+	}
+	reg.GaugeFunc("poiserve_tasks", "Registered tasks.",
+		func() float64 { return float64(svc.NumTasks()) })
+	reg.GaugeFunc("poiserve_workers", "Registered workers.",
+		func() float64 { return float64(svc.NumWorkers()) })
+	reg.GaugeFunc("poiserve_pending_pairs", "Handed-out pairs awaiting an answer.",
+		func() float64 { return float64(svc.PendingCount()) })
+	reg.GaugeFunc("poiserve_answers_observed", "Answers observed by the engine.",
+		func() float64 { return float64(svc.AnswerCount()) })
+	reg.GaugeFunc("poiserve_budget_remaining", "Assignment budget remaining (-1 = unlimited).",
+		func() float64 { return float64(svc.RemainingBudget()) })
+	svc.SetObserver(m)
+	return m
+}
+
+// Registry returns the backing registry (for registering extra families or
+// scraping programmatically).
+func (m *Metrics) Registry() *metrics.Registry { return m.reg }
+
+// FitObserved implements poilabel.Observer.
+func (m *Metrics) FitObserved(elapsed time.Duration, converged bool, err error) {
+	outcome := "converged"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case !converged:
+		outcome = "unconverged"
+	}
+	m.fits.With(outcome).Inc()
+	m.fitSeconds.Observe(elapsed)
+}
+
+// AnswerObserved implements poilabel.Observer.
+func (m *Metrics) AnswerObserved(full bool) {
+	kind := "incremental"
+	if full {
+		kind = "full_fit"
+	}
+	m.answers.With(kind).Inc()
+}
+
+// DedupHitsObserved implements poilabel.Observer.
+func (m *Metrics) DedupHitsObserved(n int) {
+	if n > 0 {
+		m.dedupHits.Add(uint64(n))
+	}
+}
+
+// observe records one finished request.
+func (m *Metrics) observe(endpoint string, status int, elapsed time.Duration) {
+	m.requests.With(endpoint, strconv.Itoa(status)).Inc()
+	m.latency.With(endpoint).Observe(elapsed)
+}
+
+// endpointLabel collapses a request onto a bounded label set so metric
+// cardinality cannot grow with traffic: /workers/{id} becomes worker_get,
+// unroutable paths become other.
+func endpointLabel(method, path string) string {
+	switch path {
+	case "/tasks", "/workers", "/answers", "/assignments", "/checkpoint", "/results", "/healthz", "/metrics":
+		return strings.TrimPrefix(path, "/")
+	}
+	if strings.HasPrefix(path, "/workers/") && method == http.MethodGet {
+		return "worker_get"
+	}
+	return "other"
+}
+
+// statusRecorder captures the status code written by a handler; an implicit
+// 200 (body written without WriteHeader) is the zero-value default.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,409 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"poilabel"
+	"poilabel/internal/metrics"
+	"poilabel/internal/serve"
+)
+
+// newMeteredServer builds a gateway with the /metrics pipeline attached.
+func newMeteredServer(t *testing.T, opts ...poilabel.ServiceOption) (*httptest.Server, *serve.Metrics) {
+	t.Helper()
+	svc, err := poilabel.NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := serve.NewMetrics(metrics.NewRegistry(), svc)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithMetrics(m)))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts one sample value from exposition text.
+func metricValue(t *testing.T, text, name, labels string) float64 {
+	t.Helper()
+	line := name
+	if labels != "" {
+		line += "{" + labels + "}"
+	}
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(line) + " (.+)$")
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", line, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s: bad value %q", line, m[1])
+	}
+	return v
+}
+
+// TestMetricsPipeline drives the gateway and asserts the server-side
+// counters line up with the client's own accounting — the property the load
+// generator's counter-match check builds on.
+func TestMetricsPipeline(t *testing.T) {
+	srv, _ := newMeteredServer(t, poilabel.WithFullEMInterval(2))
+	postTask(t, srv, "t0", 0, 0, []string{"a", "b"})
+	postTask(t, srv, "t1", 4, 4, []string{"a", "b"})
+	postWorker(t, srv, "w0", 1, 1)
+	postWorker(t, srv, "w1", 3, 3)
+
+	// One assignment round, three answers (the second triggers a full fit
+	// at interval 2), one unknown-worker 404.
+	var assignResp struct {
+		Assignments map[string][]string `json:"assignments"`
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/assignments", map[string]any{"workers": []string{"w0", "w1"}}, &assignResp); code != http.StatusOK {
+		t.Fatalf("assignments: %d", code)
+	}
+	answers := 0
+	for w, ts := range assignResp.Assignments {
+		for _, task := range ts {
+			body := map[string]any{"worker": w, "task": task, "selected": []bool{true, false}}
+			if code := do(t, http.MethodPost, srv.URL+"/answers", body, nil); code != http.StatusAccepted {
+				t.Fatalf("answer: %d", code)
+			}
+			answers++
+		}
+	}
+	if answers == 0 {
+		t.Fatal("no assignments handed out")
+	}
+	if code := do(t, http.MethodGet, srv.URL+"/workers/ghost", nil, &struct{ Error string }{}); code != http.StatusNotFound {
+		t.Fatalf("ghost worker: %d", code)
+	}
+	// Re-request assignments without answering: pending pairs must be
+	// excluded, which shows up as dedup hits.
+	do(t, http.MethodPost, srv.URL+"/assignments", map[string]any{"workers": []string{"w0", "w1"}}, nil)
+
+	text := scrape(t, srv)
+	if got := metricValue(t, text, "poiserve_http_requests_total", `endpoint="tasks",code="201"`); got != 2 {
+		t.Errorf("tasks requests = %g, want 2", got)
+	}
+	if got := metricValue(t, text, "poiserve_http_requests_total", `endpoint="answers",code="202"`); got != float64(answers) {
+		t.Errorf("answers requests = %g, want %d", got, answers)
+	}
+	if got := metricValue(t, text, "poiserve_http_requests_total", `endpoint="assignments",code="200"`); got != 2 {
+		t.Errorf("assignments requests = %g, want 2", got)
+	}
+	if got := metricValue(t, text, "poiserve_http_requests_total", `endpoint="worker_get",code="404"`); got != 1 {
+		t.Errorf("worker_get 404 = %g, want 1", got)
+	}
+	if got := metricValue(t, text, "poiserve_answers_observed", ""); got != float64(answers) {
+		t.Errorf("answers_observed = %g, want %d", got, answers)
+	}
+	if got := metricValue(t, text, "poiserve_tasks", ""); got != 2 {
+		t.Errorf("tasks gauge = %g, want 2", got)
+	}
+	full := metricValue(t, text, "poiserve_answers_total", `kind="full_fit"`)
+	incr := metricValue(t, text, "poiserve_answers_total", `kind="incremental"`)
+	if full+incr != float64(answers) {
+		t.Errorf("answers_total full %g + incremental %g != %d", full, incr, answers)
+	}
+	if full == 0 {
+		t.Error("no full-fit answers at interval 2")
+	}
+	if got := metricValue(t, text, "poiserve_engine_fit_duration_seconds_count", ""); got == 0 {
+		t.Error("no engine fits recorded")
+	}
+	latCount := metricValue(t, text, "poiserve_http_request_duration_seconds_count", `endpoint="answers"`)
+	if latCount != float64(answers) {
+		t.Errorf("latency count = %g, want %d", latCount, answers)
+	}
+	if p50 := metricValue(t, text, "poiserve_http_request_duration_seconds", `endpoint="answers",quantile="0.5"`); p50 <= 0 {
+		t.Errorf("latency p50 = %g, want > 0", p50)
+	}
+
+	// The healthz counter agrees with the metrics gauge.
+	var health struct {
+		Answers int `json:"answers"`
+		Engine  string
+	}
+	if code := do(t, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if health.Answers != answers {
+		t.Errorf("healthz answers = %d, want %d", health.Answers, answers)
+	}
+}
+
+func TestMetricsDedupHits(t *testing.T) {
+	srv, m := newMeteredServer(t)
+	postTask(t, srv, "t0", 0, 0, []string{"a", "b"})
+	postTask(t, srv, "t1", 4, 4, []string{"a", "b"})
+	postWorker(t, srv, "w0", 1, 1)
+	do(t, http.MethodPost, srv.URL+"/assignments", map[string]any{"workers": []string{"w0"}}, nil)
+	do(t, http.MethodPost, srv.URL+"/assignments", map[string]any{"workers": []string{"w0"}}, nil)
+	text := scrape(t, srv)
+	if got := metricValue(t, text, "poiserve_assign_dedup_hits_total", ""); got == 0 {
+		t.Error("re-requesting without answering recorded no dedup hits")
+	}
+	_ = m
+}
+
+func TestMetricsUnconfigured404(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unconfigured /metrics: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// seedSmallWorld registers a minimal fit-able world directly on a service.
+func seedSmallWorld(t *testing.T, svc *poilabel.Service) {
+	t.Helper()
+	specs := []struct {
+		id   string
+		x, y float64
+	}{{"t0", 0, 0}, {"t1", 5, 5}, {"t2", 9, 2}}
+	for _, s := range specs {
+		if err := svc.AddTask(s.id, poilabel.TaskSpec{Location: poilabel.Pt(s.x, s.y), Labels: []string{"a", "b"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, loc := range []poilabel.Point{poilabel.Pt(1, 1), poilabel.Pt(6, 6)} {
+		if err := svc.AddWorker(fmt.Sprintf("w%d", i), poilabel.WorkerSpec{Locations: []poilabel.Point{loc}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.SubmitAnswer("w0", "t0", []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulServeDrainsAndCheckpoints pins the rolling-restart contract:
+// cancelling the serve context lets in-flight requests finish and writes a
+// final checkpoint that a fresh service can restore.
+func TestGracefulServeDrainsAndCheckpoints(t *testing.T) {
+	svc, err := poilabel.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSmallWorld(t, svc)
+
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "final.snap")
+	ck := serve.NewCheckpointer(svc, snap)
+
+	// Wrap the real handler with a gate so one request is provably in
+	// flight when shutdown starts.
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	inner := serve.NewHandler(svc, serve.WithCheckpointer(ck))
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			once.Do(func() { close(inFlight) })
+			<-release
+		}
+		inner.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve.Serve(ctx, ln, handler, 5*time.Second, ck) }()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+
+	<-inFlight
+	cancel() // shutdown begins with the request still gated
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200 (drained)", code)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	fi, err := os.Stat(snap)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("final checkpoint missing or empty: %v", err)
+	}
+	restored, err := poilabel.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadCheckpoint(snap); err != nil {
+		t.Fatalf("final checkpoint not restorable: %v", err)
+	}
+	if restored.AnswerCount() != svc.AnswerCount() {
+		t.Fatalf("restored answers %d != original %d", restored.AnswerCount(), svc.AnswerCount())
+	}
+}
+
+// TestCheckpointerUnwritablePath covers the failure path the auto-ticker
+// and POST /checkpoint share: a path that cannot be written surfaces an
+// error (500 over HTTP) and leaves no partial file behind.
+func TestCheckpointerUnwritablePath(t *testing.T) {
+	svc, err := poilabel.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSmallWorld(t, svc)
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "deep", "poi.snap")
+	ck := serve.NewCheckpointer(svc, bad)
+	if _, err := ck.Checkpoint(); err == nil {
+		t.Fatal("checkpoint into a missing directory succeeded")
+	}
+
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithCheckpointer(ck)))
+	defer srv.Close()
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/checkpoint", nil, &errBody); code != http.StatusInternalServerError {
+		t.Fatalf("POST /checkpoint on unwritable path: status %d, want 500", code)
+	}
+	if errBody.Error == "" {
+		t.Fatal("500 carried no error body")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("partial snapshot left behind: %v", err)
+	}
+
+	// A read-only directory fails the same way (atomic temp-file creation
+	// is what trips first).
+	roDir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(roDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if os.Geteuid() != 0 { // root ignores permission bits
+		ro := serve.NewCheckpointer(svc, filepath.Join(roDir, "poi.snap"))
+		if _, err := ro.Checkpoint(); err == nil {
+			t.Fatal("checkpoint into a read-only directory succeeded")
+		}
+	}
+}
+
+// TestCheckpointerConcurrentPosts hammers POST /checkpoint from many
+// goroutines while answers stream in: every request must succeed and the
+// surviving file must decode into a healthy service — the writer mutex plus
+// write-then-rename means concurrent checkpoints never interleave.
+func TestCheckpointerConcurrentPosts(t *testing.T) {
+	svc, err := poilabel.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSmallWorld(t, svc)
+	snap := filepath.Join(t.TempDir(), "poi.snap")
+	ck := serve.NewCheckpointer(svc, snap)
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithCheckpointer(ck)))
+	defer srv.Close()
+
+	const posts = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, posts+1)
+	for i := 0; i < posts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/checkpoint", "application/json", nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	// Concurrent registration + answer traffic, so captures race real
+	// writes (each answer is a fresh pair; duplicates are rejected).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			id := fmt.Sprintf("extra%d", i)
+			if err := svc.AddTask(id, poilabel.TaskSpec{Location: poilabel.Pt(float64(i), 3), Labels: []string{"a", "b"}}); err != nil {
+				errs <- err.Error()
+				return
+			}
+			if err := svc.SubmitAnswer("w1", id, []bool{i%2 == 0, true}); err != nil {
+				errs <- err.Error()
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent checkpoint: %s", e)
+	}
+	// One more deterministic capture so the file reflects the final world
+	// (the last concurrent POST may have finished before the last AddTask).
+	if _, err := ck.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := poilabel.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadCheckpoint(snap); err != nil {
+		t.Fatalf("post-hammer snapshot unreadable: %v", err)
+	}
+	if restored.NumTasks() != svc.NumTasks() || restored.NumWorkers() != svc.NumWorkers() {
+		t.Fatal("restored world shape differs")
+	}
+}

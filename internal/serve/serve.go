@@ -11,16 +11,23 @@
 //	GET  /results                                              current inference
 //	GET  /workers/{id}                                         worker estimate
 //	GET  /healthz                                              liveness + counters
+//	GET  /metrics                                              Prometheus text (WithMetrics)
 //
 // Typed service errors map onto statuses: unknown IDs are 404, duplicate
-// registrations 409, an exhausted budget 402, a missing task/worker pool
-// 409, and malformed bodies 400.
+// registrations and duplicate answers 409, an exhausted budget 402, a
+// missing task/worker pool 409, and malformed bodies 400.
 //
 // Durability is provided by a Checkpointer (WithCheckpointer): POST
 // /checkpoint persists the service's full learned state to the configured
 // file with atomic write-then-rename semantics, Checkpointer.Run does the
 // same on a periodic ticker, and a restarted process resumes bit-identically
 // via poilabel.Service.LoadCheckpoint (cmd/poiserve's -restore flag).
+//
+// Run the gateway with Serve (or ListenAndServe) for graceful shutdown:
+// when the context is cancelled — poiserve wires SIGTERM/SIGINT to it — the
+// listener closes, in-flight requests drain within a configurable timeout,
+// and a final checkpoint is written so a rolling restart loses nothing that
+// was ever acknowledged.
 package serve
 
 import (
@@ -92,10 +99,18 @@ func WithCheckpointer(c *Checkpointer) Option {
 	return func(h *Handler) { h.ckpt = c }
 }
 
+// WithMetrics enables the GET /metrics endpoint (Prometheus text format)
+// and wraps every request with per-endpoint counting and latency recording.
+// Build m with NewMetrics, which also attaches the service observer.
+func WithMetrics(m *Metrics) Option {
+	return func(h *Handler) { h.metrics = m }
+}
+
 // Handler is the HTTP gateway over one Service.
 type Handler struct {
-	svc  *poilabel.Service
-	ckpt *Checkpointer // nil when checkpointing is not configured
+	svc     *poilabel.Service
+	ckpt    *Checkpointer // nil when checkpointing is not configured
+	metrics *Metrics      // nil when /metrics is not configured
 }
 
 // NewHandler returns the gateway for svc.
@@ -107,8 +122,21 @@ func NewHandler(svc *poilabel.Service, opts ...Option) *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With metrics configured every request
+// is counted and timed under a bounded endpoint label.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.metrics == nil {
+		h.dispatch(w, r)
+		return
+	}
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	h.dispatch(rec, r)
+	h.metrics.observe(endpointLabel(r.Method, strings.TrimSuffix(r.URL.Path, "/")), rec.status, time.Since(start))
+}
+
+// dispatch routes one request.
+func (h *Handler) dispatch(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	switch {
 	case path == "/tasks" && r.Method == http.MethodPost:
@@ -127,7 +155,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.getWorker(w, r, strings.TrimPrefix(path, "/workers/"))
 	case path == "/healthz" && r.Method == http.MethodGet:
 		h.getHealth(w, r)
-	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/checkpoint" || path == "/results" || path == "/healthz":
+	case path == "/metrics" && r.Method == http.MethodGet:
+		h.getMetrics(w, r)
+	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/checkpoint" || path == "/results" || path == "/healthz" || path == "/metrics":
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on %s", r.Method, path))
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", path))
@@ -159,6 +189,10 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	case errors.Is(err, poilabel.ErrUnknownWorker), errors.Is(err, poilabel.ErrUnknownTask):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, poilabel.ErrDuplicateID):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, poilabel.ErrDuplicateAnswer):
+		// 409, not 400: the answer is already recorded, which a client
+		// retrying a lost response treats as success.
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, poilabel.ErrBudgetExhausted):
 		writeError(w, http.StatusPaymentRequired, err)
@@ -313,12 +347,16 @@ func (h *Handler) getWorker(w http.ResponseWriter, r *http.Request, id string) {
 }
 
 type healthResponse struct {
-	OK              bool   `json:"ok"`
-	Engine          string `json:"engine"`
-	Tasks           int    `json:"tasks"`
-	Workers         int    `json:"workers"`
-	Pending         int    `json:"pending"`
-	RemainingBudget int    `json:"remaining_budget"`
+	OK      bool   `json:"ok"`
+	Engine  string `json:"engine"`
+	Tasks   int    `json:"tasks"`
+	Workers int    `json:"workers"`
+	// Answers is the number of answers the engine has observed — the
+	// counter load generators and operators watch to confirm nothing was
+	// lost across a restart, without paying for a full /results fit.
+	Answers         int `json:"answers"`
+	Pending         int `json:"pending"`
+	RemainingBudget int `json:"remaining_budget"`
 }
 
 func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
@@ -327,7 +365,17 @@ func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
 		Engine:          h.svc.EngineKind().String(),
 		Tasks:           h.svc.NumTasks(),
 		Workers:         h.svc.NumWorkers(),
+		Answers:         h.svc.AnswerCount(),
 		Pending:         h.svc.PendingCount(),
 		RemainingBudget: h.svc.RemainingBudget(),
 	})
+}
+
+func (h *Handler) getMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.metrics == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("metrics not configured; start the server with metrics enabled"))
+		return
+	}
+	h.metrics.reg.Handler().ServeHTTP(w, r)
 }

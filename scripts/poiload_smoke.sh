@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Load-smoke the serving stack end to end: build poiserve and poiload, let
+# poiload boot and own the server, and drive two short scenarios.
+#
+#   1. steady: closed-loop crowd; poiload exits non-zero on any lost
+#      answer, error-rate breach, or a client/server request-counter
+#      mismatch against GET /metrics (poiload owns the sole client, so the
+#      counters must agree exactly).
+#   2. rolling-restart: mid-run POST /checkpoint + SIGTERM (graceful drain,
+#      final checkpoint) + restart with -restore; poiload exits non-zero if
+#      a single acknowledged answer was lost or the error rate exceeds 1%.
+#
+# CI's load-smoke job runs this; it also works locally:
+#   scripts/poiload_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-18091}"
+BIN_DIR="$(mktemp -d)"
+trap 'rm -rf "$BIN_DIR"' EXIT
+
+go build -o "$BIN_DIR/poiserve" ./cmd/poiserve
+go build -o "$BIN_DIR/poiload" ./cmd/poiload
+
+# The world must hold enough (worker, task) pairs that supply does not dry
+# up mid-run: 16 workers x 1000 tasks = 16k pairs for a ~6s run.
+COMMON=(-serve-bin "$BIN_DIR/poiserve" -addr "127.0.0.1:${PORT}"
+        -workers 16 -duration 5s -warmup 1s -think 5ms -world-tasks 1000)
+
+echo "== load-smoke: steady =="
+"$BIN_DIR/poiload" "${COMMON[@]}" -scenario steady
+
+echo "== load-smoke: rolling-restart =="
+"$BIN_DIR/poiload" "${COMMON[@]}" -scenario rolling-restart -max-error-rate 0.01
+
+echo "LOAD SMOKE OK"

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"poilabel/internal/core"
 	"poilabel/internal/federation"
 	"poilabel/internal/geo"
+	"poilabel/internal/model"
 	"poilabel/internal/shard"
 )
 
@@ -27,6 +30,10 @@ var (
 	// ErrNoWorkers is returned when an operation needs the inference
 	// engine but no worker has been registered yet.
 	ErrNoWorkers = errors.New("poilabel: no workers registered")
+	// ErrDuplicateAnswer reports a second submission for a (worker, task)
+	// pair. A client retrying a submission whose response was lost should
+	// treat it as confirmation the answer is already recorded.
+	ErrDuplicateAnswer = model.ErrDuplicateAnswer
 )
 
 // TaskSpec describes a POI labelling task registered with a Service. The
@@ -82,6 +89,7 @@ type serviceConfig struct {
 	fullEMInterval int
 	seed           int64
 	model          core.Config
+	observer       Observer
 }
 
 // ServiceOption configures a Service. Options follow the functional-options
@@ -204,6 +212,31 @@ func WithSeed(seed int64) ServiceOption {
 func WithModelConfig(cfg core.Config) ServiceOption {
 	return func(c *serviceConfig) error {
 		c.model = cfg
+		return nil
+	}
+}
+
+// Observer receives service-level instrumentation events — the hooks the
+// /metrics pipeline hangs off. Implementations must be safe for concurrent
+// use and must return quickly: callbacks run inside the service's critical
+// sections, so a slow observer stalls serving.
+type Observer interface {
+	// FitObserved reports one completed full engine fit: its wall-clock
+	// duration, whether EM converged, and any error (nil on success).
+	FitObserved(elapsed time.Duration, converged bool, err error)
+	// AnswerObserved reports one accepted answer; full is true when the
+	// submission triggered an automatic full fit.
+	AnswerObserved(full bool)
+	// DedupHitsObserved reports how many candidate (worker, task) pairs one
+	// assignment round skipped because they were still pending an answer.
+	DedupHitsObserved(n int)
+}
+
+// WithObserver attaches an instrumentation observer at construction. See
+// also SetObserver for attaching one to a running service.
+func WithObserver(o Observer) ServiceOption {
+	return func(c *serviceConfig) error {
+		c.observer = o
 		return nil
 	}
 }
@@ -467,7 +500,8 @@ func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 		}
 		delete(s.pending, pairKey{w, t})
 		s.sinceFull = 0
-		if _, err := s.eng.Fit(context.Background()); err != nil {
+		s.observeAnswer(true)
+		if _, err := s.fitEngineLocked(context.Background()); err != nil {
 			s.dirty = true
 			return err
 		}
@@ -480,7 +514,27 @@ func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 	delete(s.pending, pairKey{w, t})
 	s.sinceFull++
 	s.dirty = true
+	s.observeAnswer(false)
 	return nil
+}
+
+// observeAnswer notifies the observer of one accepted answer; callers must
+// hold the write lock.
+func (s *Service) observeAnswer(full bool) {
+	if s.cfg.observer != nil {
+		s.cfg.observer.AnswerObserved(full)
+	}
+}
+
+// fitEngineLocked runs one full engine fit with observer timing; callers
+// must hold the write lock.
+func (s *Service) fitEngineLocked(ctx context.Context) (bool, error) {
+	start := time.Now()
+	converged, err := s.eng.Fit(ctx)
+	if s.cfg.observer != nil {
+		s.cfg.observer.FitObserved(time.Since(start), converged, err)
+	}
+	return converged, err
 }
 
 // RequestTasks runs the task assigner for a set of requesting workers and
@@ -510,8 +564,22 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 	if err := s.ensureEngine(); err != nil {
 		return nil, err
 	}
-	skip := func(w WorkerID, t TaskID) bool { return s.pending[pairKey{w, t}] }
+	// The engines' planners may probe the exclusion predicate from several
+	// goroutines (the sharded fan-out), so the dedup-hit tally is atomic.
+	var dedupHits atomic.Int64
+	skip := func(w WorkerID, t TaskID) bool {
+		if s.pending[pairKey{w, t}] {
+			dedupHits.Add(1)
+			return true
+		}
+		return false
+	}
 	assigned := s.eng.Assign(ws, s.cfg.h, s.cfg.budget, skip)
+	if s.cfg.observer != nil {
+		if n := dedupHits.Load(); n > 0 {
+			s.cfg.observer.DedupHitsObserved(int(n))
+		}
+	}
 	out := make(map[string][]string, len(assigned))
 	for w, ts := range assigned {
 		if len(ts) == 0 {
@@ -540,7 +608,7 @@ func (s *Service) Fit(ctx context.Context) (converged bool, err error) {
 		return false, err
 	}
 	s.sinceFull = 0
-	converged, err = s.eng.Fit(ctx)
+	converged, err = s.fitEngineLocked(ctx)
 	if err == nil {
 		s.dirty = false
 	}
@@ -589,7 +657,7 @@ func (s *Service) fitResult(ctx context.Context) (*Result, error) {
 	}
 	if s.dirty {
 		s.sinceFull = 0
-		if _, err := s.eng.Fit(ctx); err != nil {
+		if _, err := s.fitEngineLocked(ctx); err != nil {
 			return nil, err
 		}
 		s.dirty = false
@@ -630,6 +698,26 @@ func (s *Service) PendingCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.pending)
+}
+
+// AnswerCount returns the number of answers observed by the engine (zero
+// before the first answer builds it).
+func (s *Service) AnswerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.TotalAnswers()
+}
+
+// SetObserver attaches (or, with nil, detaches) an instrumentation observer
+// on a running service. The HTTP gateway uses it to wire the /metrics
+// pipeline after construction.
+func (s *Service) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.observer = o
 }
 
 // NumTasks returns the number of registered tasks.
