@@ -1,0 +1,489 @@
+package poilabel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by operations that need the background fit pipeline
+// after Close has shut it down.
+var ErrClosed = errors.New("poilabel: service closed")
+
+// WithBackgroundFit moves full EM fits off the request path: a single
+// background goroutine fits over a copy-on-write snapshot of the answer
+// store and swaps the finished parameters in atomically, so no request ever
+// waits for EM convergence. Reads (Results, ResultSet, WorkerInfo, Fit)
+// serve the last published parameter generation lock-free; answers accepted
+// while a fit is in flight are batched into a delta that is merged — via the
+// engine's cheap incremental update — into the next published generation.
+//
+// interval is the fit cadence: whenever answers are outstanding, a full fit
+// starts at most this long after they arrived. minAnswers (values below 1
+// mean 1) triggers an eager fit as soon as that many answers are waiting,
+// without waiting for the tick. At most one fit is ever in flight; triggers
+// arriving mid-fit coalesce into a single queued re-fit.
+//
+// Background fitting supersedes WithFullEMInterval: submissions never fit
+// inline. Call Close to drain the pipeline on shutdown and WaitFresh to
+// barrier on a fully fitted generation. See docs/ARCHITECTURE.md ("Life of
+// a fit") for the staleness contract.
+func WithBackgroundFit(interval time.Duration, minAnswers int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if interval <= 0 {
+			return fmt.Errorf("poilabel: non-positive background fit interval %v", interval)
+		}
+		if minAnswers < 1 {
+			minAnswers = 1
+		}
+		c.bgInterval = interval
+		c.bgMinAnswers = minAnswers
+		return nil
+	}
+}
+
+// paramGen is one published parameter generation: an immutable copy of the
+// engine's read state plus the bookkeeping readers need to reason about
+// staleness. Generations are published through Service.published with an
+// atomic pointer swap and must never be mutated afterwards.
+type paramGen struct {
+	gen       uint64    // publication counter, strictly increasing
+	seq       uint64    // answers covered (full fit + merged delta)
+	fullSeq   uint64    // answers covered by the underlying full fit
+	at        time.Time // publication time
+	converged bool      // whether the underlying full fit converged
+	results   []TaskResult
+	dense     *Result
+	pi        []float64
+	pdw       [][]float64
+}
+
+// fitPipeline is the background fit scheduler: one goroutine that owns the
+// full-EM cadence for a Service. Lock ordering: the pipeline's mutex is only
+// ever acquired after (or without) the Service's — never take s.mu while
+// holding p.mu.
+type fitPipeline struct {
+	s          *Service
+	interval   time.Duration
+	minAnswers int
+
+	kick     chan struct{} // capacity 1: the queued re-fit token
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	fitCtx    context.Context // cancels the in-flight fit on hard shutdown
+	cancelFit context.CancelFunc
+
+	mu       sync.Mutex
+	wantFull bool          // an explicit full fit was requested (WaitFresh)
+	inFlight bool          // a fit is running right now
+	notify   chan struct{} // closed and replaced on every publication
+
+	fits      atomic.Uint64 // completed fit attempts (including abandoned)
+	coalesced atomic.Uint64 // triggers dropped because a re-fit was queued
+}
+
+func newFitPipeline(s *Service, interval time.Duration, minAnswers int) *fitPipeline {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &fitPipeline{
+		s:          s,
+		interval:   interval,
+		minAnswers: minAnswers,
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		fitCtx:     ctx,
+		cancelFit:  cancel,
+		notify:     make(chan struct{}),
+	}
+}
+
+// run is the scheduler loop. One goroutine per Service.
+func (p *fitPipeline) run() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			// Drain: fold any outstanding answers into one final full
+			// generation so a post-Close checkpoint is fully fitted. The
+			// fit honors fitCtx, which Close cancels on deadline.
+			if p.backlog() > 0 || p.takeWantFull() {
+				p.runOneFit()
+			}
+			return
+		case <-p.kick:
+		case <-tick.C:
+		}
+		p.drainFits()
+		p.republishRegistrations()
+	}
+}
+
+// drainFits runs fits until the pipeline owes nothing: the first fit of a
+// wake-up runs on any backlog at all (the tick is the trickle's deadline);
+// follow-up fits in the same wake-up require a full minAnswers batch or an
+// explicit request, so a steady trickle is paced by the ticker instead of
+// spinning fit-to-fit on single answers.
+func (p *fitPipeline) drainFits() {
+	first := true
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		want := p.takeWantFull()
+		bl := p.backlog()
+		if !want && !(bl > 0 && (first || bl >= uint64(p.minAnswers))) {
+			return
+		}
+		first = false
+		p.runOneFit()
+		if p.fitCtx.Err() != nil {
+			return
+		}
+	}
+}
+
+// backlog returns the number of accepted answers not yet covered by the
+// published generation (full fit or merged delta).
+func (p *fitPipeline) backlog() uint64 {
+	seq := p.s.answerSeq.Load()
+	if pub := p.s.published.Load(); pub != nil {
+		if pub.seq >= seq {
+			return 0
+		}
+		return seq - pub.seq
+	}
+	// Nothing published yet: answers imply a built engine, which publishes
+	// at construction, so seq here is almost always 0.
+	return seq
+}
+
+// kickNow hands the scheduler a wake-up token without blocking. A token
+// already queued means a re-fit is pending anyway; the trigger coalesces.
+func (p *fitPipeline) kickNow() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+		p.coalesced.Add(1)
+	}
+}
+
+// requestFull asks the scheduler for a full fit regardless of backlog.
+func (p *fitPipeline) requestFull() {
+	p.mu.Lock()
+	p.wantFull = true
+	p.mu.Unlock()
+	p.kickNow()
+}
+
+func (p *fitPipeline) takeWantFull() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := p.wantFull
+	p.wantFull = false
+	return w
+}
+
+// notifyCh returns the channel closed at the next publication.
+func (p *fitPipeline) notifyCh() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.notify
+}
+
+// broadcast wakes every waiter after a publication. Called with s.mu held
+// (publishLocked) — the s.mu → p.mu nesting is the allowed direction.
+func (p *fitPipeline) broadcast() {
+	p.mu.Lock()
+	close(p.notify)
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+}
+
+func (p *fitPipeline) setInFlight(v bool) {
+	p.mu.Lock()
+	p.inFlight = v
+	p.mu.Unlock()
+}
+
+// runOneFit executes one full background fit:
+//
+//  1. Under the write lock (milliseconds): deep-copy the service into a
+//     snapshot via the checkpoint capture path and start recording a delta
+//     of answers accepted from here on.
+//  2. Off-lock (the expensive part): rebuild a scratch service from the
+//     snapshot — bit-identical to the live one, warm-started from the live
+//     parameters — and run full EM on its engine.
+//  3. Under the write lock (milliseconds): replay registrations and the
+//     recorded delta onto the fitted scratch engine via its incremental
+//     update, swap it in as the live engine, and publish the new
+//     generation.
+//
+// On error (shutdown cancellation, corrupt state) the fit is abandoned and
+// the previous generation keeps serving.
+func (p *fitPipeline) runOneFit() {
+	s := p.s
+
+	s.mu.Lock()
+	if s.eng == nil {
+		s.mu.Unlock()
+		return
+	}
+	epoch := s.restoreEpoch
+	startSeq := s.answerSeq.Load()
+	snap := s.captureLocked()
+	cfg := s.cfg
+	s.delta = s.delta[:0]
+	s.deltaActive = true
+	deltaTasks, deltaWorkers := len(s.tasks), len(s.workers)
+	s.mu.Unlock()
+
+	p.setInFlight(true)
+	defer p.setInFlight(false)
+
+	start := time.Now()
+	scratch := &Service{
+		cfg:       cfg,
+		taskIdx:   make(map[string]TaskID),
+		workerIdx: make(map[string]WorkerID),
+		pending:   make(map[pairKey]bool),
+		dirty:     true,
+	}
+	scratch.cfg.observer = nil
+	err := scratch.applySnapshot(&snap.Service)
+	var converged bool
+	if err == nil {
+		converged, err = scratch.eng.Fit(p.fitCtx)
+	}
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.fits.Add(1)
+	if s.cfg.observer != nil {
+		s.cfg.observer.FitObserved(elapsed, converged, err)
+	}
+	if err == nil && s.restoreEpoch != epoch {
+		err = fmt.Errorf("poilabel: fit raced a restore; abandoned")
+	}
+	if err == nil {
+		// Replay registrations that arrived mid-fit, then merge the delta:
+		// every answer accepted while the fit ran is folded into the fitted
+		// parameters through the engine's incremental update — the
+		// mini-batch E-step that makes the new generation cover them.
+		for i := deltaTasks; i < len(s.tasks) && err == nil; i++ {
+			err = scratch.eng.AddTask(s.tasks[i])
+		}
+		for i := deltaWorkers; i < len(s.workers) && err == nil; i++ {
+			err = scratch.eng.AddWorker(s.workers[i])
+		}
+		for _, a := range s.delta {
+			if err != nil {
+				break
+			}
+			err = scratch.eng.Learn(a)
+		}
+	}
+	nDelta := len(s.delta)
+	s.delta = nil
+	s.deltaActive = false
+	if err != nil {
+		// Keep serving the previous generation; the live engine still holds
+		// every answer (it learned them as they arrived).
+		return
+	}
+	s.eng = scratch.eng
+	s.sinceFull = nDelta
+	s.dirty = nDelta > 0
+	s.publishLocked(s.answerSeq.Load(), startSeq, converged)
+}
+
+// republishRegistrations refreshes the published generation when tasks or
+// workers were registered after the last publication and no fit is due to
+// pick them up: new registrations sit at the model's priors, so readers
+// should see them without waiting for the next answer-driven fit. The
+// coverage sequences carry over unchanged — a registration republish must
+// not absorb the answer backlog that schedules real fits.
+func (p *fitPipeline) republishRegistrations() {
+	s := p.s
+	if s.published.Load() == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return
+	}
+	cur := s.published.Load()
+	if cur != nil && (len(cur.results) < len(s.tasks) || len(cur.pi) < len(s.workers)) {
+		s.publishLocked(cur.seq, cur.fullSeq, cur.converged)
+	}
+}
+
+// await blocks until the published generation's full fit covers every
+// answer accepted before the call, requesting fits as needed. It returns
+// ErrClosed if the pipeline shuts down first.
+func (p *fitPipeline) await(ctx context.Context) error {
+	target := p.s.answerSeq.Load()
+	fresh := func() bool {
+		pub := p.s.published.Load()
+		if pub == nil {
+			return target == 0
+		}
+		return pub.fullSeq >= target
+	}
+	for !fresh() {
+		ch := p.notifyCh()
+		if fresh() {
+			return ctx.Err()
+		}
+		p.requestFull()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.stop:
+			// The drain fit may still publish; give it one last look.
+			select {
+			case <-p.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if fresh() {
+				return nil
+			}
+			return ErrClosed
+		case <-ch:
+		}
+	}
+	return ctx.Err()
+}
+
+// close shuts the scheduler down, draining any outstanding answers into one
+// final generation. When ctx expires first the in-flight fit is cancelled;
+// the previous generation keeps serving reads.
+func (p *fitPipeline) close(ctx context.Context) error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+		p.cancelFit()
+		<-p.done
+		return ctx.Err()
+	}
+}
+
+// FitPipelineStats is a point-in-time view of the background fit pipeline,
+// the backing state for the poilabel_fit_* metrics and the /healthz fit
+// section.
+type FitPipelineStats struct {
+	// Enabled reports whether WithBackgroundFit was configured.
+	Enabled bool `json:"enabled"`
+	// Generation is the published parameter generation (0 until the engine
+	// is built).
+	Generation uint64 `json:"generation"`
+	// CoveredAnswers is the number of accepted answers the published
+	// generation covers (full fit plus merged delta).
+	CoveredAnswers uint64 `json:"covered_answers"`
+	// FullFitAnswers is the number of answers covered by the generation's
+	// underlying full fit.
+	FullFitAnswers uint64 `json:"full_fit_answers"`
+	// PublishedAt is when the generation was published (zero until then).
+	PublishedAt time.Time `json:"published_at"`
+	// Staleness is how long answers not covered by the published generation
+	// have been waiting: zero when the publication covers everything, else
+	// the age of the publication.
+	Staleness time.Duration `json:"staleness,omitempty"`
+	// InFlight reports whether a fit is running right now.
+	InFlight bool `json:"in_flight"`
+	// QueueDepth counts the in-flight fit (if any) plus the queued re-fit
+	// token (if any): 0 idle, 1 fitting or queued, 2 both.
+	QueueDepth int `json:"queue_depth"`
+	// Fits is the number of completed fit attempts, including abandoned
+	// ones.
+	Fits uint64 `json:"fits"`
+	// Coalesced is the number of fit triggers dropped because a re-fit was
+	// already queued.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// FitStats reports the background pipeline's current state. On a service
+// without WithBackgroundFit it returns a zero value with Enabled false.
+func (s *Service) FitStats() FitPipelineStats {
+	if s.bg == nil {
+		return FitPipelineStats{}
+	}
+	p := s.bg
+	st := FitPipelineStats{
+		Enabled:   true,
+		Fits:      p.fits.Load(),
+		Coalesced: p.coalesced.Load(),
+	}
+	p.mu.Lock()
+	if p.inFlight {
+		st.InFlight = true
+		st.QueueDepth++
+	}
+	p.mu.Unlock()
+	if len(p.kick) > 0 {
+		st.QueueDepth++
+	}
+	seq := s.answerSeq.Load()
+	if pub := s.published.Load(); pub != nil {
+		st.Generation = pub.gen
+		st.CoveredAnswers = pub.seq
+		st.FullFitAnswers = pub.fullSeq
+		st.PublishedAt = pub.at
+		if seq > pub.seq {
+			st.Staleness = time.Since(pub.at)
+		}
+	}
+	return st
+}
+
+// WaitFresh blocks until the service's results reflect, through a full EM
+// fit, every answer accepted before the call — the barrier tests and
+// pre-checkpoint hooks use to quiesce the pipeline. With background fitting
+// it waits on (and requests) background generations; without it, it runs
+// the same synchronous fit Results would.
+func (s *Service) WaitFresh(ctx context.Context) error {
+	if s.bg != nil {
+		return s.bg.await(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil || !s.dirty {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.sinceFull = 0
+	if _, err := s.fitEngineLocked(ctx); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close shuts down the background fit pipeline, folding any outstanding
+// answers into one final published generation. The context bounds the
+// drain: on expiry the in-flight fit is cancelled and the last complete
+// generation keeps serving. Close is idempotent and a no-op on services
+// without background fitting; the service remains usable for reads and
+// submissions afterwards (submissions keep learning incrementally, but no
+// further full fits run).
+func (s *Service) Close(ctx context.Context) error {
+	if s.bg == nil {
+		return nil
+	}
+	return s.bg.close(ctx)
+}

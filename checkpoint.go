@@ -65,6 +65,24 @@ func (s *Service) Restore(r io.Reader) error {
 	s.workerIdx, s.workerKey, s.workers = fresh.workerIdx, fresh.workerKey, fresh.workers
 	s.pending, s.sinceFull, s.dirty = fresh.pending, fresh.sinceFull, fresh.dirty
 	s.builtTasks, s.builtWorkers = fresh.builtTasks, fresh.builtWorkers
+	// Background-fit bookkeeping: invalidate any fit captured before the
+	// restore, seed the sequence/generation counters from the snapshot, and
+	// publish the restored parameters so lock-free readers switch over with
+	// the rest of the state. sinceFull answers arrived after the snapshot's
+	// last full fit, so the restored publication's full-fit coverage stops
+	// short of them — WaitFresh after a dirty restore runs a real fit.
+	s.restoreEpoch++
+	s.delta, s.deltaActive = nil, false
+	s.baseGen = fresh.baseGen
+	s.answerSeq.Store(fresh.answerSeq.Load())
+	if s.bg != nil && s.eng != nil {
+		seq := s.answerSeq.Load()
+		full := uint64(0)
+		if uint64(s.sinceFull) <= seq {
+			full = seq - uint64(s.sinceFull)
+		}
+		s.publishLocked(seq, full, !s.dirty)
+	}
 	return nil
 }
 
@@ -107,6 +125,11 @@ func (s *Service) captureLocked() *snapshot.Snapshot {
 	}
 	for i := range s.workers {
 		sv.Workers[i] = snapshot.WorkerState(s.workerKey[i], s.workers[i])
+	}
+	if pub := s.published.Load(); pub != nil {
+		sv.Generation = pub.gen
+	} else {
+		sv.Generation = s.baseGen
 	}
 	for pk := range s.pending {
 		sv.Pending = append(sv.Pending, snapshot.Pair{Worker: int(pk.w), Task: int(pk.t)})
@@ -239,5 +262,9 @@ func (s *Service) applySnapshot(sv *snapshot.ServiceState) error {
 	}
 	s.sinceFull = sv.SinceFull
 	s.dirty = sv.Dirty
+	s.baseGen = sv.Generation
+	if s.eng != nil {
+		s.answerSeq.Store(uint64(s.eng.TotalAnswers()))
+	}
 	return nil
 }

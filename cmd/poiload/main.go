@@ -9,8 +9,10 @@
 //	        [-scenario steady|surge|rolling-restart] [-seed N]
 //	        [-world-tasks N] [-world-workers N] [-json] [-append FILE -label L]
 //	        [-serve-bin PATH [-engine E] [-shards K] [-cities N]
-//	         [-budget N] [-fullem N] [-snap PATH]]
+//	         [-budget N] [-fullem N] [-bg-fit D] [-bg-min-answers N]
+//	         [-snap PATH]]
 //	        [-max-error-rate F]
+//	        [-slo-baseline FILE [-slo-run LABEL] [-slo-tol F]]
 //
 // Two modes:
 //
@@ -34,6 +36,15 @@
 // With -json the run's report is printed as JSON; -append FILE -label L
 // inserts it into FILE's runs map instead (creating the file if needed),
 // which is how BENCH_serve.json is assembled.
+//
+// With -slo-baseline the finished run is additionally gated against a
+// committed baseline file (the BENCH_serve.json shape): per-endpoint p99
+// latency may not regress by more than -slo-tol (fractional, default 0.25)
+// relative to the baseline run named by -slo-run. Like poibench -checkperf,
+// the comparison only means something in a matching environment — a baseline
+// whose OS, arch, CPU count, or seed differs from this run is reported and
+// skipped rather than compared, so the gate bites on the reference machine
+// and degrades to a smoke run everywhere else.
 package main
 
 import (
@@ -77,6 +88,9 @@ func run() error {
 	appendFile := flag.String("append", "", "insert the report into this JSON baseline file")
 	label := flag.String("label", "", "run label for -append (default scenario-model-engine)")
 	maxErrRate := flag.Float64("max-error-rate", 0.01, "fail when the error rate exceeds this")
+	sloBaseline := flag.String("slo-baseline", "", "gate p99 latency against this committed baseline file (BENCH_serve.json shape)")
+	sloRun := flag.String("slo-run", "", "baseline run label to compare against (default scenario-model-engine)")
+	sloTol := flag.Float64("slo-tol", 0.25, "allowed fractional p99 regression vs the baseline run")
 
 	serveBin := flag.String("serve-bin", "", "poiserve binary: spawn and own the server (required for rolling-restart)")
 	engine := flag.String("engine", "single", "spawned server engine: single, sharded, or federated")
@@ -84,6 +98,8 @@ func run() error {
 	cities := flag.Int("cities", 0, "spawned server city count")
 	budget := flag.Int("budget", -1, "spawned server assignment budget")
 	fullEM := flag.Int("fullem", 100, "spawned server full-fit interval")
+	bgFit := flag.Duration("bg-fit", 0, "spawned server background fit cadence (0 = synchronous fits)")
+	bgMin := flag.Int("bg-min-answers", 256, "spawned server eager background fit threshold (needs -bg-fit)")
 	snap := flag.String("snap", "", "spawned server checkpoint path (default: temp file)")
 	flag.Parse()
 
@@ -132,25 +148,32 @@ func run() error {
 			*snap = f.Name()
 			defer os.Remove(*snap)
 		}
+		// The background-fit flags ride along on both legs of a restart so a
+		// rolling-restart run exercises the drain → final checkpoint →
+		// restore path with the pipeline enabled.
+		var bgArgs []string
+		if *bgFit > 0 {
+			bgArgs = []string{"-bg-fit", bgFit.String(), "-bg-min-answers", fmt.Sprint(*bgMin)}
+		}
 		proc = &serverProcess{
 			bin:     *serveBin,
 			addr:    *addr,
 			baseURL: baseURL,
-			startArgs: []string{
+			startArgs: append([]string{
 				"-addr", *addr, "-engine", *engine,
 				"-shards", fmt.Sprint(*shards), "-cities", fmt.Sprint(*cities),
 				"-budget", fmt.Sprint(*budget), "-fullem", fmt.Sprint(*fullEM),
 				"-demo", fmt.Sprint(*worldWorkers), "-demo-tasks", fmt.Sprint(*worldTasks),
 				"-seed", fmt.Sprint(*seed),
 				"-checkpoint", *snap, "-shutdown-timeout", "15s",
-			},
-			restoreArgs: []string{
+			}, bgArgs...),
+			restoreArgs: append([]string{
 				"-addr", *addr, "-engine", *engine,
 				"-shards", fmt.Sprint(*shards), "-cities", fmt.Sprint(*cities),
 				"-fullem", fmt.Sprint(*fullEM), "-seed", fmt.Sprint(*seed),
 				"-restore", *snap,
 				"-checkpoint", *snap, "-shutdown-timeout", "15s",
-			},
+			}, bgArgs...),
 		}
 		if err := proc.start(false); err != nil {
 			return err
@@ -191,7 +214,72 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "poiload: appended run %q to %s\n", l, *appendFile)
 	}
 
-	return assess(rep, scenario, *maxErrRate, proc != nil)
+	if err := assess(rep, scenario, *maxErrRate, proc != nil); err != nil {
+		return err
+	}
+	if *sloBaseline != "" {
+		return checkSLO(*sloBaseline, *sloRun, *sloTol, *seed, rep)
+	}
+	return nil
+}
+
+// checkSLO is the latency-regression gate: it compares the finished run's
+// per-endpoint p99 against the run labelled sloRun (default
+// scenario-model-engine) in the committed baseline file and fails when any
+// endpoint regressed by more than tol. Mirroring poibench -checkperf,
+// wall-clock numbers only mean something within a matching environment, so a
+// baseline recorded under a different OS, arch, CPU count, or seed is
+// reported and skipped — the load still ran, the comparison just cannot
+// gate.
+func checkSLO(path, sloRun string, tol float64, seed int64, rep *loadgen.Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("slo baseline: %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("slo baseline %s unreadable: %w", path, err)
+	}
+	if b.GOOS != runtime.GOOS || b.GOARCH != runtime.GOARCH || b.NumCPU != runtime.NumCPU() || b.Seed != seed {
+		fmt.Fprintf(os.Stderr, "poiload: slo baseline env %s/%s %dcpu seed %d != this run %s/%s %dcpu seed %d — load ran, comparison skipped\n",
+			b.GOOS, b.GOARCH, b.NumCPU, b.Seed,
+			runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), seed)
+		return nil
+	}
+	if sloRun == "" {
+		sloRun = fmt.Sprintf("%s-%s-%s", rep.Scenario, rep.Model, rep.Engine)
+	}
+	base, ok := b.Runs[sloRun]
+	if !ok {
+		return fmt.Errorf("slo baseline %s has no run %q", path, sloRun)
+	}
+	var failures []string
+	names := make([]string, 0, len(base.Endpoints))
+	for name := range base.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bs := base.Endpoints[name]
+		st, ok := rep.Endpoints[name]
+		if !ok || bs.Count == 0 || bs.P99Ms <= 0 {
+			continue
+		}
+		ratio := st.P99Ms / bs.P99Ms
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s p99 %.2fms vs baseline %.2fms (%+.0f%%, tolerance %+.0f%%)",
+				name, st.P99Ms, bs.P99Ms, 100*(ratio-1), 100*tol))
+		}
+		fmt.Fprintf(os.Stderr, "poiload: slo %-4s %s p99 %.2fms vs baseline %.2fms (%+.0f%%)\n",
+			verdict, name, st.P99Ms, bs.P99Ms, 100*(ratio-1))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("latency slo regression vs %s run %q:\n  %s", path, sloRun, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // assess turns report violations into a non-zero exit. Lost answers and

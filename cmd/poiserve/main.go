@@ -6,9 +6,19 @@
 //	poiserve [-addr :8080] [-engine single|sharded|federated]
 //	         [-shards K] [-cities N] [-budget N] [-h N]
 //	         [-assigner accopt|marginal|sf|entropy|random]
-//	         [-fullem N] [-demo N] [-demo-tasks N] [-seed N]
+//	         [-fullem N] [-bg-fit D [-bg-min-answers N]]
+//	         [-demo N] [-demo-tasks N] [-seed N]
 //	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
 //	         [-shutdown-timeout D]
+//
+// With -bg-fit D full EM fits leave the request path entirely: a background
+// pipeline fits over a copy-on-write snapshot at most every D (eagerly once
+// -bg-min-answers have queued) and swaps the parameters in atomically, so
+// /results and /assignments latency is bounded by the hardware, not by EM
+// convergence. /results responses carry X-Poilabel-Generation and
+// X-Poilabel-Staleness-Seconds headers, and /healthz grows a "fit" section.
+// On shutdown the pipeline drains — outstanding answers are folded into one
+// final generation — before the final checkpoint is written.
 //
 // The server starts empty: register tasks and workers over HTTP, stream
 // answers, request assignments, and read results (see internal/serve for
@@ -63,7 +73,9 @@ func main() {
 	budget := flag.Int("budget", -1, "total assignment budget (-1 = unlimited)")
 	h := flag.Int("h", 2, "tasks handed to each requesting worker")
 	assigner := flag.String("assigner", "accopt", "single-engine assigner: accopt, marginal, sf, entropy, or random")
-	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only)")
+	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only; ignored with -bg-fit)")
+	bgFit := flag.Duration("bg-fit", 0, "background fit cadence; fits run off the request path over a snapshot (0 = synchronous fits)")
+	bgMin := flag.Int("bg-min-answers", 256, "answers that trigger an eager background fit before the cadence tick (needs -bg-fit)")
 	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
 	demoTasks := flag.Int("demo-tasks", 0, "demo world task count (0 = the 200-POI Beijing dataset; needs -demo)")
 	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
@@ -73,14 +85,14 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGTERM/SIGINT (0 = wait indefinitely)")
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *demo, *demoTasks, *seed,
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *demo, *demoTasks, *seed,
 		*ckpt, *ckptEvery, *restore, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM, demo, demoTasks int, seed int64,
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin int, demo, demoTasks int, seed int64,
 	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration) error {
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
@@ -89,6 +101,9 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 		poilabel.WithSeed(seed),
 		poilabel.WithShards(shards),
 		poilabel.WithCities(cities),
+	}
+	if bgFit > 0 {
+		opts = append(opts, poilabel.WithBackgroundFit(bgFit, bgMin))
 	}
 	switch engine {
 	case "single":
@@ -158,7 +173,7 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 	serveOpts = append(serveOpts, serve.WithMetrics(serve.NewMetrics(metrics.NewRegistry(), svc)))
 
 	log.Printf("poiserve listening on %s (engine %s, budget %d, h %d)", addr, engine, budget, h)
-	err = serve.ListenAndServe(ctx, addr, serve.NewHandler(svc, serveOpts...), shutdownTimeout, ck)
+	err = serve.ListenAndServe(ctx, addr, serve.NewHandler(svc, serveOpts...), shutdownTimeout, ck, svc.Close)
 	if err == nil {
 		log.Printf("poiserve: drained and stopped")
 	}

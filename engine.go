@@ -82,6 +82,23 @@ type Engine interface {
 	DistanceSensitivity(w WorkerID) []float64
 	// TotalAnswers returns the number of answers observed so far.
 	TotalAnswers() int
+	// Publish returns a self-contained copy of the engine's read state —
+	// the dense result plus per-worker quality and sensitivity estimates.
+	// Nothing in it aliases the engine, so the background-fit pipeline can
+	// hand it to lock-free readers while the engine keeps mutating.
+	Publish() *PublishedParams
+}
+
+// PublishedParams is an immutable copy of an engine's read state, produced
+// by Engine.Publish and published to lock-free readers through an atomic
+// pointer swap. Once published it must never be mutated.
+type PublishedParams struct {
+	// Result is the dense inference over all tasks known at publish time.
+	Result *Result
+	// PI holds each worker's estimated quality P(i_w = 1), dense order.
+	PI []float64
+	// PDW holds each worker's distance-sensitivity multinomial, dense order.
+	PDW [][]float64
 }
 
 // newAssigner builds the configured assignment strategy. Every assigner in
@@ -159,6 +176,11 @@ func (e *singleEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return append([]float64(nil), e.m.Params().PDW[w]...)
 }
 
+func (e *singleEngine) Publish() *PublishedParams {
+	res, pi, pdw := e.m.Publish()
+	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
+}
+
 // Model exposes the underlying inference model (Framework compatibility and
 // advanced inspection).
 func (e *singleEngine) Model() *core.Model { return e.m }
@@ -203,6 +225,11 @@ func (e *shardedEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return e.sh.DistanceSensitivity(w)
 }
 
+func (e *shardedEngine) Publish() *PublishedParams {
+	res, pi, pdw := e.sh.Publish()
+	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
+}
+
 // federatedEngine backs a Service with per-city sharded instances behind the
 // federation router.
 type federatedEngine struct {
@@ -238,4 +265,9 @@ func (e *federatedEngine) TotalAnswers() int                { return e.fed.Total
 func (e *federatedEngine) WorkerQuality(w WorkerID) float64 { return e.fed.WorkerQuality(w) }
 func (e *federatedEngine) DistanceSensitivity(w WorkerID) []float64 {
 	return e.fed.DistanceSensitivity(w)
+}
+
+func (e *federatedEngine) Publish() *PublishedParams {
+	res, pi, pdw := e.fed.Publish()
+	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
 }

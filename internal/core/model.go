@@ -355,6 +355,21 @@ func (m *Model) AgreementProb(w model.WorkerID, t model.TaskID) float64 {
 	return 0.5*(1-pi) + pi*(m.cfg.Alpha*dq+(1-m.cfg.Alpha)*iq)
 }
 
+// Publish returns a self-contained copy of the model's read state: the
+// materialized inference result plus per-worker quality and
+// distance-sensitivity estimates. Nothing in the returned values aliases the
+// model, so a serving layer can hand them to lock-free readers while the
+// model keeps fitting — this is the single-model end of the background-fit
+// pipeline's atomic parameter swap.
+func (m *Model) Publish() (*model.Result, []float64, [][]float64) {
+	pi := append([]float64(nil), m.params.PI...)
+	pdw := make([][]float64, len(m.params.PDW))
+	for w := range m.params.PDW {
+		pdw[w] = append([]float64(nil), m.params.PDW[w]...)
+	}
+	return m.Result(), pi, pdw
+}
+
 // Result materializes the current inference: label k of task t is inferred
 // correct iff P(z_{t,k} = 1) >= 0.5.
 func (m *Model) Result() *model.Result {

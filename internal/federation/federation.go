@@ -498,6 +498,20 @@ func (f *Federation) Result() *model.Result {
 	return res
 }
 
+// Publish returns a self-contained copy of the federation's read state: the
+// federation-wide result plus the merged per-worker quality and sensitivity
+// estimates. Nothing in the returned values aliases the federation, so a
+// serving layer can hand them to lock-free readers while the federation
+// keeps working.
+func (f *Federation) Publish() (*model.Result, []float64, [][]float64) {
+	pi := append([]float64(nil), f.pi...)
+	pdw := make([][]float64, len(f.pdw))
+	for w := range f.pdw {
+		pdw[w] = append([]float64(nil), f.pdw[w]...)
+	}
+	return f.Result(), pi, pdw
+}
+
 // WorkerQuality returns the merged estimate of P(i_w = 1): for a cross-city
 // worker, the answer-count-weighted average over the cities they answered in.
 // Valid after Fit.

@@ -56,12 +56,13 @@ type family struct {
 	name string
 	help string
 
-	counter    *Counter
-	counterVec *CounterVec
-	gauge      *Gauge
-	gaugeFunc  func() float64
-	hist       *Histogram
-	histVec    *HistogramVec
+	counter     *Counter
+	counterVec  *CounterVec
+	counterFunc func() uint64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+	histVec     *HistogramVec
 }
 
 func (r *Registry) register(name, help string, build func(*family)) {
@@ -92,6 +93,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	v := newCounterVec(labels)
 	r.register(name, help, func(f *family) { f.counterVec = v })
 	return v
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — for monotonic counts already maintained elsewhere (the background
+// fit pipeline's totals). fn must be safe to call concurrently with the
+// instrumented code and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, func(f *family) { f.counterFunc = fn })
 }
 
 // Gauge registers and returns a settable gauge.
@@ -282,6 +291,9 @@ func (f *family) render(b *strings.Builder) {
 		for _, c := range f.counterVec.snapshot() {
 			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(f.counterVec.labels, c.values, "", ""), c.child.Value())
 		}
+	case f.counterFunc != nil:
+		writeHeader("counter")
+		fmt.Fprintf(b, "%s %d\n", f.name, f.counterFunc())
 	case f.gauge != nil:
 		writeHeader("gauge")
 		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))

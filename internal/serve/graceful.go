@@ -12,15 +12,18 @@ import (
 
 // Serve runs handler on ln until ctx is cancelled, then shuts down
 // gracefully: the listener closes, in-flight requests drain for up to
-// shutdownTimeout (zero or negative waits indefinitely), and, when ck is
-// non-nil, a final checkpoint is written after the drain. Draining before
+// shutdownTimeout (zero or negative waits indefinitely), any preCheckpoint
+// hooks run (poiserve drains the background fit pipeline here), and, when ck
+// is non-nil, a final checkpoint is written after the drain. Draining before
 // checkpointing is the ordering the zero-lost-answers guarantee rests on —
 // every request the server ever acknowledged is in the final snapshot, so a
-// restart with -restore resumes as if the process had never died.
+// restart with -restore resumes as if the process had never died. Hook
+// errors are logged, not fatal: a failed pipeline drain still leaves a
+// consistent (if staler) state for the checkpoint to capture.
 //
 // Serve returns nil after a clean shutdown, the listener error if serving
 // failed, and the drain or checkpoint error otherwise. It always closes ln.
-func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer) error {
+func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer, preCheckpoint ...func(context.Context) error) error {
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -48,6 +51,17 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	for _, hook := range preCheckpoint {
+		hookCtx := context.Background()
+		if shutdownTimeout > 0 {
+			var cancel context.CancelFunc
+			hookCtx, cancel = context.WithTimeout(hookCtx, shutdownTimeout)
+			defer cancel()
+		}
+		if err := hook(hookCtx); err != nil {
+			log.Printf("serve: pre-checkpoint hook: %v", err)
+		}
+	}
 	if ck != nil {
 		if n, err := ck.Checkpoint(); err != nil {
 			return fmt.Errorf("serve: final checkpoint: %w", err)
@@ -62,10 +76,10 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 }
 
 // ListenAndServe is Serve over a fresh TCP listener on addr.
-func ListenAndServe(ctx context.Context, addr string, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer) error {
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, shutdownTimeout time.Duration, ck *Checkpointer, preCheckpoint ...func(context.Context) error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return Serve(ctx, ln, handler, shutdownTimeout, ck)
+	return Serve(ctx, ln, handler, shutdownTimeout, ck, preCheckpoint...)
 }

@@ -26,6 +26,11 @@ import (
 //	answers_total{kind}                       accepted answers: incremental|full_fit
 //	assign_dedup_hits_total                   pending pairs skipped while planning
 //	tasks, workers, pending_pairs, answers_observed, budget_remaining  gauges
+//
+// Plus the background fit pipeline's families under the poilabel_ prefix
+// (zeros on a synchronous service): fit_queue_depth,
+// param_staleness_seconds, param_generation gauges and fit_coalesced_total,
+// fits_total counters, all read from Service.FitStats at scrape time.
 type Metrics struct {
 	reg *metrics.Registry
 
@@ -67,6 +72,24 @@ func NewMetrics(reg *metrics.Registry, svc *poilabel.Service) *Metrics {
 		func() float64 { return float64(svc.AnswerCount()) })
 	reg.GaugeFunc("poiserve_budget_remaining", "Assignment budget remaining (-1 = unlimited).",
 		func() float64 { return float64(svc.RemainingBudget()) })
+	// Background fit pipeline (poilabel_ prefix: these describe the library's
+	// fit scheduler, not the HTTP layer). All read FitStats at scrape time
+	// and report zeros on a synchronous service.
+	reg.GaugeFunc("poilabel_fit_queue_depth",
+		"Background fits in flight plus queued re-fit tokens (0 when idle or synchronous).",
+		func() float64 { return float64(svc.FitStats().QueueDepth) })
+	reg.GaugeFunc("poilabel_param_staleness_seconds",
+		"Age of the published parameter generation while answers it does not cover are waiting (0 when current).",
+		func() float64 { return svc.FitStats().Staleness.Seconds() })
+	reg.GaugeFunc("poilabel_param_generation",
+		"Published parameter generation counter.",
+		func() float64 { return float64(svc.FitStats().Generation) })
+	reg.CounterFunc("poilabel_fit_coalesced_total",
+		"Background fit triggers dropped because a re-fit was already queued.",
+		func() uint64 { return svc.FitStats().Coalesced })
+	reg.CounterFunc("poilabel_fits_total",
+		"Background fit attempts completed (including abandoned ones).",
+		func() uint64 { return svc.FitStats().Fits })
 	svc.SetObserver(m)
 	return m
 }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -326,6 +327,14 @@ type resultsResponse struct {
 }
 
 func (h *Handler) getResults(w http.ResponseWriter, r *http.Request) {
+	// With background fitting the response is a published generation, not a
+	// freshly fitted snapshot; stamp which generation and how stale it is so
+	// clients can reason about the staleness contract.
+	if st := h.svc.FitStats(); st.Enabled {
+		w.Header().Set("X-Poilabel-Generation", strconv.FormatUint(st.Generation, 10))
+		w.Header().Set("X-Poilabel-Staleness-Seconds",
+			strconv.FormatFloat(st.Staleness.Seconds(), 'f', 6, 64))
+	}
 	results, err := h.svc.Results(r.Context())
 	if err != nil {
 		writeServiceError(w, err)
@@ -357,10 +366,25 @@ type healthResponse struct {
 	Answers         int `json:"answers"`
 	Pending         int `json:"pending"`
 	RemainingBudget int `json:"remaining_budget"`
+	// Fit is the background fit pipeline's state, present only when the
+	// service runs with WithBackgroundFit (so synchronous deployments keep
+	// their exact health shape).
+	Fit *healthFit `json:"fit,omitempty"`
+}
+
+// healthFit mirrors poilabel.FitPipelineStats for the health endpoint.
+type healthFit struct {
+	Generation       uint64  `json:"generation"`
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	QueueDepth       int     `json:"queue_depth"`
+	InFlight         bool    `json:"in_flight"`
+	Fits             uint64  `json:"fits"`
+	Coalesced        uint64  `json:"coalesced"`
+	CoveredAnswers   uint64  `json:"covered_answers"`
 }
 
 func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		OK:              true,
 		Engine:          h.svc.EngineKind().String(),
 		Tasks:           h.svc.NumTasks(),
@@ -368,7 +392,19 @@ func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
 		Answers:         h.svc.AnswerCount(),
 		Pending:         h.svc.PendingCount(),
 		RemainingBudget: h.svc.RemainingBudget(),
-	})
+	}
+	if st := h.svc.FitStats(); st.Enabled {
+		resp.Fit = &healthFit{
+			Generation:       st.Generation,
+			StalenessSeconds: st.Staleness.Seconds(),
+			QueueDepth:       st.QueueDepth,
+			InFlight:         st.InFlight,
+			Fits:             st.Fits,
+			Coalesced:        st.Coalesced,
+			CoveredAnswers:   st.CoveredAnswers,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) getMetrics(w http.ResponseWriter, r *http.Request) {

@@ -434,6 +434,19 @@ func (s *Sharded) Result() *model.Result {
 	return res
 }
 
+// Publish returns a self-contained copy of the fitter's read state: the
+// merged city-wide result plus the merged per-worker quality and sensitivity
+// estimates. Nothing in the returned values aliases the fitter, so a serving
+// layer can hand them to lock-free readers while the fitter keeps working.
+func (s *Sharded) Publish() (*model.Result, []float64, [][]float64) {
+	pi := append([]float64(nil), s.pi...)
+	pdw := make([][]float64, len(s.pdw))
+	for w := range s.pdw {
+		pdw[w] = append([]float64(nil), s.pdw[w]...)
+	}
+	return s.Result(), pi, pdw
+}
+
 // WorkerQuality returns the merged estimate of P(i_w = 1) — for a roaming
 // worker, the answer-count-weighted average over the shards they answered
 // in. Valid after Fit.

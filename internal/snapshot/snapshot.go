@@ -99,6 +99,11 @@ type ServiceState struct {
 	// Pending are the handed-out (worker, task) pairs still awaiting an
 	// answer, sorted by worker then task for deterministic encoding.
 	Pending []Pair `json:"pending,omitempty"`
+	// Generation is the parameter generation published when the snapshot
+	// was taken (background-fit services only; zero otherwise). Restore
+	// seeds the restored service's generation counter past it so
+	// generations stay monotonic across a restart.
+	Generation uint64 `json:"generation,omitempty"`
 
 	// Exactly one of the following is set when EngineBuilt, matching Engine.
 	Single    *ModelState      `json:"single,omitempty"`

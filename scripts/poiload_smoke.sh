@@ -9,6 +9,14 @@
 #   2. rolling-restart: mid-run POST /checkpoint + SIGTERM (graceful drain,
 #      final checkpoint) + restart with -restore; poiload exits non-zero if
 #      a single acknowledged answer was lost or the error rate exceeds 1%.
+#   3. steady + background fits + SLO gate: the server runs with -bg-fit so
+#      full EM never blocks a request, and the run's per-endpoint p99 is
+#      gated against the committed BENCH_serve.json run "smoke-slo-single"
+#      (fail on >25% regression). Like poibench -checkperf, the comparison
+#      skips itself on hosts whose environment differs from the baseline's.
+#   4. rolling-restart + background fits: the drain must fold outstanding
+#      answers into a final generation before the final checkpoint, so the
+#      zero-lost-acked-answers assertion holds with the pipeline enabled.
 #
 # CI's load-smoke job runs this; it also works locally:
 #   scripts/poiload_smoke.sh [port]
@@ -31,5 +39,13 @@ echo "== load-smoke: steady =="
 
 echo "== load-smoke: rolling-restart =="
 "$BIN_DIR/poiload" "${COMMON[@]}" -scenario rolling-restart -max-error-rate 0.01
+
+echo "== load-smoke: steady + background fits + SLO gate =="
+"$BIN_DIR/poiload" "${COMMON[@]}" -scenario steady -bg-fit 250ms -bg-min-answers 64 \
+        -slo-baseline BENCH_serve.json -slo-run smoke-slo-single -slo-tol 0.25
+
+echo "== load-smoke: rolling-restart + background fits =="
+"$BIN_DIR/poiload" "${COMMON[@]}" -scenario rolling-restart -max-error-rate 0.01 \
+        -bg-fit 250ms -bg-min-answers 64
 
 echo "LOAD SMOKE OK"

@@ -90,6 +90,8 @@ type serviceConfig struct {
 	seed           int64
 	model          core.Config
 	observer       Observer
+	bgInterval     time.Duration // background fit cadence; 0 = synchronous fits
+	bgMinAnswers   int           // eager background fit threshold
 }
 
 // ServiceOption configures a Service. Options follow the functional-options
@@ -282,6 +284,22 @@ type Service struct {
 	// registrations.
 	builtTasks   int
 	builtWorkers int
+
+	// Background-fit pipeline state (WithBackgroundFit). published is the
+	// last parameter generation, swapped atomically so readers never take
+	// the service lock; answerSeq counts accepted answers (written under
+	// the write lock, read lock-free by the scheduler); delta records
+	// answers accepted while a fit is in flight, for the incremental merge
+	// into the next generation; restoreEpoch invalidates in-flight fits
+	// that raced a Restore; baseGen seeds the generation counter from a
+	// restored checkpoint so generations stay monotonic across restarts.
+	bg           *fitPipeline
+	published    atomic.Pointer[paramGen]
+	answerSeq    atomic.Uint64
+	delta        []Answer
+	deltaActive  bool
+	restoreEpoch uint64
+	baseGen      uint64
 }
 
 // NewService creates a Service. With no options it serves the single engine
@@ -305,13 +323,18 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 	if cfg.model.FuncSet == nil {
 		cfg.model = core.DefaultConfig()
 	}
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		taskIdx:   make(map[string]TaskID),
 		workerIdx: make(map[string]WorkerID),
 		pending:   make(map[pairKey]bool),
 		dirty:     true,
-	}, nil
+	}
+	if cfg.bgInterval > 0 {
+		s.bg = newFitPipeline(s, cfg.bgInterval, cfg.bgMinAnswers)
+		go s.bg.run()
+	}
+	return s, nil
 }
 
 // AddTask registers a labelling task under a stable string ID. Tasks can be
@@ -449,7 +472,49 @@ func (s *Service) ensureEngine() error {
 	s.eng = eng
 	s.builtTasks = len(s.tasks)
 	s.builtWorkers = len(s.workers)
+	if s.bg != nil {
+		// Publish the prior-only generation so lock-free readers have
+		// something to serve before the first background fit lands.
+		seq := s.answerSeq.Load()
+		s.publishLocked(seq, seq, false)
+	}
 	return nil
+}
+
+// publishLocked snapshots the engine's read state into a fresh parameter
+// generation and swaps it in for lock-free readers. seq is the answer
+// sequence the generation covers for scheduling purposes (full fit plus
+// merged delta); fullSeq is the part covered by the underlying full fit.
+// Callers must hold the write lock.
+func (s *Service) publishLocked(seq, fullSeq uint64, converged bool) {
+	pub := s.eng.Publish()
+	results := make([]TaskResult, len(s.tasks))
+	for t := range s.tasks {
+		results[t] = TaskResult{
+			Task:     s.taskKeys[t],
+			Labels:   s.tasks[t].Labels,
+			Prob:     pub.Result.Prob[t],
+			Inferred: pub.Result.Inferred[t],
+		}
+	}
+	gen := s.baseGen + 1
+	if prev := s.published.Load(); prev != nil {
+		gen = prev.gen + 1
+	}
+	s.published.Store(&paramGen{
+		gen:       gen,
+		seq:       seq,
+		fullSeq:   fullSeq,
+		at:        time.Now(),
+		converged: converged,
+		results:   results,
+		dense:     pub.Result,
+		pi:        pub.PI,
+		pdw:       pub.PDW,
+	})
+	if s.bg != nil {
+		s.bg.broadcast()
+	}
 }
 
 // lookup resolves stable IDs to dense indices. Callers must hold a lock.
@@ -474,7 +539,8 @@ func (s *Service) lookupTask(id string) (TaskID, error) {
 // handed out by RequestTasks — are learned from exactly the same way and
 // never touch the budget. Every FullEMInterval-th submission triggers a full
 // fit; in between, the single engine applies incremental EM and the batch
-// engines only log.
+// engines only log. With background fitting (WithBackgroundFit) submissions
+// never fit inline: the pipeline schedules full fits off the request path.
 func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -493,6 +559,26 @@ func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 		return err
 	}
 	a := Answer{Worker: w, Task: t, Selected: append([]bool(nil), selected...)}
+	if s.bg != nil {
+		// Background mode: never fit inline. The engine's cheap per-answer
+		// update keeps the live parameters warm; the scheduler decides when
+		// the next full fit folds everything into a published generation.
+		if err := s.eng.Learn(a); err != nil {
+			return err
+		}
+		delete(s.pending, pairKey{w, t})
+		s.sinceFull++
+		s.dirty = true
+		s.answerSeq.Add(1)
+		if s.deltaActive {
+			s.delta = append(s.delta, a)
+		}
+		s.observeAnswer(false)
+		if s.bg.backlog() >= uint64(s.cfg.bgMinAnswers) {
+			s.bg.kickNow()
+		}
+		return nil
+	}
 	full := s.cfg.fullEMInterval > 0 && s.sinceFull+1 >= s.cfg.fullEMInterval
 	if full {
 		if err := s.eng.Observe(a); err != nil {
@@ -600,8 +686,19 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 
 // Fit forces a full fit of the engine and reports whether it converged. The
 // context is honored between EM iterations; on cancellation the engine keeps
-// the last completed iteration's estimates.
+// the last completed iteration's estimates. With background fitting the fit
+// runs on the pipeline: Fit requests a generation covering every answer
+// accepted so far, waits for it, and reports its convergence.
 func (s *Service) Fit(ctx context.Context) (converged bool, err error) {
+	if s.bg != nil {
+		if _, err := s.publishedGen(ctx); err != nil {
+			return false, err
+		}
+		if err := s.bg.await(ctx); err != nil {
+			return false, err
+		}
+		return s.published.Load().converged, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ensureEngine(); err != nil {
@@ -615,9 +712,41 @@ func (s *Service) Fit(ctx context.Context) (converged bool, err error) {
 	return converged, err
 }
 
-// Results runs a full fit (making the snapshot self-consistent) and returns
-// the current inference for every registered task, keyed by stable IDs.
+// publishedGen serves the last published parameter generation without taking
+// the service lock, building the engine (which publishes the prior-only
+// generation) on the very first read.
+func (s *Service) publishedGen(ctx context.Context) (*paramGen, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if pub := s.published.Load(); pub != nil {
+		return pub, nil
+	}
+	s.mu.Lock()
+	err := s.ensureEngine()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.published.Load(), nil
+}
+
+// Results returns the current inference for every registered task, keyed by
+// stable IDs. Synchronous mode (the default) runs a full fit first so the
+// snapshot is self-consistent. With background fitting Results is lock-free:
+// it serves the last published generation — never triggering a fit and never
+// waiting on one — so reads see generation N while N+1 is still fitting, and
+// tasks registered since the last publication appear in the next generation.
+// The returned slice is shared and must not be mutated; use WaitFresh first
+// when a fully fitted snapshot matters more than latency.
 func (s *Service) Results(ctx context.Context) ([]TaskResult, error) {
+	if s.bg != nil {
+		pub, err := s.publishedGen(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return pub.results, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res, err := s.fitResult(ctx)
@@ -639,6 +768,21 @@ func (s *Service) Results(ctx context.Context) ([]TaskResult, error) {
 // ResultSet is Results in dense form: row t of the returned Result is the
 // task registered t-th. The returned value is a copy the caller owns.
 func (s *Service) ResultSet(ctx context.Context) (*Result, error) {
+	if s.bg != nil {
+		pub, err := s.publishedGen(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{
+			Prob:     make([][]float64, len(pub.dense.Prob)),
+			Inferred: make([][]bool, len(pub.dense.Inferred)),
+		}
+		for t := range pub.dense.Prob {
+			out.Prob[t] = append([]float64(nil), pub.dense.Prob[t]...)
+			out.Inferred[t] = append([]bool(nil), pub.dense.Inferred[t]...)
+		}
+		return out, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.fitResult(ctx)
@@ -665,14 +809,30 @@ func (s *Service) fitResult(ctx context.Context) (*Result, error) {
 	return s.eng.Result(), nil
 }
 
-// WorkerInfo returns the current estimate of one worker.
+// WorkerInfo returns the current estimate of one worker. With background
+// fitting the estimate comes from the last published generation (the lock is
+// only taken to resolve the ID); a worker registered after that publication
+// reads as the model's priors, exactly what a fresh worker's estimate is.
 func (s *Service) WorkerInfo(id string) (WorkerInfo, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	w, err := s.lookupWorker(id)
 	if err != nil {
+		s.mu.RUnlock()
 		return WorkerInfo{}, err
 	}
+	if s.bg != nil {
+		s.mu.RUnlock()
+		info := WorkerInfo{Worker: id}
+		if pub := s.published.Load(); pub != nil && int(w) < len(pub.pi) {
+			info.Quality = pub.pi[w]
+			info.DistanceSensitivity = append([]float64(nil), pub.pdw[w]...)
+		} else {
+			info.Quality = s.cfg.model.InitPI
+			info.DistanceSensitivity = s.cfg.model.FuncSet.Uniform()
+		}
+		return info, nil
+	}
+	defer s.mu.RUnlock()
 	info := WorkerInfo{Worker: id}
 	if s.eng != nil {
 		info.Quality = s.eng.WorkerQuality(w)
