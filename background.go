@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"poilabel/internal/assign"
 )
 
 // ErrClosed is returned by operations that need the background fit pipeline
@@ -59,6 +61,10 @@ type paramGen struct {
 	dense     *Result
 	pi        []float64
 	pdw       [][]float64
+	// plan is the generation's immutable planning view (nil when the
+	// engine does not support snapshot planning). RequestTasks plans
+	// against it off the write lock and re-validates picks at commit.
+	plan *assign.Snapshot
 }
 
 // fitPipeline is the background fit scheduler: one goroutine that owns the
@@ -145,6 +151,10 @@ func (p *fitPipeline) drainFits() {
 		}
 		first = false
 		p.runOneFit()
+		// The new generation invalidated every candidate list; rebuild the
+		// active cohort's here, off the request path, before requests pay
+		// for builds one by one.
+		p.s.warmPlanCandidates()
 		if p.fitCtx.Err() != nil {
 			return
 		}

@@ -6,7 +6,7 @@
 //	poiserve [-addr :8080] [-engine single|sharded|federated]
 //	         [-shards K] [-cities N] [-budget N] [-h N]
 //	         [-assigner accopt|marginal|sf|entropy|random]
-//	         [-fullem N] [-bg-fit D [-bg-min-answers N]]
+//	         [-fullem N] [-bg-fit D [-bg-min-answers N] [-plan-candidates K]]
 //	         [-demo N] [-demo-tasks N] [-seed N]
 //	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
 //	         [-shutdown-timeout D]
@@ -19,6 +19,12 @@
 // X-Poilabel-Staleness-Seconds headers, and /healthz grows a "fit" section.
 // On shutdown the pipeline drains — outstanding answers are folded into one
 // final generation — before the final checkpoint is written.
+//
+// With -bg-fit on the single engine and the accopt assigner, assignment
+// planning also leaves the write lock: /assignments plans against the last
+// published snapshot (per-worker candidate lists, -plan-candidates K) and
+// only takes the lock for a short optimistic commit. /healthz grows a
+// "plan" section with conflict/retry counters and the last plan latency.
 //
 // The server starts empty: register tasks and workers over HTTP, stream
 // answers, request assignments, and read results (see internal/serve for
@@ -76,6 +82,7 @@ func main() {
 	fullEM := flag.Int("fullem", 100, "answers between automatic full fits (0 = explicit fits only; ignored with -bg-fit)")
 	bgFit := flag.Duration("bg-fit", 0, "background fit cadence; fits run off the request path over a snapshot (0 = synchronous fits)")
 	bgMin := flag.Int("bg-min-answers", 256, "answers that trigger an eager background fit before the cadence tick (needs -bg-fit)")
+	planCand := flag.Int("plan-candidates", 0, "per-worker candidate prefix K for lock-free planning (0 = default, negative = disable caching; needs -bg-fit with the single engine and accopt)")
 	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
 	demoTasks := flag.Int("demo-tasks", 0, "demo world task count (0 = the 200-POI Beijing dataset; needs -demo)")
 	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
@@ -85,14 +92,14 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGTERM/SIGINT (0 = wait indefinitely)")
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *demo, *demoTasks, *seed,
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *planCand, *demo, *demoTasks, *seed,
 		*ckpt, *ckptEvery, *restore, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin int, demo, demoTasks int, seed int64,
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin, planCand int, demo, demoTasks int, seed int64,
 	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration) error {
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
@@ -101,6 +108,7 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 		poilabel.WithSeed(seed),
 		poilabel.WithShards(shards),
 		poilabel.WithCities(cities),
+		poilabel.WithPlanCandidates(planCand),
 	}
 	if bgFit > 0 {
 		opts = append(opts, poilabel.WithBackgroundFit(bgFit, bgMin))

@@ -87,6 +87,20 @@ type Engine interface {
 	// Nothing in it aliases the engine, so the background-fit pipeline can
 	// hand it to lock-free readers while the engine keeps mutating.
 	Publish() *PublishedParams
+	// PlanSnapshot returns an immutable planning view of the engine's
+	// current state (parameters, coverage, distances), or nil when the
+	// engine does not support snapshot planning. A non-nil snapshot lets
+	// the Service run assignment planning off the write lock and validate
+	// picks in a short optimistic commit; see assign.SnapshotModel.
+	PlanSnapshot() *assign.Snapshot
+}
+
+// answerChecker is the narrow view the optimistic commit needs of the live
+// engine: an O(1) answered-pair probe. The single engine implements it; the
+// lock-free planning path is gated on it (and on PlanSnapshot returning
+// non-nil), so batch engines simply keep the locked path.
+type answerChecker interface {
+	HasAnswer(w WorkerID, t TaskID) bool
 }
 
 // PublishedParams is an immutable copy of an engine's read state, produced
@@ -181,6 +195,10 @@ func (e *singleEngine) Publish() *PublishedParams {
 	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
 }
 
+func (e *singleEngine) PlanSnapshot() *assign.Snapshot { return assign.SnapshotModel(e.m) }
+
+func (e *singleEngine) HasAnswer(w WorkerID, t TaskID) bool { return e.m.HasAnswer(w, t) }
+
 // Model exposes the underlying inference model (Framework compatibility and
 // advanced inspection).
 func (e *singleEngine) Model() *core.Model { return e.m }
@@ -230,6 +248,11 @@ func (e *shardedEngine) Publish() *PublishedParams {
 	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
 }
 
+// PlanSnapshot returns nil: sharded planning spans per-shard models behind
+// the coordinator's budget balancing, which has no immutable-view capture
+// yet; RequestTasks keeps the locked path.
+func (e *shardedEngine) PlanSnapshot() *assign.Snapshot { return nil }
+
 // federatedEngine backs a Service with per-city sharded instances behind the
 // federation router.
 type federatedEngine struct {
@@ -271,3 +294,7 @@ func (e *federatedEngine) Publish() *PublishedParams {
 	res, pi, pdw := e.fed.Publish()
 	return &PublishedParams{Result: res, PI: pi, PDW: pdw}
 }
+
+// PlanSnapshot returns nil: federated planning routes through per-city
+// sharded instances; RequestTasks keeps the locked path.
+func (e *federatedEngine) PlanSnapshot() *assign.Snapshot { return nil }

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sync"
 
-	"poilabel/internal/core"
 	"poilabel/internal/model"
 )
 
@@ -31,13 +30,13 @@ type AccOpt struct{}
 func (AccOpt) Name() string { return "AccOpt" }
 
 // Assign implements Assigner.
-func (AccOpt) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return NewPlanner().Assign(m, workers, h)
+func (AccOpt) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return NewPlanner().Assign(v, workers, h)
 }
 
 // AssignExcluding implements ExcludingAssigner.
-func (AccOpt) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
-	return NewPlanner().AssignExcluding(m, workers, h, skip)
+func (AccOpt) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+	return NewPlanner().AssignExcluding(v, workers, h, skip)
 }
 
 // MarginalGreedy is an ablation variant of AccOpt whose improvement matrix
@@ -49,13 +48,13 @@ type MarginalGreedy struct{}
 func (MarginalGreedy) Name() string { return "AccOpt-marginal" }
 
 // Assign implements Assigner.
-func (MarginalGreedy) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return NewMarginalPlanner().Assign(m, workers, h)
+func (MarginalGreedy) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return NewMarginalPlanner().Assign(v, workers, h)
 }
 
 // AssignExcluding implements ExcludingAssigner.
-func (MarginalGreedy) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
-	return NewMarginalPlanner().AssignExcluding(m, workers, h, skip)
+func (MarginalGreedy) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+	return NewMarginalPlanner().AssignExcluding(v, workers, h, skip)
 }
 
 var unavailable = math.Inf(-1)
@@ -140,20 +139,19 @@ func (pl *Planner) grow(nW, nT int) {
 // h tasks with no repeats, and the parallel matrix init requires each
 // worker's rows (including the model's per-worker distance cache) to be
 // owned by exactly one goroutine.
-func (pl *Planner) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return pl.AssignExcluding(m, workers, h, nil)
+func (pl *Planner) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return pl.AssignExcluding(v, workers, h, nil)
 }
 
 // AssignExcluding implements ExcludingAssigner: pairs for which skip returns
 // true are marked unavailable in the improvement matrix, exactly like
 // already-answered pairs, so the greedy spends each worker's h picks on
 // assignable pairs only.
-func (pl *Planner) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+func (pl *Planner) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	workers = pl.dedupWorkers(workers)
-	est := NewEstimator(m)
-	tasks := m.Tasks()
-	answers := m.Answers()
-	params := m.Params()
+	est := NewEstimator(v)
+	tasks := v.Tasks()
+	params := v.Params()
 	nT := len(tasks)
 	nW := len(workers)
 
@@ -174,7 +172,7 @@ func (pl *Planner) AssignExcluding(m *core.Model, workers []model.WorkerID, h in
 			la.Acc1[k] = p
 			la.Acc0[k] = 1 - p
 		}
-		la.N = answers.TaskAnswerCount(model.TaskID(t))
+		la.N = v.TaskAnswerCount(model.TaskID(t))
 	}
 
 	// p[i][t]: agreement probability of workers[i] on task t.
@@ -191,7 +189,7 @@ func (pl *Planner) AssignExcluding(m *core.Model, workers []model.WorkerID, h in
 		prow, drow := pl.p[i], pl.delta[i]
 		for t := 0; t < nT; t++ {
 			tid := model.TaskID(t)
-			if answers.Has(w, tid) || (skip != nil && skip(w, tid)) {
+			if v.HasAnswer(w, tid) || (skip != nil && skip(w, tid)) {
 				drow[t] = unavailable
 				prow[t] = 0
 				continue

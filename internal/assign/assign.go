@@ -6,13 +6,42 @@
 // baselines of the paper's Section V-D live here too, along with an
 // exhaustive optimal assigner used to validate the greedy on small
 // instances (the exact problem is NP-hard, Lemma 3).
+//
+// # Snapshot planning
+//
+// Every assigner reads model state through the View interface, which has two
+// implementations: the live *core.Model (caller must hold its lock for the
+// whole round) and the immutable *Snapshot captured by SnapshotModel (no
+// locking, safe for concurrent planners). Snapshot numbers are bit-identical
+// to the model they were captured from — same cloned parameters, same
+// normalizer arithmetic, same coverage — so a plan computed against a
+// quiesced snapshot equals the plan the live model would produce.
+//
+// A plan computed against a stale snapshot can propose pairs that the live
+// state has since answered or handed out. ExcludingAssigner is the
+// contract that makes optimistic commits work: the committer passes the
+// pairs it must avoid (its own exclusion set plus pairs that conflicted in
+// earlier attempts) as a SkipFunc, and the assigner spends each worker's h
+// picks only on pairs that pass the filter. Because exclusions are monotone
+// — an answered or pending pair never becomes assignable again within a
+// round — retrying a conflicted pick with a grown skip set terminates.
+//
+// # Candidate lists
+//
+// Candidates maintains per-worker top-K candidate prefixes over a Snapshot
+// so the single-worker hot path replans in O(K·log K) instead of O(|T|).
+// Invalidation is by construction rather than by notification: every list
+// is stamped with the snapshot generation it was built from and dropped
+// wholesale when a new generation publishes (parameters changed, so every
+// delta is stale); within a generation, exclusions only shrink the valid
+// prefix, and a list is rebuilt from the full row the moment it cannot
+// prove it still covers the worker's true top h (see PlanWorker).
 package assign
 
 import (
 	"math/rand"
 	"sort"
 
-	"poilabel/internal/core"
 	"poilabel/internal/geo"
 	"poilabel/internal/model"
 )
@@ -31,16 +60,18 @@ func (a Assignment) TotalTasks() int {
 	return n
 }
 
-// Assigner chooses h tasks for each available worker, given the current
-// state of the inference model (answer history, estimated qualities).
-// Implementations must not assign a worker a task they already answered,
-// and must not assign the same task twice to one worker in a round.
+// Assigner chooses h tasks for each available worker, given a View of the
+// inference state (answer history, estimated qualities). Implementations
+// must not assign a worker a task they already answered, and must not
+// assign the same task twice to one worker in a round. The View must stay
+// frozen for the duration of the call: pass the live model only under its
+// lock, or a Snapshot from SnapshotModel.
 type Assigner interface {
 	// Name returns the short display name used in experiment tables.
 	Name() string
 	// Assign returns the chosen tasks. Workers may receive fewer than h
 	// tasks only when fewer than h undone tasks remain for them.
-	Assign(m *core.Model, workers []model.WorkerID, h int) Assignment
+	Assign(v View, workers []model.WorkerID, h int) Assignment
 }
 
 // SkipFunc reports whether a (worker, task) pair must be excluded from an
@@ -53,13 +84,16 @@ type SkipFunc func(model.WorkerID, model.TaskID) bool
 // ExcludingAssigner is implemented by assigners that can exclude arbitrary
 // pairs during planning, so excluded pairs never crowd out a worker's h
 // picks. All assigners in this package implement it; the serving layer uses
-// it for pending-pair dedup.
+// it for pending-pair dedup, and the optimistic-commit path additionally
+// relies on it to retry conflicted picks: each retry re-plans with the
+// conflicted pairs folded into skip, so the worker's h picks land on pairs
+// that were still free at the last look.
 type ExcludingAssigner interface {
 	Assigner
 	// AssignExcluding is Assign with pairs for which skip returns true
 	// treated exactly like already-answered pairs. A nil skip excludes
 	// nothing.
-	AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment
+	AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment
 }
 
 // Random assigns h undone tasks uniformly at random to each worker — the
@@ -72,20 +106,19 @@ type Random struct {
 func (Random) Name() string { return "Random" }
 
 // Assign implements Assigner.
-func (r Random) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return r.AssignExcluding(m, workers, h, nil)
+func (r Random) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return r.AssignExcluding(v, workers, h, nil)
 }
 
 // AssignExcluding implements ExcludingAssigner.
-func (r Random) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+func (r Random) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	out := make(Assignment, len(workers))
-	tasks := m.Tasks()
-	answers := m.Answers()
+	tasks := v.Tasks()
 	for _, w := range workers {
 		var avail []model.TaskID
 		for t := range tasks {
 			tid := model.TaskID(t)
-			if !answers.Has(w, tid) && (skip == nil || !skip(w, tid)) {
+			if !v.HasAnswer(w, tid) && (skip == nil || !skip(w, tid)) {
 				avail = append(avail, tid)
 			}
 		}
@@ -119,20 +152,19 @@ func NewSpatialFirst(tasks []model.Task) *SpatialFirst {
 func (*SpatialFirst) Name() string { return "SF" }
 
 // Assign implements Assigner.
-func (s *SpatialFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return s.AssignExcluding(m, workers, h, nil)
+func (s *SpatialFirst) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return s.AssignExcluding(v, workers, h, nil)
 }
 
 // AssignExcluding implements ExcludingAssigner.
-func (s *SpatialFirst) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+func (s *SpatialFirst) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
 	out := make(Assignment, len(workers))
-	answers := m.Answers()
-	allWorkers := m.Workers()
-	tasks := m.Tasks()
+	allWorkers := v.Workers()
+	tasks := v.Tasks()
 	for _, w := range workers {
 		accept := func(i int) bool {
 			tid := model.TaskID(i)
-			return !answers.Has(w, tid) && (skip == nil || !skip(w, tid))
+			return !v.HasAnswer(w, tid) && (skip == nil || !skip(w, tid))
 		}
 		// Query the nearest candidates from each of the worker's
 		// locations, then merge by true (minimum-over-locations) distance.

@@ -1,0 +1,268 @@
+package assign
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"poilabel/internal/model"
+)
+
+// DefaultCandidatePrefix is the default per-worker candidate prefix length K
+// used by NewCandidates when the caller passes k <= 0.
+const DefaultCandidatePrefix = 64
+
+// Candidates maintains per-worker top-K candidate lists over a published
+// Snapshot so the single-worker planning hot path rescans O(K) entries
+// instead of the full O(|T|) improvement row on every request.
+//
+// The exactness argument: within one snapshot generation, a worker's
+// improvement row is static — parameters, coverage, and distances are all
+// frozen at capture, and the single-worker greedy's successive row maxima
+// are exactly the row sorted by (improvement desc, task asc). Exclusions
+// layered on top (pending pairs, answers since capture, conflicted commits)
+// are monotone: a pair that leaves the assignable set never returns within
+// the generation. So the worker's true top h under any exclusion set is
+// always a sub-sequence of the sorted full row, and a stored K-prefix
+// answers the query exactly whenever h valid entries survive in it.
+// PlanWorker falls back to building the full sorted row the moment the
+// prefix cannot prove completeness.
+//
+// Invalidation is wholesale by generation: lists carry the generation they
+// were built from and are dropped when a different generation is queried
+// (new parameters invalidate every improvement value). There is no
+// per-answer invalidation to get wrong — within a generation answers only
+// grow the exclusion set, which the scan applies on the fly.
+//
+// Candidates is safe for concurrent use; builds for distinct workers run in
+// parallel, queries for one worker serialize on that worker's list.
+type Candidates struct {
+	k int
+
+	mu   sync.Mutex
+	gen  uint64
+	rows map[model.WorkerID]*candRow
+	// last holds the workers that had a list in the previous generation —
+	// the recently active cohort Warm pre-builds for after a publication.
+	last []model.WorkerID
+
+	builds   atomic.Uint64 // full-row builds (first touch per worker per generation)
+	rebuilds atomic.Uint64 // prefix shortfalls that forced an untruncated rebuild
+	hits     atomic.Uint64 // queries answered from an already-built list
+}
+
+// candRow is one worker's candidate list: the row's sorted prefix plus
+// whether it is the whole assignable row (full) or a truncated top-K.
+type candRow struct {
+	mu      sync.Mutex
+	built   bool
+	full    bool
+	entries []candEntry
+}
+
+// candEntry is one assignable task with its improvement value at build time.
+type candEntry struct {
+	t model.TaskID
+	d float64
+}
+
+// NewCandidates returns an empty candidate index keeping prefixes of k
+// entries per worker (k <= 0 means DefaultCandidatePrefix).
+func NewCandidates(k int) *Candidates {
+	if k <= 0 {
+		k = DefaultCandidatePrefix
+	}
+	return &Candidates{k: k, rows: make(map[model.WorkerID]*candRow)}
+}
+
+// Prefix returns the configured prefix length K.
+func (c *Candidates) Prefix() int { return c.k }
+
+// roll advances the index to generation gen, dropping every cached list and
+// remembering which workers had one (the cohort Warm rebuilds eagerly). The
+// caller must hold c.mu. Generations only move forward (publications are
+// serialized and monotonic), so a stale caller is a no-op. An empty
+// generation — publications with no requests in between — keeps the
+// previous cohort rather than forgetting it.
+func (c *Candidates) roll(gen uint64) {
+	if gen <= c.gen {
+		return
+	}
+	if len(c.rows) > 0 {
+		c.last = c.last[:0]
+		for w := range c.rows {
+			c.last = append(c.last, w)
+		}
+	}
+	c.gen = gen
+	c.rows = make(map[model.WorkerID]*candRow, len(c.rows))
+}
+
+// row returns worker w's list for generation gen, dropping every list when
+// the generation moved.
+func (c *Candidates) row(gen uint64, w model.WorkerID) *candRow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roll(gen)
+	r := c.rows[w]
+	if r == nil {
+		r = &candRow{}
+		c.rows[w] = r
+	}
+	return r
+}
+
+// Warm pre-builds generation gen's candidate lists for the workers that had
+// one in the previous generation — the recently active request cohort — so
+// their first plan after a publication scans a warm list instead of paying
+// the O(|T| log K) build on the request path. The serving layer calls it
+// from the background fit goroutine right after publishing a generation;
+// concurrent PlanWorker calls are safe (whoever reaches a row first builds
+// it, the other finds it built).
+func (c *Candidates) Warm(snap *Snapshot, gen uint64) {
+	c.mu.Lock()
+	c.roll(gen)
+	if c.gen != gen {
+		// A newer generation already rolled the index; warming this one
+		// would build stale lists. Its own Warm call is on the way.
+		c.mu.Unlock()
+		return
+	}
+	cohort := append([]model.WorkerID(nil), c.last...)
+	c.mu.Unlock()
+	for _, w := range cohort {
+		if int(w) >= len(snap.Workers()) {
+			continue
+		}
+		c.mu.Lock()
+		if c.gen != gen {
+			c.mu.Unlock()
+			return
+		}
+		r := c.rows[w]
+		if r == nil {
+			r = &candRow{}
+			c.rows[w] = r
+		}
+		c.mu.Unlock()
+		r.mu.Lock()
+		if !r.built {
+			c.build(r, snap, w, c.k)
+			c.builds.Add(1)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// PlanWorker returns the top-h assignable tasks for worker w against snap —
+// byte-identical to Planner.AssignExcluding(snap, []WorkerID{w}, h, skip)[w]
+// — consulting (and lazily building) the worker's candidate list for
+// generation gen. skip carries the caller's live exclusions (pending pairs,
+// answers since capture, conflicted picks); pairs answered in the snapshot
+// are excluded structurally at build. built reports whether this call paid
+// for a row build rather than scanning an existing list.
+//
+// The worker index must be within snap's worker set; gen must identify snap
+// one-to-one (the serving layer uses the published generation counter).
+func (c *Candidates) PlanWorker(snap *Snapshot, gen uint64, w model.WorkerID, h int, skip SkipFunc) (picks []model.TaskID, built bool) {
+	if h <= 0 {
+		return nil, false
+	}
+	r := c.row(gen, w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.built {
+		c.build(r, snap, w, c.k)
+		c.builds.Add(1)
+		built = true
+	}
+	picks = scanRow(r.entries, h, w, skip)
+	if len(picks) < h && !r.full {
+		// The truncated prefix ran dry before h valid entries; only the
+		// full row can prove whether more assignable tasks exist.
+		c.build(r, snap, w, -1)
+		c.rebuilds.Add(1)
+		built = true
+		picks = scanRow(r.entries, h, w, skip)
+	}
+	if !built {
+		c.hits.Add(1)
+	}
+	return picks, built
+}
+
+// scanRow collects the first h entries passing skip, in stored order.
+func scanRow(entries []candEntry, h int, w model.WorkerID, skip SkipFunc) []model.TaskID {
+	picks := make([]model.TaskID, 0, h)
+	for i := range entries {
+		t := entries[i].t
+		if skip != nil && skip(w, t) {
+			continue
+		}
+		picks = append(picks, t)
+		if len(picks) == h {
+			break
+		}
+	}
+	return picks
+}
+
+// build fills r with worker w's assignable row against snap, sorted by
+// (improvement desc, task asc), truncated to k entries (k < 0 keeps the
+// whole row). The improvement values use the same LabelAcc arithmetic, in
+// the same operation order, as the Planner's matrix init, so the sorted
+// order ties out exactly.
+func (c *Candidates) build(r *candRow, snap *Snapshot, w model.WorkerID, k int) {
+	est := NewEstimator(snap)
+	params := snap.Params()
+	nT := len(snap.Tasks())
+	entries := r.entries[:0]
+	la := &LabelAcc{}
+	for t := 0; t < nT; t++ {
+		tid := model.TaskID(t)
+		if snap.HasAnswer(w, tid) {
+			continue
+		}
+		pz := params.PZ[t]
+		la.Acc1 = append(la.Acc1[:0], pz...)
+		la.Acc0 = la.Acc0[:0]
+		for _, p := range pz {
+			la.Acc0 = append(la.Acc0, 1-p)
+		}
+		la.N = snap.TaskAnswerCount(tid)
+		p := est.Agreement(w, tid)
+		entries = append(entries, candEntry{t: tid, d: la.SingleDelta(pz, p)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].d != entries[j].d {
+			return entries[i].d > entries[j].d
+		}
+		return entries[i].t < entries[j].t
+	})
+	r.full = k < 0 || len(entries) <= k
+	if !r.full {
+		entries = entries[:k]
+	}
+	r.entries = entries
+	r.built = true
+}
+
+// CandidateStats is a point-in-time view of the index's counters.
+type CandidateStats struct {
+	// Builds counts full-row builds: the first query per (worker,
+	// generation) pays one.
+	Builds uint64 `json:"builds"`
+	// Rebuilds counts prefix shortfalls that forced an untruncated rebuild.
+	Rebuilds uint64 `json:"rebuilds"`
+	// Hits counts queries served entirely from an existing list.
+	Hits uint64 `json:"hits"`
+}
+
+// Stats returns the index's counters.
+func (c *Candidates) Stats() CandidateStats {
+	return CandidateStats{
+		Builds:   c.builds.Load(),
+		Rebuilds: c.rebuilds.Load(),
+		Hits:     c.hits.Load(),
+	}
+}

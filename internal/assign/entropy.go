@@ -4,7 +4,6 @@ import (
 	"math"
 	"sort"
 
-	"poilabel/internal/core"
 	"poilabel/internal/model"
 )
 
@@ -22,15 +21,14 @@ type EntropyFirst struct{}
 func (EntropyFirst) Name() string { return "Entropy" }
 
 // Assign implements Assigner.
-func (e EntropyFirst) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	return e.AssignExcluding(m, workers, h, nil)
+func (e EntropyFirst) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	return e.AssignExcluding(v, workers, h, nil)
 }
 
 // AssignExcluding implements ExcludingAssigner.
-func (EntropyFirst) AssignExcluding(m *core.Model, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
-	tasks := m.Tasks()
-	answers := m.Answers()
-	params := m.Params()
+func (EntropyFirst) AssignExcluding(v View, workers []model.WorkerID, h int, skip SkipFunc) Assignment {
+	tasks := v.Tasks()
+	params := v.Params()
 
 	// Rank tasks once per round: entropy is worker-independent.
 	type scored struct {
@@ -59,7 +57,7 @@ func (EntropyFirst) AssignExcluding(m *core.Model, workers []model.WorkerID, h i
 			if len(out[w]) >= h {
 				break
 			}
-			if !answers.Has(w, s.t) && (skip == nil || !skip(w, s.t)) {
+			if !v.HasAnswer(w, s.t) && (skip == nil || !skip(w, s.t)) {
 				out[w] = append(out[w], s.t)
 			}
 		}

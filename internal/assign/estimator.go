@@ -1,7 +1,6 @@
 package assign
 
 import (
-	"poilabel/internal/core"
 	"poilabel/internal/model"
 )
 
@@ -17,11 +16,12 @@ import (
 // Lemma 2's recursion, so a bundle of workers is evaluated in linear time
 // instead of enumerating the 2^|Ŵ| possible answer combinations.
 type Estimator struct {
-	m *core.Model
+	v View
 }
 
-// NewEstimator returns an estimator reading the current state of m.
-func NewEstimator(m *core.Model) *Estimator { return &Estimator{m: m} }
+// NewEstimator returns an estimator reading the state of v. The view must
+// stay frozen while the estimator is in use (see View).
+func NewEstimator(v View) *Estimator { return &Estimator{v: v} }
 
 // Agreement returns P(z_{t,k} = r_{w,t,k}) for the pair (w, t) — Equation 9
 // under the current parameters, with the paper's optimistic prior for cold
@@ -31,21 +31,20 @@ func NewEstimator(m *core.Model) *Estimator { return &Estimator{m: m} }
 // the assigner probe unknown workers and tasks early so their real
 // parameters get estimated quickly.
 func (e *Estimator) Agreement(w model.WorkerID, t model.TaskID) float64 {
-	answers := e.m.Answers()
-	params := e.m.Params()
-	cfg := e.m.Config()
+	params := e.v.Params()
+	cfg := e.v.Config()
 	set := cfg.FuncSet
-	d := e.m.Distance(w, t)
+	d := e.v.Distance(w, t)
 
 	pi := params.PI[w]
 	var dq, iq float64
-	if answers.WorkerAnswerCount(w) == 0 {
+	if e.v.WorkerAnswerCount(w) == 0 {
 		pi = 1
 		dq = set.Func(set.WidestIndex()).Eval(d)
 	} else {
 		dq = set.Mixture(params.PDW[w], d)
 	}
-	if answers.TaskAnswerCount(t) == 0 {
+	if e.v.TaskAnswerCount(t) == 0 {
 		iq = set.Func(set.WidestIndex()).Eval(d)
 	} else {
 		iq = set.Mixture(params.PDT[t], d)
@@ -65,11 +64,11 @@ type LabelAcc struct {
 // TaskAcc returns the current (pre-assignment) accuracy state of task t:
 // acc1 = P(z=1), acc0 = P(z=0) per label, n = |W(t)|.
 func (e *Estimator) TaskAcc(t model.TaskID) *LabelAcc {
-	pz := e.m.Params().PZ[t]
+	pz := e.v.Params().PZ[t]
 	la := &LabelAcc{
 		Acc1: make([]float64, len(pz)),
 		Acc0: make([]float64, len(pz)),
-		N:    e.m.Answers().TaskAnswerCount(t),
+		N:    e.v.TaskAnswerCount(t),
 	}
 	for k, p := range pz {
 		la.Acc1[k] = p

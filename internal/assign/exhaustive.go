@@ -1,7 +1,6 @@
 package assign
 
 import (
-	"poilabel/internal/core"
 	"poilabel/internal/model"
 )
 
@@ -17,11 +16,10 @@ type Exhaustive struct{}
 func (Exhaustive) Name() string { return "Exhaustive" }
 
 // Assign implements Assigner.
-func (Exhaustive) Assign(m *core.Model, workers []model.WorkerID, h int) Assignment {
-	est := NewEstimator(m)
-	tasks := m.Tasks()
-	answers := m.Answers()
-	params := m.Params()
+func (Exhaustive) Assign(v View, workers []model.WorkerID, h int) Assignment {
+	est := NewEstimator(v)
+	tasks := v.Tasks()
+	params := v.Params()
 	nT := len(tasks)
 
 	// Candidate task lists and agreement probabilities per worker.
@@ -31,7 +29,7 @@ func (Exhaustive) Assign(m *core.Model, workers []model.WorkerID, h int) Assignm
 		prob[i] = make(map[model.TaskID]float64)
 		for t := 0; t < nT; t++ {
 			tid := model.TaskID(t)
-			if answers.Has(w, tid) {
+			if v.HasAnswer(w, tid) {
 				continue
 			}
 			avail[i] = append(avail[i], tid)
@@ -132,9 +130,9 @@ func subsets(ts []model.TaskID, h int) [][]model.TaskID {
 // TotalDelta scores an arbitrary assignment under the estimator — the
 // objective value of Definition 7. Shared by tests comparing greedy against
 // exhaustive and by the experiment harness's Table II statistics.
-func TotalDelta(m *core.Model, a Assignment) float64 {
-	est := NewEstimator(m)
-	params := m.Params()
+func TotalDelta(v View, a Assignment) float64 {
+	est := NewEstimator(v)
+	params := v.Params()
 	bundle := make(map[model.TaskID][]float64)
 	for w, ts := range a {
 		for _, t := range ts {

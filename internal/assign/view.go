@@ -1,0 +1,138 @@
+package assign
+
+import (
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// View is the read-only slice of model state an assigner needs: the task and
+// worker sets, the current parameter estimates, worker–task distances, and
+// the answered-pair coverage. Two implementations exist:
+//
+//   - *core.Model — the live model. Planning against it requires the caller
+//     to hold whatever lock protects the model, and its lazy distance cache
+//     allows at most one goroutine per worker row.
+//   - *Snapshot — an immutable copy captured by SnapshotModel. Planning
+//     against a Snapshot needs no lock at all and is safe from any number of
+//     goroutines; the serving layer uses it to run AccOpt off the write lock
+//     and validate the picks in a short optimistic commit afterwards.
+//
+// An assigner must treat a View as frozen for the duration of a round: every
+// method returns the same value no matter how often or from which goroutine
+// it is called (for *core.Model this is the caller's locking obligation, for
+// *Snapshot it is structural).
+type View interface {
+	// Config returns the model configuration (function set, alpha, labels).
+	Config() core.Config
+	// Tasks returns the task set. Callers must not mutate it.
+	Tasks() []model.Task
+	// Workers returns the worker set. Callers must not mutate it.
+	Workers() []model.Worker
+	// Params returns the current parameter estimates. Callers must not
+	// mutate them.
+	Params() *core.Params
+	// Distance returns the normalized worker–task distance (minimum over
+	// the worker's locations).
+	Distance(w model.WorkerID, t model.TaskID) float64
+	// HasAnswer reports whether worker w has already answered task t.
+	HasAnswer(w model.WorkerID, t model.TaskID) bool
+	// WorkerAnswerCount returns |T(w)|, the number of answers worker w has
+	// given.
+	WorkerAnswerCount(w model.WorkerID) int
+	// TaskAnswerCount returns |W(t)|, the number of answers task t has
+	// received.
+	TaskAnswerCount(t model.TaskID) int
+}
+
+// Snapshot is an immutable, self-contained copy of the planning-relevant
+// model state: cloned parameters, the task/worker slices as of capture, the
+// answered-pair set, and dense per-worker/per-task answer counts. It
+// implements View; distances are recomputed on the fly through the captured
+// normalizer (the same geo.Normalizer.MinDistance the live model caches), so
+// a Snapshot's numbers are bit-identical to the model it was taken from.
+//
+// A Snapshot never changes after SnapshotModel returns, so any number of
+// goroutines may plan against it concurrently without synchronization. The
+// serving layer captures one per published parameter generation; planners
+// using a stale Snapshot see stale coverage, which the optimistic commit
+// re-validates against the live state.
+type Snapshot struct {
+	cfg     core.Config
+	tasks   []model.Task
+	workers []model.Worker
+	params  *core.Params
+	norm    geo.Normalizer
+	pairs   map[uint64]struct{}
+	workerN []int
+	taskN   []int
+}
+
+// pairBits packs a (worker, task) pair into one map key.
+func pairBits(w model.WorkerID, t model.TaskID) uint64 {
+	return uint64(uint32(w))<<32 | uint64(uint32(t))
+}
+
+// SnapshotModel captures an immutable planning view of m. The caller must
+// hold the lock protecting m for the duration of the call (capture reads the
+// live answer log); afterwards the Snapshot is independent of m. Capture is
+// O(|T| + |W| + |R|) time and memory: parameters are deep-copied, the
+// append-only task/worker slices are captured by length-bounded reference,
+// and the answer log is folded into a pair set plus dense counts.
+func SnapshotModel(m *core.Model) *Snapshot {
+	tasks := m.Tasks()
+	workers := m.Workers()
+	s := &Snapshot{
+		cfg:     m.Config(),
+		tasks:   tasks[:len(tasks):len(tasks)],
+		workers: workers[:len(workers):len(workers)],
+		params:  m.Params().Clone(),
+		norm:    m.Normalizer(),
+		workerN: make([]int, len(workers)),
+		taskN:   make([]int, len(tasks)),
+	}
+	ans := m.Answers()
+	n := ans.Len()
+	s.pairs = make(map[uint64]struct{}, n)
+	for i := 0; i < n; i++ {
+		w, t := ans.Pair(i)
+		s.pairs[pairBits(w, t)] = struct{}{}
+		s.workerN[w]++
+		s.taskN[t]++
+	}
+	return s
+}
+
+// Config implements View.
+func (s *Snapshot) Config() core.Config { return s.cfg }
+
+// Tasks implements View.
+func (s *Snapshot) Tasks() []model.Task { return s.tasks }
+
+// Workers implements View.
+func (s *Snapshot) Workers() []model.Worker { return s.workers }
+
+// Params implements View.
+func (s *Snapshot) Params() *core.Params { return s.params }
+
+// Distance implements View, recomputing the normalized minimum-over-locations
+// distance on every call. Unlike the live model there is no cache, so it is
+// safe from any goroutine.
+func (s *Snapshot) Distance(w model.WorkerID, t model.TaskID) float64 {
+	return s.norm.MinDistance(s.workers[w].Locations, s.tasks[t].Location)
+}
+
+// HasAnswer implements View against the coverage as of capture.
+func (s *Snapshot) HasAnswer(w model.WorkerID, t model.TaskID) bool {
+	_, ok := s.pairs[pairBits(w, t)]
+	return ok
+}
+
+// WorkerAnswerCount implements View against the coverage as of capture.
+func (s *Snapshot) WorkerAnswerCount(w model.WorkerID) int { return s.workerN[w] }
+
+// TaskAnswerCount implements View against the coverage as of capture.
+func (s *Snapshot) TaskAnswerCount(t model.TaskID) int { return s.taskN[t] }
+
+// NumAnswers returns the number of answered pairs captured in the snapshot.
+func (s *Snapshot) NumAnswers() int { return len(s.pairs) }

@@ -183,6 +183,25 @@ func (m *Model) Workers() []model.Worker { return m.workers }
 // directly; use Observe.
 func (m *Model) Answers() *model.AnswerSet { return m.answers }
 
+// Normalizer returns the distance normalizer the model was built with.
+// Snapshot-planning views recompute worker–task distances through it.
+func (m *Model) Normalizer() geo.Normalizer { return m.norm }
+
+// HasAnswer reports whether worker w has already answered task t.
+func (m *Model) HasAnswer(w model.WorkerID, t model.TaskID) bool {
+	return m.answers.Has(w, t)
+}
+
+// WorkerAnswerCount returns |T(w)|, the number of answers worker w has given.
+func (m *Model) WorkerAnswerCount(w model.WorkerID) int {
+	return m.answers.WorkerAnswerCount(w)
+}
+
+// TaskAnswerCount returns |W(t)|, the number of answers task t has received.
+func (m *Model) TaskAnswerCount(t model.TaskID) int {
+	return m.answers.TaskAnswerCount(t)
+}
+
 // Params returns the current parameter estimates. The returned pointer
 // aliases the model's state and is valid only until the next Fit, Update,
 // or Restore — Fit recycles parameter buffers between iterations, so a

@@ -30,7 +30,12 @@ import (
 // Plus the background fit pipeline's families under the poilabel_ prefix
 // (zeros on a synchronous service): fit_queue_depth,
 // param_staleness_seconds, param_generation gauges and fit_coalesced_total,
-// fits_total counters, all read from Service.FitStats at scrape time.
+// fits_total counters, all read from Service.FitStats at scrape time; and
+// the assignment planning path's poilabel_plan_* families (lock_free_total,
+// locked_total, conflicts_total, retries_total, conflict_rate,
+// last_duration_seconds, candidate_{builds,rebuilds,hits}_total), read from
+// Service.PlanStats at scrape time and zero when lock-free planning is not
+// configured.
 type Metrics struct {
 	reg *metrics.Registry
 
@@ -90,6 +95,35 @@ func NewMetrics(reg *metrics.Registry, svc *poilabel.Service) *Metrics {
 	reg.CounterFunc("poilabel_fits_total",
 		"Background fit attempts completed (including abandoned ones).",
 		func() uint64 { return svc.FitStats().Fits })
+	// Assignment planning path (also poilabel_ prefix). Zeros when lock-free
+	// planning is not configured.
+	reg.CounterFunc("poilabel_plan_lock_free_total",
+		"Assignment rounds planned off the write lock against a published snapshot.",
+		func() uint64 { return svc.PlanStats().LockFreePlans })
+	reg.CounterFunc("poilabel_plan_locked_total",
+		"Assignment rounds planned under the write lock.",
+		func() uint64 { return svc.PlanStats().LockedPlans })
+	reg.CounterFunc("poilabel_plan_conflicts_total",
+		"Planned picks rejected at optimistic commit because the pair was taken since planning.",
+		func() uint64 { return svc.PlanStats().Conflicts })
+	reg.CounterFunc("poilabel_plan_retries_total",
+		"Replan rounds run to replace conflicted picks.",
+		func() uint64 { return svc.PlanStats().Retries })
+	reg.GaugeFunc("poilabel_plan_conflict_rate",
+		"Fraction of planned picks that lost their optimistic commit race.",
+		func() float64 { return svc.PlanStats().ConflictRate })
+	reg.GaugeFunc("poilabel_plan_last_duration_seconds",
+		"Wall-clock of the most recent lock-free plan-and-commit round.",
+		func() float64 { return svc.PlanStats().LastPlanDuration.Seconds() })
+	reg.CounterFunc("poilabel_plan_candidate_builds_total",
+		"Per-worker candidate list builds (first query per worker per generation).",
+		func() uint64 { return svc.PlanStats().Candidates.Builds })
+	reg.CounterFunc("poilabel_plan_candidate_rebuilds_total",
+		"Candidate prefix shortfalls that forced an untruncated rebuild.",
+		func() uint64 { return svc.PlanStats().Candidates.Rebuilds })
+	reg.CounterFunc("poilabel_plan_candidate_hits_total",
+		"Single-worker plans served from an existing candidate list.",
+		func() uint64 { return svc.PlanStats().Candidates.Hits })
 	svc.SetObserver(m)
 	return m
 }

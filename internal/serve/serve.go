@@ -370,6 +370,10 @@ type healthResponse struct {
 	// service runs with WithBackgroundFit (so synchronous deployments keep
 	// their exact health shape).
 	Fit *healthFit `json:"fit,omitempty"`
+	// Plan is the assignment planning path's state, present only when
+	// lock-free planning is configured (background fitting on the single
+	// engine with the AccOpt assigner).
+	Plan *healthPlan `json:"plan,omitempty"`
 }
 
 // healthFit mirrors poilabel.FitPipelineStats for the health endpoint.
@@ -381,6 +385,21 @@ type healthFit struct {
 	Fits             uint64  `json:"fits"`
 	Coalesced        uint64  `json:"coalesced"`
 	CoveredAnswers   uint64  `json:"covered_answers"`
+}
+
+// healthPlan mirrors poilabel.PlanPipelineStats for the health endpoint.
+type healthPlan struct {
+	LockFreePlans     uint64  `json:"lock_free_plans"`
+	LockedPlans       uint64  `json:"locked_plans"`
+	CommittedPicks    uint64  `json:"committed_picks"`
+	Conflicts         uint64  `json:"conflicts"`
+	Retries           uint64  `json:"retries"`
+	ConflictRate      float64 `json:"conflict_rate"`
+	LastPlanMillis    float64 `json:"last_plan_millis"`
+	CandidatePrefix   int     `json:"candidate_prefix"`
+	CandidateBuilds   uint64  `json:"candidate_builds"`
+	CandidateRebuilds uint64  `json:"candidate_rebuilds"`
+	CandidateHits     uint64  `json:"candidate_hits"`
 }
 
 func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
@@ -402,6 +421,21 @@ func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
 			Fits:             st.Fits,
 			Coalesced:        st.Coalesced,
 			CoveredAnswers:   st.CoveredAnswers,
+		}
+	}
+	if st := h.svc.PlanStats(); st.Enabled {
+		resp.Plan = &healthPlan{
+			LockFreePlans:     st.LockFreePlans,
+			LockedPlans:       st.LockedPlans,
+			CommittedPicks:    st.CommittedPicks,
+			Conflicts:         st.Conflicts,
+			Retries:           st.Retries,
+			ConflictRate:      st.ConflictRate,
+			LastPlanMillis:    float64(st.LastPlanDuration.Microseconds()) / 1e3,
+			CandidatePrefix:   st.CandidatePrefix,
+			CandidateBuilds:   st.Candidates.Builds,
+			CandidateRebuilds: st.Candidates.Rebuilds,
+			CandidateHits:     st.Candidates.Hits,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

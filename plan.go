@@ -1,0 +1,275 @@
+package poilabel
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"poilabel/internal/assign"
+)
+
+// maxPlanRetries bounds the optimistic-commit retry loop. Each retry
+// permanently excludes the pairs that conflicted, so the loop terminates on
+// its own for any finite task set; the cap is a safety valve against
+// pathological contention, after which the worker simply receives the picks
+// committed so far.
+const maxPlanRetries = 8
+
+// WithPlanCandidates sets K, the per-worker candidate prefix length the
+// lock-free planner caches per published parameter generation (see
+// assign.Candidates). Zero — the default — means
+// assign.DefaultCandidatePrefix; a negative k disables candidate caching, so
+// every single-worker plan scans the full improvement row. Candidates only
+// apply to the single engine's AccOpt lock-free path.
+func WithPlanCandidates(k int) ServiceOption {
+	return func(c *serviceConfig) error {
+		c.planCand = k
+		return nil
+	}
+}
+
+// planCounters is the Service's lock-free planning instrumentation, updated
+// atomically so readers never need the service lock.
+type planCounters struct {
+	lockFree  atomic.Uint64 // assignment rounds planned off the write lock
+	locked    atomic.Uint64 // assignment rounds planned under the write lock
+	committed atomic.Uint64 // picks accepted at commit
+	conflicts atomic.Uint64 // picks rejected at commit (pair taken since planning)
+	retries   atomic.Uint64 // replan rounds after a conflicted commit
+	lastNanos atomic.Int64  // wall-clock of the last lock-free plan+commit
+}
+
+// PlanPipelineStats is a point-in-time view of the assignment planning path,
+// the backing state for the poilabel_plan_* metrics and the /healthz plan
+// section. Counters cover the service's lifetime.
+type PlanPipelineStats struct {
+	// Enabled reports whether the lock-free planning path is configured
+	// (background fitting on the single engine with a planner-based
+	// assigner). Individual rounds can still fall back to the locked path —
+	// e.g. for workers registered after the last publication.
+	Enabled bool `json:"enabled"`
+	// LockFreePlans counts assignment rounds planned against a published
+	// snapshot, off the write lock.
+	LockFreePlans uint64 `json:"lock_free_plans"`
+	// LockedPlans counts assignment rounds planned under the write lock
+	// (the only mode for batch engines and non-planner assigners).
+	LockedPlans uint64 `json:"locked_plans"`
+	// CommittedPicks counts (worker, task) pairs accepted at commit.
+	CommittedPicks uint64 `json:"committed_picks"`
+	// Conflicts counts picks rejected at commit because the pair was
+	// answered or handed out between planning and commit.
+	Conflicts uint64 `json:"conflicts"`
+	// Retries counts replan rounds run to replace conflicted picks.
+	Retries uint64 `json:"retries"`
+	// ConflictRate is Conflicts / (Conflicts + CommittedPicks), the
+	// fraction of planned picks that lost their optimistic race.
+	ConflictRate float64 `json:"conflict_rate"`
+	// LastPlanDuration is the wall-clock of the most recent lock-free
+	// plan-and-commit round.
+	LastPlanDuration time.Duration `json:"last_plan_duration"`
+	// CandidatePrefix is the configured per-worker candidate prefix K
+	// (0 when candidate caching is disabled).
+	CandidatePrefix int `json:"candidate_prefix"`
+	// Candidates holds the candidate index counters (zero value when
+	// caching is disabled).
+	Candidates assign.CandidateStats `json:"candidates"`
+}
+
+// PlanStats reports the assignment planning path's current state.
+func (s *Service) PlanStats() PlanPipelineStats {
+	st := PlanPipelineStats{
+		Enabled:          s.planEnabled,
+		LockFreePlans:    s.planStats.lockFree.Load(),
+		LockedPlans:      s.planStats.locked.Load(),
+		CommittedPicks:   s.planStats.committed.Load(),
+		Conflicts:        s.planStats.conflicts.Load(),
+		Retries:          s.planStats.retries.Load(),
+		LastPlanDuration: time.Duration(s.planStats.lastNanos.Load()),
+	}
+	if total := st.Conflicts + st.CommittedPicks; total > 0 {
+		st.ConflictRate = float64(st.Conflicts) / float64(total)
+	}
+	if s.cands != nil {
+		st.CandidatePrefix = s.cands.Prefix()
+		st.Candidates = s.cands.Stats()
+	}
+	return st
+}
+
+// warmPlanCandidates pre-builds the recently active workers' candidate
+// lists against the just-published generation so their next request scans a
+// warm list instead of paying the O(|T| log K) build on the request path.
+// The fit pipeline calls it right after a publication, from the background
+// goroutine with no lock held.
+func (s *Service) warmPlanCandidates() {
+	if s.cands == nil {
+		return
+	}
+	pub := s.published.Load()
+	if pub == nil || pub.plan == nil {
+		return
+	}
+	s.cands.Warm(pub.plan, pub.gen)
+}
+
+// planContext carries the state the lock-free path captures under the read
+// lock: the generation to plan against, the live exclusions at capture time,
+// the ID tables for translating the result, and the request shape.
+type planContext struct {
+	pub       *paramGen
+	skipSet   map[pairKey]struct{}
+	taskKeys  []string
+	workerKey []string
+	observer  Observer
+	h         int
+	epoch     uint64 // restoreEpoch at capture; a moved epoch aborts the commit
+}
+
+// planWorkers plans h tasks per worker against the immutable snapshot, with
+// no service lock held. Single-worker rounds go through the candidate index
+// when it is enabled (the serving hot path: HTTP /assignments requests carry
+// one worker); everything else runs a pooled planner over the snapshot.
+func (s *Service) planWorkers(snap *assign.Snapshot, gen uint64, ws []WorkerID, h int, skip assign.SkipFunc) map[WorkerID][]TaskID {
+	if len(ws) == 1 && s.cands != nil {
+		picks, _ := s.cands.PlanWorker(snap, gen, ws[0], h, skip)
+		if len(picks) == 0 {
+			return map[WorkerID][]TaskID{}
+		}
+		return map[WorkerID][]TaskID{ws[0]: picks}
+	}
+	pl := s.planPool.Get().(*assign.Planner)
+	defer s.planPool.Put(pl)
+	return pl.AssignExcluding(snap, ws, h, skip)
+}
+
+// requestTasksLockFree is RequestTasks' snapshot-planning path: plan against
+// the published generation with no lock, then validate the picks in a short
+// optimistic commit under the write lock, replanning conflicted picks with a
+// grown exclusion set instead of starting over. See docs/ARCHITECTURE.md
+// ("Life of an assignment").
+func (s *Service) requestTasksLockFree(ws []WorkerID, pc *planContext) (map[string][]string, error) {
+	start := time.Now()
+	snap := pc.pub.plan
+	var dedupHits atomic.Int64
+	skip := func(w WorkerID, t TaskID) bool {
+		if _, ok := pc.skipSet[pairKey{w, t}]; ok {
+			dedupHits.Add(1)
+			return true
+		}
+		return false
+	}
+
+	accepted := make(map[WorkerID][]TaskID, len(ws))
+	plans := s.planWorkers(snap, pc.pub.gen, ws, pc.h, skip)
+	for attempt := 0; ; attempt++ {
+		conflicts, exhausted, stale := s.commitPlans(plans, accepted, pc.epoch)
+		if len(conflicts) > 0 {
+			s.planStats.conflicts.Add(uint64(len(conflicts)))
+		}
+		if stale || len(conflicts) == 0 || exhausted || attempt >= maxPlanRetries {
+			break
+		}
+		s.planStats.retries.Add(1)
+		// A conflicted pair is answered or pending on the live state; it can
+		// never become assignable again, so excluding it permanently keeps
+		// the retry loop shrinking. Pairs we committed ourselves entered the
+		// live pending set after our skip capture — exclude them explicitly
+		// too so replans cannot propose them twice.
+		need := make(map[WorkerID]int, len(conflicts))
+		for _, pk := range conflicts {
+			pc.skipSet[pk] = struct{}{}
+			need[pk.w]++
+		}
+		for w, ts := range accepted {
+			for _, t := range ts {
+				pc.skipSet[pairKey{w, t}] = struct{}{}
+			}
+		}
+		plans = make(map[WorkerID][]TaskID, len(need))
+		for w, n := range need {
+			repl := s.planWorkers(snap, pc.pub.gen, []WorkerID{w}, n, skip)
+			if ts := repl[w]; len(ts) > 0 {
+				plans[w] = ts
+			}
+		}
+		if len(plans) == 0 {
+			break
+		}
+	}
+
+	s.planStats.lockFree.Add(1)
+	s.planStats.lastNanos.Store(time.Since(start).Nanoseconds())
+	if pc.observer != nil {
+		if n := dedupHits.Load(); n > 0 {
+			pc.observer.DedupHitsObserved(int(n))
+		}
+	}
+	out := make(map[string][]string, len(accepted))
+	for w, ts := range accepted {
+		if len(ts) == 0 {
+			continue
+		}
+		ids := make([]string, len(ts))
+		for i, t := range ts {
+			ids[i] = pc.taskKeys[t]
+		}
+		out[pc.workerKey[w]] = ids
+	}
+	return out, nil
+}
+
+// commitPlans validates planned picks against the live pending set, answer
+// log, and budget under the write lock, accepting survivors in assign.Trim
+// order (round-robin over ascending worker IDs) so budget trimming is
+// byte-identical to the locked path. Accepted picks are marked pending and
+// spend budget immediately; conflicted picks — pairs answered or handed out
+// since planning — are returned for the caller's retry loop. exhausted
+// reports that the budget ran out mid-commit, which ends the round exactly
+// like assign.Trim cutting a plan short. stale reports that a Restore
+// replaced the service state since planning; the plan's dense indices no
+// longer refer to the live state, so nothing was committed.
+func (s *Service) commitPlans(plans map[WorkerID][]TaskID, accepted map[WorkerID][]TaskID, epoch uint64) (conflicts []pairKey, exhausted, stale bool) {
+	if len(plans) == 0 {
+		return nil, false, false
+	}
+	order := make([]int, 0, len(plans))
+	for w := range plans {
+		order = append(order, int(w))
+	}
+	sort.Ints(order)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.restoreEpoch != epoch {
+		return nil, false, true
+	}
+	checker, _ := s.eng.(answerChecker)
+	for round := 0; ; round++ {
+		progressed := false
+		for _, wi := range order {
+			w := WorkerID(wi)
+			ts := plans[w]
+			if round >= len(ts) {
+				continue
+			}
+			progressed = true
+			if s.cfg.budget == 0 {
+				return conflicts, true, false
+			}
+			t := ts[round]
+			pk := pairKey{w, t}
+			if s.pending[pk] || (checker != nil && checker.HasAnswer(w, t)) {
+				conflicts = append(conflicts, pk)
+				continue
+			}
+			s.pending[pk] = true
+			accepted[w] = append(accepted[w], t)
+			s.planStats.committed.Add(1)
+			if s.cfg.budget > 0 {
+				s.cfg.budget--
+			}
+		}
+		if !progressed {
+			return conflicts, false, false
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package poilabel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseWid and parseTid invert the wid/tid test helpers.
+func parseWid(id string) (int, error) {
+	var i int
+	_, err := fmt.Sscanf(id, "worker-%d", &i)
+	return i, err
+}
+
+func parseTid(id string) (int, error) {
+	var i int
+	_, err := fmt.Sscanf(id, "task-%d", &i)
+	return i, err
+}
+
+// planPair builds the matched pair of services the equivalence tests diff:
+// two background-fit services over the same world, one forced through the
+// write-locked planner, fed byte-identical histories.
+func planPair(t *testing.T, nTasks, nWorkers int, extra ...ServiceOption) (free, locked *Service, truth *GroundTruth) {
+	t.Helper()
+	opts := append(bgOpts(), extra...)
+	var err error
+	free, err = NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err = NewService(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked.forceLockedPlan = true
+	truth = registerGridWorld(t, free, nTasks, nWorkers)
+	registerGridWorld(t, locked, nTasks, nWorkers)
+	return free, locked, truth
+}
+
+// requestBoth runs the same RequestTasks call on both services and requires
+// byte-identical assignments (or the same error).
+func requestBoth(t *testing.T, free, locked *Service, workers []string) map[string][]string {
+	t.Helper()
+	ctx := context.Background()
+	got, errGot := free.RequestTasks(ctx, workers)
+	want, errWant := locked.RequestTasks(ctx, workers)
+	if (errGot == nil) != (errWant == nil) || (errGot != nil && errGot.Error() != errWant.Error()) {
+		t.Fatalf("lock-free error %v, locked error %v", errGot, errWant)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lock-free plan %v differs from locked plan %v", got, want)
+	}
+	return got
+}
+
+// TestLockFreePlanQuiescedEquivalence pins the tentpole's correctness
+// contract: on a quiesced service, the lock-free snapshot-plan-and-commit
+// path hands out byte-identical assignments to the old write-locked planner
+// — through single-worker (candidate list) rounds, multi-worker (pooled
+// planner) rounds, pending-pair dedup, and fresh generations after more
+// answers.
+func TestLockFreePlanQuiescedEquivalence(t *testing.T) {
+	free, locked, truth := planPair(t, 24, 6, WithTasksPerRequest(3))
+	defer free.Close(context.Background())
+	defer locked.Close(context.Background())
+	ctx := context.Background()
+
+	log := feedPairs(t, free, truth, 99, 0, 6, 0, 4)
+	replayAnswers(t, locked, log)
+	for _, svc := range []*Service{free, locked} {
+		if err := svc.WaitFresh(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Single-worker rounds (the candidate-list fast path), repeated so the
+	// second round must exclude the first round's pending pairs.
+	requestBoth(t, free, locked, []string{wid(0)})
+	requestBoth(t, free, locked, []string{wid(0)})
+	requestBoth(t, free, locked, []string{wid(3)})
+	// Multi-worker round: the pooled-planner path, in Trim order.
+	handed := requestBoth(t, free, locked, []string{wid(1), wid(2), wid(4), wid(5)})
+
+	// Answer some handed-out pairs identically on both sides, quiesce, and
+	// plan again on the fresh generation.
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []string{wid(1), wid(2)} {
+		for _, task := range handed[w] {
+			wi, err := parseWid(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ti, err := parseTid(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := answer(WorkerID(wi), TaskID(ti), truth, 0.9, rng)
+			if err := free.SubmitAnswer(w, task, a.Selected); err != nil {
+				t.Fatal(err)
+			}
+			if err := locked.SubmitAnswer(w, task, a.Selected); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, svc := range []*Service{free, locked} {
+		if err := svc.WaitFresh(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requestBoth(t, free, locked, []string{wid(1), wid(2)})
+	requestBoth(t, free, locked, []string{wid(5)})
+
+	// The diff is only meaningful if the two services actually took
+	// different paths.
+	if st := free.PlanStats(); !st.Enabled || st.LockFreePlans == 0 {
+		t.Fatalf("lock-free service never planned off the lock: %+v", st)
+	}
+	if st := locked.PlanStats(); st.LockFreePlans != 0 {
+		t.Fatalf("forced-locked service planned off the lock: %+v", st)
+	}
+}
+
+// TestLockFreePlanBudgetEquivalence repeats the equivalence diff under
+// budget pressure: the optimistic commit must trim mid-round exactly like
+// assign.Trim, spend the budget identically, and exhaust at the same call.
+func TestLockFreePlanBudgetEquivalence(t *testing.T) {
+	free, locked, truth := planPair(t, 20, 5, WithTasksPerRequest(3), WithBudget(11))
+	defer free.Close(context.Background())
+	defer locked.Close(context.Background())
+	ctx := context.Background()
+
+	log := feedPairs(t, free, truth, 101, 0, 5, 0, 3)
+	replayAnswers(t, locked, log)
+	for _, svc := range []*Service{free, locked} {
+		if err := svc.WaitFresh(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 11 units against rounds of up to 3×3: the multi-worker round must be
+	// trimmed mid-round, then the remainder drains one worker at a time.
+	requestBoth(t, free, locked, []string{wid(0), wid(1), wid(2)}) // 9 units
+	requestBoth(t, free, locked, []string{wid(3), wid(4)})         // trimmed to 2
+	if got, want := free.RemainingBudget(), locked.RemainingBudget(); got != want || got != 0 {
+		t.Fatalf("remaining budget: lock-free %d, locked %d, want 0", got, want)
+	}
+	_, errFree := free.RequestTasks(ctx, []string{wid(0)})
+	_, errLocked := locked.RequestTasks(ctx, []string{wid(0)})
+	if !errors.Is(errFree, ErrBudgetExhausted) || !errors.Is(errLocked, ErrBudgetExhausted) {
+		t.Fatalf("exhausted errors: lock-free %v, locked %v", errFree, errLocked)
+	}
+}
+
+// TestConcurrentRequestTasksRace drives 16 workers through concurrent
+// request/answer loops with eager background fits and checks the handout
+// invariants the optimistic commit must preserve: no (worker, task) pair is
+// ever handed out twice, and the budget is spent exactly once per pick —
+// never double-spent, fully drained by the end.
+func TestConcurrentRequestTasksRace(t *testing.T) {
+	const (
+		nTasks   = 60
+		nWorkers = 16
+		budget   = 150
+	)
+	svc, err := NewService(
+		WithBackgroundFit(time.Millisecond, 8),
+		WithTasksPerRequest(2),
+		WithBudget(budget),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	truth := registerGridWorld(t, svc, nTasks, nWorkers)
+	ctx := context.Background()
+	// Force the prior-only publication before the race: until the engine is
+	// built and a generation is published, requests legitimately fall back
+	// to the locked planner, which would dilute the invariant below that
+	// every pick flows through the optimistic commit.
+	if _, err := svc.Results(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.WaitFresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu     sync.Mutex
+		handed = make(map[[2]int]bool)
+		total  int
+	)
+	record := func(t *testing.T, wi, ti int) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := [2]int{wi, ti}
+		if handed[key] {
+			t.Errorf("pair (worker %d, task %d) handed out twice", wi, ti)
+		}
+		handed[key] = true
+		total++
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < nWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			me := wid(g)
+			for {
+				assigned, err := svc.RequestTasks(ctx, []string{me})
+				if errors.Is(err, ErrBudgetExhausted) {
+					return
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+				for _, task := range assigned[me] {
+					ti, err := parseTid(task)
+					if err != nil {
+						t.Errorf("bad task id %q: %v", task, err)
+						return
+					}
+					record(t, g, ti)
+					a := answer(WorkerID(g), TaskID(ti), truth, 0.85, rng)
+					if err := svc.SubmitAnswer(me, task, a.Selected); err != nil {
+						t.Errorf("worker %d answer task %d: %v", g, ti, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if total != budget {
+		t.Errorf("handed out %d pairs, want exactly the budget %d", total, budget)
+	}
+	if got := svc.RemainingBudget(); got != 0 {
+		t.Errorf("remaining budget %d after drain, want 0", got)
+	}
+	st := svc.PlanStats()
+	if !st.Enabled || st.LockFreePlans == 0 {
+		t.Fatalf("race test never exercised the lock-free path: %+v", st)
+	}
+	if st.CommittedPicks != uint64(budget) {
+		t.Errorf("committed %d picks, want %d", st.CommittedPicks, budget)
+	}
+	t.Logf("plan stats: %+v", st)
+}

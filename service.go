@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"poilabel/internal/assign"
 	"poilabel/internal/core"
 	"poilabel/internal/federation"
 	"poilabel/internal/geo"
@@ -92,6 +93,7 @@ type serviceConfig struct {
 	observer       Observer
 	bgInterval     time.Duration // background fit cadence; 0 = synchronous fits
 	bgMinAnswers   int           // eager background fit threshold
+	planCand       int           // candidate prefix K; 0 = default, < 0 disables
 }
 
 // ServiceOption configures a Service. Options follow the functional-options
@@ -300,6 +302,22 @@ type Service struct {
 	deltaActive  bool
 	restoreEpoch uint64
 	baseGen      uint64
+
+	// Lock-free planning state (see plan.go). sincePlan records pairs
+	// answered since the published plan snapshot was captured — together
+	// with pending it forms the exclusion set a snapshot plan starts from;
+	// it is reset at every capture and is nil outside background mode.
+	// cands is the per-worker candidate index (nil when disabled), planPool
+	// recycles planner scratch across off-lock plans, planStats counts
+	// commit outcomes, and planEnabled reports the path is configured.
+	// forceLockedPlan routes every round through the locked planner; the
+	// equivalence tests use it to diff the two paths.
+	sincePlan       map[pairKey]bool
+	cands           *assign.Candidates
+	planPool        sync.Pool
+	planStats       planCounters
+	planEnabled     bool
+	forceLockedPlan bool
 }
 
 // NewService creates a Service. With no options it serves the single engine
@@ -332,6 +350,13 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 	}
 	if cfg.bgInterval > 0 {
 		s.bg = newFitPipeline(s, cfg.bgInterval, cfg.bgMinAnswers)
+		if cfg.engine == EngineSingle && cfg.assigner == AssignerAccOpt {
+			s.planEnabled = true
+			s.planPool.New = func() any { return assign.NewPlanner() }
+			if cfg.planCand >= 0 {
+				s.cands = assign.NewCandidates(cfg.planCand)
+			}
+		}
 		go s.bg.run()
 	}
 	return s, nil
@@ -501,6 +526,18 @@ func (s *Service) publishLocked(seq, fullSeq uint64, converged bool) {
 	if prev := s.published.Load(); prev != nil {
 		gen = prev.gen + 1
 	}
+	// Capture the planning snapshot alongside the parameters when lock-free
+	// planning is configured. Resetting sincePlan here is what keeps the
+	// off-lock exclusion set bounded: the snapshot structurally excludes
+	// every answer it captured, so only answers accepted after this point
+	// need tracking.
+	var plan *assign.Snapshot
+	if s.planEnabled {
+		plan = s.eng.PlanSnapshot()
+		if plan != nil {
+			s.sincePlan = make(map[pairKey]bool)
+		}
+	}
 	s.published.Store(&paramGen{
 		gen:       gen,
 		seq:       seq,
@@ -511,6 +548,7 @@ func (s *Service) publishLocked(seq, fullSeq uint64, converged bool) {
 		dense:     pub.Result,
 		pi:        pub.PI,
 		pdw:       pub.PDW,
+		plan:      plan,
 	})
 	if s.bg != nil {
 		s.bg.broadcast()
@@ -567,6 +605,11 @@ func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 			return err
 		}
 		delete(s.pending, pairKey{w, t})
+		if s.sincePlan != nil {
+			// The published plan snapshot predates this answer; record the
+			// pair so off-lock plans exclude it without re-reading the engine.
+			s.sincePlan[pairKey{w, t}] = true
+		}
 		s.sinceFull++
 		s.dirty = true
 		s.answerSeq.Add(1)
@@ -630,16 +673,93 @@ func (s *Service) fitEngineLocked(ctx context.Context) (bool, error) {
 // answering never hands out duplicates. When the budget is already exhausted
 // RequestTasks returns ErrBudgetExhausted; when it runs out mid-round the
 // round is trimmed to the remaining units.
+//
+// With background fitting on the single engine and the AccOpt assigner,
+// planning runs off the write lock against the last published parameter
+// generation; only a short optimistic commit takes the write lock, re-checking
+// each pick against the live pending set, answer log, and budget, and
+// replanning conflicted picks. Every other configuration — batch engines,
+// other assigners, workers registered after the last publication — plans
+// under the write lock as before. Both paths produce identical assignments on
+// a quiesced service.
 func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[string][]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	if s.cfg.budget == 0 {
+		s.mu.RUnlock()
 		return nil, ErrBudgetExhausted
 	}
 	ws := make([]WorkerID, len(workerIDs))
+	for i, id := range workerIDs {
+		w, err := s.lookupWorker(id)
+		if err != nil {
+			s.mu.RUnlock()
+			return nil, err
+		}
+		ws[i] = w
+	}
+	pub := s.published.Load()
+	lockFree := s.planEnabled && !s.forceLockedPlan && pub != nil && pub.plan != nil
+	if lockFree {
+		if _, ok := s.eng.(answerChecker); !ok {
+			lockFree = false
+		}
+	}
+	if lockFree {
+		// Workers registered after the snapshot was captured are invisible
+		// to it; fall back to the locked planner for this round.
+		nW := len(pub.plan.Workers())
+		for _, w := range ws {
+			if int(w) >= nW {
+				lockFree = false
+				break
+			}
+		}
+	}
+	if !lockFree {
+		s.mu.RUnlock()
+		return s.requestTasksLocked(ws, workerIDs)
+	}
+	// Copy the live exclusions while still under the read lock: pending
+	// pairs plus answers accepted since the snapshot. The copy may go stale
+	// the moment the lock drops — the optimistic commit re-validates every
+	// pick — but starting close to live keeps conflicts rare. The ID tables
+	// are append-only, so the captured slice headers stay valid off-lock.
+	pc := &planContext{
+		pub:       pub,
+		skipSet:   make(map[pairKey]struct{}, len(s.pending)+len(s.sincePlan)),
+		taskKeys:  s.taskKeys,
+		workerKey: s.workerKey,
+		observer:  s.cfg.observer,
+		h:         s.cfg.h,
+		epoch:     s.restoreEpoch,
+	}
+	for pk := range s.pending {
+		pc.skipSet[pk] = struct{}{}
+	}
+	for pk := range s.sincePlan {
+		pc.skipSet[pk] = struct{}{}
+	}
+	s.mu.RUnlock()
+	return s.requestTasksLockFree(ws, pc)
+}
+
+// requestTasksLocked is the write-locked assignment path: plan and commit in
+// one critical section. It serves the batch engines, non-planner assigners,
+// the window before the first publication, and workers newer than the
+// published snapshot.
+func (s *Service) requestTasksLocked(ws []WorkerID, workerIDs []string) (map[string][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the write lock: the budget may have been spent between
+	// the caller's read-locked check and here.
+	if s.cfg.budget == 0 {
+		return nil, ErrBudgetExhausted
+	}
+	// Re-resolve the worker IDs: a Restore between the locks could have
+	// renumbered the dense indices.
 	for i, id := range workerIDs {
 		w, err := s.lookupWorker(id)
 		if err != nil {
@@ -650,6 +770,7 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 	if err := s.ensureEngine(); err != nil {
 		return nil, err
 	}
+	s.planStats.locked.Add(1)
 	// The engines' planners may probe the exclusion predicate from several
 	// goroutines (the sharded fan-out), so the dedup-hit tally is atomic.
 	var dedupHits atomic.Int64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"poilabel"
 	"poilabel/internal/experiment"
@@ -126,6 +127,94 @@ func BenchmarkDirectModelSubmit(b *testing.B) {
 		if err := m.Update(answers[i]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRequestTasksParallel measures the lock-free serving path at the
+// load benchmark's L scale (8000 tasks, 100 workers): goroutines run the
+// closed crowd loop — request one worker's assignments (h = 2), answer the
+// handed-out tasks — against a background-fit service configured like the
+// BENCH_serve closed-single row (2s cadence, eager fit at 2000 answers).
+// Planning runs against the published snapshot through the per-worker
+// candidate index; only the optimistic commit and the answer submissions
+// take the write lock. Compare with BenchmarkServiceRequestTasks, which
+// plans under the write lock on a synchronous service. Per-op cost covers
+// one request plus its h answers.
+func BenchmarkRequestTasksParallel(b *testing.B) {
+	env, err := experiment.SyntheticEnv(8000, 100, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := poilabel.NewService(
+		poilabel.WithBackgroundFit(2*time.Second, 2000),
+		poilabel.WithTasksPerRequest(2),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	for i, t := range env.Data.Tasks {
+		if err := svc.AddTask(fmt.Sprintf("t%d", i), poilabel.TaskSpec{
+			Name:     t.Name,
+			Location: t.Location,
+			Labels:   t.Labels,
+			Reviews:  t.Reviews,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, w := range env.Workers {
+		if err := svc.AddWorker(fmt.Sprintf("w%d", i), poilabel.WorkerSpec{
+			Name:      w.Name,
+			Locations: w.Locations,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm with one answer per 10 tasks, then force the first publication:
+	// until the engine is built and a generation published, requests fall
+	// back to the write-locked planner.
+	for t := 0; t < len(env.Data.Tasks); t += 10 {
+		w := (t / 10) % len(env.Workers)
+		a := env.Sim.Answer(model.WorkerID(w), model.TaskID(t))
+		if err := svc.SubmitAnswer(fmt.Sprintf("w%d", w), fmt.Sprintf("t%d", t), a.Selected); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if _, err := svc.Results(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.WaitFresh(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		worker := make([]string, 1)
+		for pb.Next() {
+			wi := int(next.Add(1)-1) % len(env.Workers)
+			worker[0] = fmt.Sprintf("w%d", wi)
+			assigned, err := svc.RequestTasks(ctx, worker)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, task := range assigned[worker[0]] {
+				var ti int
+				if _, err := fmt.Sscanf(task, "t%d", &ti); err != nil {
+					b.Fatal(err)
+				}
+				a := env.Sim.Answer(model.WorkerID(wi), model.TaskID(ti))
+				if err := svc.SubmitAnswer(worker[0], task, a.Selected); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	if st := svc.PlanStats(); !st.Enabled || st.LockFreePlans == 0 {
+		b.Fatalf("benchmark never exercised the lock-free path: %+v", st)
 	}
 }
 
