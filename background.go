@@ -94,6 +94,9 @@ type fitPipeline struct {
 }
 
 func newFitPipeline(s *Service, interval time.Duration, minAnswers int) *fitPipeline {
+	// The pipeline's lifetime is the service's, not any request's: this root
+	// context exists to be cancelled by Close.
+	//lint:ignore ctxflow pipeline root context, cancelled by Close — no caller to inherit from
 	ctx, cancel := context.WithCancel(context.Background())
 	return &fitPipeline{
 		s:          s,

@@ -3,6 +3,7 @@ package poilabel
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -521,7 +522,7 @@ func TestBackgroundCloseDrains(t *testing.T) {
 	if _, err := svc.Results(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.WaitFresh(ctx); err != ErrClosed {
+	if err := svc.WaitFresh(ctx); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WaitFresh after Close = %v, want ErrClosed", err)
 	}
 }

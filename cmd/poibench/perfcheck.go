@@ -22,6 +22,16 @@ import (
 // on such hosts the step degrades to a smoke run of the sweeps. The gate
 // bites on the reference machine (where the baselines are regenerated) and
 // on any runner matching its recorded environment.
+// seriesTol widens the gate for series whose absolute scale makes the
+// default tolerance meaningless. The warm plan path reuses the published
+// snapshot's candidate plan, so its S point runs in microseconds — scheduler
+// jitter alone swings it far past the default 25% — but a genuine loss of
+// the lock-free fast path (falling back to a cold rebuild) is a >100×
+// cliff, which the 3× ceiling still catches.
+var seriesTol = map[string]float64{
+	"plan_warm_ms_by_tasks": 2.0, // fail only beyond 3× baseline
+}
+
 func checkPerf(dir string, seed int64, tol float64) error {
 	start := time.Now()
 	smokes, err := experiment.RunPerfSmoke(seed)
@@ -47,6 +57,10 @@ func checkPerf(dir string, seed int64, tol float64) error {
 			if bs == nil {
 				return fmt.Errorf("checkperf: baseline %s has no series %q", path, s.Label)
 			}
+			stol := tol
+			if t, ok := seriesTol[s.Label]; ok && t > stol {
+				stol = t
+			}
 			for i, x := range s.X {
 				baseY, ok := bs.At(x)
 				if !ok {
@@ -55,11 +69,11 @@ func checkPerf(dir string, seed int64, tol float64) error {
 				got := s.Y[i]
 				ratio := got / baseY
 				verdict := "ok"
-				if ratio > 1+tol {
+				if ratio > 1+stol {
 					verdict = "FAIL"
 					failures = append(failures, fmt.Sprintf(
 						"%s %s@%d: %.4g vs baseline %.4g (%+.0f%%, tolerance %+.0f%%)",
-						smoke.Name, s.Label, x, got, baseY, 100*(ratio-1), 100*tol))
+						smoke.Name, s.Label, x, got, baseY, 100*(ratio-1), 100*stol))
 				}
 				fmt.Printf("checkperf: %-4s %s %s@%d: %.4g vs baseline %.4g (%+.0f%%)\n",
 					verdict, smoke.Name, s.Label, x, got, baseY, 100*(ratio-1))

@@ -442,8 +442,15 @@ func (p *serverProcess) Restart(ctx context.Context) error {
 	// graceful SIGTERM path drains in-flight requests and writes a final
 	// checkpoint of its own, which is what actually guarantees nothing
 	// acknowledged after this POST is lost.
-	if resp, err := http.Post(p.baseURL+"/checkpoint", "application/json", nil); err == nil {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.baseURL+"/checkpoint", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
 		resp.Body.Close()
+	} else if ctx.Err() != nil {
+		return ctx.Err()
 	}
 	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err

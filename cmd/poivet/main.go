@@ -1,0 +1,135 @@
+// Command poivet runs the project's custom static analyzers (internal/lint)
+// over the module: the mechanical enforcement of docs/ARCHITECTURE.md's
+// "Locks and invariants" table.
+//
+// Usage:
+//
+//	poivet [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module root.
+// Diagnostics print as file:line:col: analyzer: message; the exit status is
+// 1 when any diagnostic survives the //lint:ignore directives, 2 on a
+// loading or internal error, 0 on a clean tree.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"poilabel/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	version := flag.String("V", "", "print version and exit (go vet -vettool protocol)")
+	flagsJSON := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet -vettool protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: poivet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *version != "" {
+		// cmd/go fingerprints the tool with -V=full before driving it; the
+		// content hash of the binary is the cache-busting version.
+		fmt.Printf("poivet version devel buildID=%x\n", selfHash())
+		return
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *flagsJSON {
+		// cmd/go queries the vettool's analyzer flags as JSON; poivet has none.
+		fmt.Println("[]")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// Invoked by `go vet -vettool=poivet`: one package per .cfg file.
+		os.Exit(lint.Unitchecker(args[0], lint.All()))
+	}
+	os.Exit(run(args))
+}
+
+func run(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poivet:", err)
+		return 2
+	}
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poivet:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poivet:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poivet:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Position(loader.Fset())
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "poivet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selfHash content-hashes the running executable for the -V=full
+// fingerprint, so go vet's cache invalidates when the tool changes.
+func selfHash() []byte {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return h.Sum(nil)
+}

@@ -370,6 +370,7 @@ func (m *Model) normalizeSmoothed(dst, src []float64) {
 // maximum parameter change drops below Tol or MaxIter is reached. With
 // Config.Parallelism > 1 the E-step fans out over that many goroutines.
 func (m *Model) Fit() FitStats {
+	//lint:ignore ctxflow context-free compat API; callers with deadlines use FitContext
 	stats, _ := m.FitContext(context.Background())
 	return stats
 }

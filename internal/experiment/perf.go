@@ -140,18 +140,20 @@ func RunPerfSmoke(seed int64) ([]*PerfReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	coldMs, _, err := timeSnapshotPlan(PerfAssignTaskCounts[0], 100, seed)
+	coldMs, warmMs, err := timeSnapshotPlan(PerfAssignTaskCounts[0], 100, seed)
 	if err != nil {
 		return nil, err
 	}
 	rAsg := newPerfReport("assign", seed)
-	// The warm-plan series is tracked in the full report but not gated here:
-	// a warm candidate rescan is ~100ns, below what wall-clock timing can
-	// compare within the gate's tolerance on a busy host.
+	// The warm-plan point is microseconds-scale, so its wall-clock is far
+	// noisier than the other series; the gate compensates with a wide
+	// per-series tolerance (see cmd/poibench checkPerf) rather than by
+	// leaving the lock-free warm path unwatched.
 	rAsg.Series = []PerfSeries{
 		{Label: "accopt_ms_by_tasks", X: PerfAssignTaskCounts[:1], Y: []float64{msTasks}},
 		{Label: "accopt_ms_by_workers", X: PerfAssignWorkerCount[:1], Y: []float64{msWorkers}},
 		{Label: "plan_cold_ms_by_tasks", X: PerfAssignTaskCounts[:1], Y: []float64{coldMs}},
+		{Label: "plan_warm_ms_by_tasks", X: PerfAssignTaskCounts[:1], Y: []float64{warmMs}},
 	}
 	return []*PerfReport{rInf, rAsg}, nil
 }

@@ -233,6 +233,7 @@ type FitStats struct {
 // Fit runs every city's sharded fit concurrently and merges cross-city worker
 // estimates by answer-count-weighted averaging.
 func (f *Federation) Fit() FitStats {
+	//lint:ignore ctxflow context-free compat API; callers with deadlines use FitContext
 	st, _ := f.FitContext(context.Background())
 	return st
 }

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer closes two gaps vet leaves open. First, a field
+// accessed through the legacy sync/atomic functions (atomic.AddInt64(&x.n),
+// atomic.LoadInt64(&x.n)) must be accessed that way everywhere — one plain
+// `x.n++` next to atomic adds is a data race the typed atomic.Int64 would
+// have made impossible. Second, copylocks misses copies made through
+// container indexing and range clauses: `row := rows[i]` and
+// `for _, row := range rows` silently copy any mutex or atomic inside the
+// element, forking its state.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "report mixed atomic/non-atomic access to a field, and " +
+		"lock/atomic-bearing struct copies through indexing or range",
+	Run: runAtomicField,
+}
+
+// legacyAtomicFuncs are the sync/atomic package functions taking a pointer
+// to the word they operate on.
+var legacyAtomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.Info()
+
+	// Pass 1: collect fields used through legacy atomic calls, and the
+	// exact selector nodes inside those calls (exempt from pass 2).
+	atomicFields := make(map[types.Object]token.Pos)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || !legacyAtomicFuncs[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := info.Uses[sel.Sel]; obj != nil {
+					if _, isField := obj.(*types.Var); isField {
+						atomicFields[obj] = sel.Pos()
+						exempt[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other access to those fields is a plain (racy) access.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			if _, used := atomicFields[obj]; used {
+				pass.Reportf(sel.Pos(), "non-atomic access to %s, which is accessed with sync/atomic elsewhere in this package", exprString(sel))
+			}
+			return true
+		})
+	}
+
+	// Copies through indexing and range that smuggle locks or atomics.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					idx, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					tv, ok := info.Types[idx]
+					if !ok {
+						continue
+					}
+					if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+						continue
+					}
+					if name, bad := containsLockOrAtomic(tv.Type); bad {
+						pass.Reportf(x.Pos(), "element copy of %s carries %s by value: copylocks cannot see through the index — use a pointer element", exprString(idx), name)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				tv, ok := info.Types[x.Value]
+				if !ok {
+					// The range value is a definition, not a use; its type
+					// lives in Defs.
+					if id, isID := x.Value.(*ast.Ident); isID {
+						if obj := info.Defs[id]; obj != nil {
+							tv = types.TypeAndValue{Type: obj.Type()}
+							ok = true
+						}
+					}
+				}
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					return true
+				}
+				if name, bad := containsLockOrAtomic(tv.Type); bad {
+					pass.Reportf(x.Value.Pos(), "range value copies %s by value (contains %s): iterate by index or make the element a pointer", tv.Type.String(), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

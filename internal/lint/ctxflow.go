@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer keeps cancellation wired end to end. The serving paths
+// exist to honor deadlines — a fit that cannot be cancelled holds the
+// request hostage — so (1) an exported function that accepts a
+// context.Context must actually use it, and (2) library code must not mint
+// fresh roots with context.Background()/context.TODO(): a root context in a
+// library severs the caller's cancellation chain. Commands and tests own
+// their lifecycles and are exempt.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "report exported APIs that drop their context.Context and " +
+		"context.Background()/TODO() calls in library code",
+	Run: runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+func runCtxFlow(pass *Pass) error {
+	info := pass.Info()
+	library := isLibraryPath(pass.Pkg.Path)
+
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.IsExported() {
+				checkDroppedCtx(pass, info, fd)
+			}
+		}
+		if !library {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil || funcPkgPath(fn) != "context" {
+				return true
+			}
+			switch fn.Name() {
+			case "Background", "TODO":
+				pass.Reportf(call.Pos(), "context.%s() in library code severs the caller's cancellation chain: thread a context.Context through instead", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCtx reports an exported function that declares a
+// context.Context parameter its body never reads.
+func checkDroppedCtx(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				// An explicit blank is a visible statement of intent;
+				// ctxflow leaves it to review.
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return true
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "exported %s accepts %s context.Context but never uses it: the caller's deadline and cancellation are silently dropped", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"poilabel/internal/lint"
+	"poilabel/internal/lint/linttest"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), lint.LockOrderAnalyzer, "lockorder/a")
+}
+
+func TestPublish(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), lint.PublishAnalyzer, "publish/a")
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), lint.AtomicFieldAnalyzer, "atomicfield/a")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), lint.CtxFlowAnalyzer, "ctxflow/a", "ctxflow/cmd/tool")
+}
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, fixtureRoot(t), lint.MetricNameAnalyzer, "metricname/a")
+}
+
+// TestTreeClean runs every analyzer over the real module, exactly like
+// cmd/poivet: the invariants the analyzers encode must hold on the tree at
+// all times, so a violation fails `go test` even before the CI lint job.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := d.Position(loader.Fset())
+		t.Errorf("%s:%d:%d: %s: %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,91 @@
+// Package linttest runs internal/lint analyzers against source fixtures,
+// mirroring golang.org/x/tools' analysistest: fixture files mark the
+// diagnostics they expect with trailing comments of the form
+//
+//	code() // want `regexp`
+//
+// and Run fails the test for every unexpected diagnostic and every
+// expectation no diagnostic matched. A fixture line with no want comment is
+// a false-positive guard: any diagnostic on it fails the test.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"poilabel/internal/lint"
+)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// Run loads the fixture packages under root, applies the analyzer, and
+// compares the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, root string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := lint.NewFixtureLoader(root)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", m[1], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := d.Position(loader.Fset())
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", shortPos(pos.Filename, pos.Line, root), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matched `%s`", shortPos(w.file, w.line, root), w.re)
+		}
+	}
+}
+
+// shortPos trims the fixture root off a file path for readable failures.
+func shortPos(file string, line int, root string) string {
+	if rel, ok := strings.CutPrefix(file, root+"/"); ok {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PublishAnalyzer enforces "published means frozen": once a value is stored
+// into an atomic.Pointer (or atomic.Value) — the paramGen, assign.Snapshot,
+// and Candidates generation pattern — readers hold it without locks, so any
+// later write through that value is a data race. The check is lexical and
+// per-function: after `ptr.Store(gen)`, writes like `gen.f = x` or
+// `gen.s[i] = x` are flagged until `gen` is rebound to a fresh value.
+var PublishAnalyzer = &Analyzer{
+	Name: "publish",
+	Doc: "report writes to a value after it was stored into an " +
+		"atomic.Pointer: published generations are immutable",
+	Run: runPublish,
+}
+
+func runPublish(pass *Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPublish(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// atomicStoreArg returns the stored expression when call is a Store on an
+// atomic.Pointer or atomic.Value receiver.
+func atomicStoreArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" || len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	n := namedType(tv.Type)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	switch n.Obj().Name() {
+	case "Pointer", "Value":
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+func checkPublish(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info()
+	// published maps a variable object to the position of the Store that
+	// froze it. Rebinding the variable to a fresh value clears the entry —
+	// mutating a new generation under construction is the normal pattern.
+	published := make(map[types.Object]token.Pos)
+
+	objOf := func(e ast.Expr) types.Object {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if arg, ok := atomicStoreArg(info, x); ok {
+				// `ptr.Store(&paramGen{...})` publishes an expression no
+				// one can name afterwards — nothing to track, and exactly
+				// the pattern the codebase prefers.
+				if obj := objOf(arg); obj != nil {
+					published[obj] = x.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				lhs = ast.Unparen(lhs)
+				if id, ok := lhs.(*ast.Ident); ok {
+					// Plain rebinding: the old published value is no
+					// longer reachable through this name.
+					if obj := objOf(id); obj != nil {
+						delete(published, obj)
+					}
+					continue
+				}
+				if obj := objOf(lhs); obj != nil {
+					if _, frozen := published[obj]; frozen {
+						pass.Reportf(x.Pos(), "write to %s after it was published via atomic Store: published values are frozen", exprString(lhs))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := objOf(x.X); obj != nil {
+				if _, frozen := published[obj]; frozen {
+					pass.Reportf(x.Pos(), "write to %s after it was published via atomic Store: published values are frozen", exprString(x.X))
+				}
+			}
+		}
+		return true
+	})
+}

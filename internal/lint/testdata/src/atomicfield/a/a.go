@@ -1,0 +1,65 @@
+// Package a is the atomicfield fixture: mixed atomic/plain access to one
+// field, and lock-bearing struct copies through indexing and range clauses.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n int64
+	m int64
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func bad(c *counter) int64 {
+	c.n++      // want `non-atomic access to c.n`
+	return c.n // want `non-atomic access to c.n`
+}
+
+type row struct {
+	mu sync.Mutex
+	v  int
+}
+
+func badIndexCopy(rows []row) int {
+	r := rows[0] // want `carries sync.Mutex by value`
+	return r.v
+}
+
+func badRangeCopy(rows []row) int {
+	total := 0
+	for _, r := range rows { // want `range value copies`
+		total += r.v
+	}
+	return total
+}
+
+// --- false-positive guards ---
+
+func okPlainField(c *counter) int64 {
+	c.m++ // m is never accessed atomically
+	return c.m
+}
+
+func okPointerElems(rows []*row) int {
+	total := 0
+	for _, r := range rows {
+		total += r.v
+	}
+	return total + okIndexPointer(rows)
+}
+
+func okIndexPointer(rows []*row) int {
+	r := rows[0]
+	return r.v
+}
+
+func okIndexNoLock(xs []int) int {
+	x := xs[0]
+	return x
+}

@@ -1,0 +1,36 @@
+// Package a is the ctxflow fixture: dropped context parameters and fresh
+// context roots in library code are flagged; used contexts, annotated
+// roots, and command code are not.
+package a
+
+import "context"
+
+func Drop(ctx context.Context, n int) int { // want `accepts ctx context.Context but never uses it`
+	return n * 2
+}
+
+func badRoot() error {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	return ctx.Err()
+}
+
+func badTODO() error {
+	return work(context.TODO()) // want `context.TODO\(\) in library code`
+}
+
+// --- false-positive guards ---
+
+func Use(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+func okAnnotated() error {
+	//lint:ignore ctxflow fixture: deliberate root context
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,10 @@
+// Command tool is the ctxflow false-positive guard for command code: a main
+// package owns its lifecycle, so minting the root context here is correct.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx.Err()
+}

@@ -1,0 +1,41 @@
+// Package a is the metricname fixture: registrations off the naming
+// conventions and sentinel comparisons with == are flagged; conforming
+// names, nil checks, and errors.Is are not.
+package a
+
+import (
+	"errors"
+
+	"metricname/internal/metrics"
+)
+
+func register(r *metrics.Registry) {
+	r.Counter("mysystem_requests_total", "bad prefix")       // want `outside the poilabel_\*/poiserve_\* namespaces`
+	r.Counter("poilabel_requests", "no suffix")              // want `must end in _total`
+	r.Histogram("poiserve_latency_ms", "wrong unit")         // want `must end in _seconds`
+	r.Gauge("poilabel_stuff_total", "gauge as counter")      // want `must not end in _total`
+	r.CounterVec("poiserve_reqs_total", "label", "Endpoint") // want `label "Endpoint" must be lower_snake_case`
+}
+
+var ErrGone = errors.New("gone")
+
+func bad(err error) bool {
+	return err == ErrGone // want `sentinel error ErrGone compared with ==`
+}
+
+// --- false-positive guards ---
+
+func okRegister(r *metrics.Registry) {
+	r.Counter("poilabel_good_total", "ok")
+	r.Gauge("poiserve_queue_depth", "ok")
+	r.Histogram("poiserve_latency_seconds", "ok")
+	r.CounterVec("poiserve_reqs_total", "ok", "endpoint", "code")
+}
+
+func okIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func okNil(err error) bool {
+	return err == nil
+}

@@ -1,0 +1,55 @@
+// Package a is the publish fixture: writes after an atomic Store are
+// flagged, construction before the Store and rebinding to a fresh value are
+// not.
+package a
+
+import "sync/atomic"
+
+type gen struct {
+	n  int
+	xs []int
+}
+
+type S struct {
+	p atomic.Pointer[gen]
+}
+
+func bad(s *S) {
+	g := &gen{n: 1}
+	s.p.Store(g)
+	g.n = 2                // want `write to g.n after it was published`
+	g.xs = append(g.xs, 1) // want `write to g.xs after it was published`
+}
+
+func badIncDec(s *S) {
+	g := &gen{}
+	s.p.Store(g)
+	g.n++ // want `write to g.n after it was published`
+}
+
+func badValue(v *atomic.Value) {
+	g := &gen{}
+	v.Store(g)
+	g.n = 3 // want `write to g.n after it was published`
+}
+
+// --- false-positive guards ---
+
+func okBuildThenStore(s *S) {
+	g := &gen{}
+	g.n = 1
+	g.xs = append(g.xs, 1)
+	s.p.Store(g)
+}
+
+func okRebind(s *S) {
+	g := &gen{}
+	s.p.Store(g)
+	g = &gen{}
+	g.n = 2
+	s.p.Store(g)
+}
+
+func okInlineLiteral(s *S) {
+	s.p.Store(&gen{n: 1})
+}

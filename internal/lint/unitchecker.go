@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// unitConfig is the JSON configuration cmd/go hands a -vettool for each
+// package: the subset of golang.org/x/tools' unitchecker.Config this
+// implementation reads.
+type unitConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ModulePath  string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// Unitchecker runs the analyzers on one package described by a cmd/go vet
+// .cfg file — the protocol behind `go vet -vettool=poivet`. Type
+// information for imports comes from the compiler export data cmd/go
+// already built, so only the target package is parsed; the lockorder
+// call-graph walk therefore sees this package's bodies only (the standalone
+// `poivet ./...` mode walks the whole module). Diagnostics print to stderr
+// as file:line:col lines; the exit code is 2 when any survive, matching
+// vet's convention.
+func Unitchecker(cfgPath string, analyzers []*Analyzer) int {
+	code, err := runUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poivet: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// cmd/go expects the facts file to exist for every vetted package,
+	// including the VetxOnly dependencies it pre-vets; these analyzers
+	// exchange no facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test variants' GoFiles include _test.go sources; standalone poivet
+		// never analyzes those, so vet mode skips them too rather than hold
+		// test-only code to library invariants.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0, nil
+	}
+	// Imports resolve through the export data cmd/go listed in PackageFile,
+	// after applying the vendor/ImportMap aliasing.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " X:"),
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	// A single-package loader: moduleLocal resolves by module-path prefix,
+	// and the call-graph walk finds this package's own declarations.
+	l := NewLoader(moduleDir{Prefix: cfg.ModulePath, Dir: cfg.Dir})
+	l.fset = fset
+	pkg := &Package{
+		Path:   cfg.ImportPath,
+		Dir:    cfg.Dir,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
+	}
+	l.pkgs[cfg.ImportPath] = pkg
+
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

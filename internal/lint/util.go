@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rootIdent unwraps selector, index, star, paren, and slice expressions down
+// to the base identifier: rootIdent(s.eng.Result()[i].f) == nil (call in the
+// chain), rootIdent(gen.results[0].Prob) == gen.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a selector chain for diagnostics ("s.mu", "p.s.mu");
+// unprintable sub-expressions collapse to "…".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[…]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	default:
+		return "…"
+	}
+}
+
+// namedType unwraps pointers and aliases to the underlying *types.Named.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgType reports whether t (or *t) is the named type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// mutexKind classifies a type as one of the sync locks.
+func mutexKind(t types.Type) string {
+	switch {
+	case isPkgType(t, "sync", "Mutex"):
+		return "Mutex"
+	case isPkgType(t, "sync", "RWMutex"):
+		return "RWMutex"
+	}
+	return ""
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (Int32, Uint64, Bool, Value, Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// containsLockOrAtomic reports whether t transitively contains, by value, a
+// sync lock or a sync/atomic value — state that must never be copied. It
+// returns the name of the offending component for the diagnostic.
+func containsLockOrAtomic(t types.Type) (string, bool) {
+	return containsLockOrAtomicDepth(t, 0)
+}
+
+func containsLockOrAtomicDepth(t types.Type, depth int) (string, bool) {
+	if depth > 10 {
+		return "", false
+	}
+	if k := mutexKind(t); k != "" {
+		return "sync." + k, true
+	}
+	switch {
+	case isPkgType(t, "sync", "WaitGroup"):
+		return "sync.WaitGroup", true
+	case isPkgType(t, "sync", "Once"):
+		return "sync.Once", true
+	case isPkgType(t, "sync", "Cond"):
+		return "sync.Cond", true
+	case isPkgType(t, "sync", "Pool"):
+		return "sync.Pool", true
+	case isAtomicType(t):
+		n := namedType(t)
+		return "atomic." + n.Obj().Name(), true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := containsLockOrAtomicDepth(u.Field(i).Type(), depth+1); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLockOrAtomicDepth(u.Elem(), depth+1)
+	}
+	return "", false
+}
+
+// callee resolves a call's static callee: a declared function or a concrete
+// or interface method. Calls through function values return nil.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the package path a function belongs to ("" for
+// builtins).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvTypeName returns the bare receiver type name of a method ("Service"
+// for (*Service).Fit), or "" for plain functions.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedType(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+		_ = iface
+	}
+	return ""
+}
+
+// isLibraryPath reports whether an import path is library code: not a
+// command, not an example binary. Both "poilabel/cmd/poiserve" and a
+// fixture's "ctxflow/cmd/tool" count as commands.
+func isLibraryPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" || seg == "main" {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,9 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 	case <-ctx.Done():
 	}
 
+	// The caller's ctx is already done by this point — deriving the drain
+	// deadline from it would cancel the drain instantly.
+	//lint:ignore ctxflow shutdown path: the parent context is already cancelled
 	drainCtx := context.Background()
 	if shutdownTimeout > 0 {
 		var cancel context.CancelFunc
@@ -52,6 +55,9 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 		return err
 	}
 	for _, hook := range preCheckpoint {
+		// Same as the drain: the parent context is spent, the hooks get the
+		// shutdown timeout on a fresh root.
+		//lint:ignore ctxflow shutdown path: the parent context is already cancelled
 		hookCtx := context.Background()
 		if shutdownTimeout > 0 {
 			var cancel context.CancelFunc

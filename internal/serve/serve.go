@@ -261,7 +261,7 @@ func (h *Handler) postAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := h.svc.SubmitAnswer(req.Worker, req.Task, req.Selected); err != nil {
+	if err := h.svc.SubmitAnswerContext(r.Context(), req.Worker, req.Task, req.Selected); err != nil {
 		writeServiceError(w, err)
 		return
 	}

@@ -256,6 +256,7 @@ type FitStats struct {
 // estimates (answer-count-weighted for roaming workers), and runs the
 // configured cross-shard refinement sweeps.
 func (s *Sharded) Fit() FitStats {
+	//lint:ignore ctxflow context-free compat API; callers with deadlines use FitContext
 	st, _ := s.FitContext(context.Background())
 	return st
 }

@@ -307,6 +307,7 @@ func (f *Framework) RequestTasks(workers []WorkerID) (map[WorkerID][]TaskID, err
 		}
 		ids[i] = denseID(int(w))
 	}
+	//lint:ignore ctxflow Framework is the in-process context-free facade; use Service for deadlines
 	assigned, err := f.svc.RequestTasks(context.Background(), ids)
 	if err != nil {
 		return nil, err
@@ -346,6 +347,7 @@ func (f *Framework) SubmitAnswer(a Answer) error {
 // Refit forces a full EM pass over all answers received so far and reports
 // whether it converged within the configured iteration cap.
 func (f *Framework) Refit() bool {
+	//lint:ignore ctxflow Framework is the in-process context-free facade; use Service for deadlines
 	converged, _ := f.svc.Fit(context.Background())
 	return converged
 }
@@ -355,6 +357,7 @@ func (f *Framework) Refit() bool {
 func (f *Framework) Results() *Result {
 	// A full EM pass makes the returned snapshot self-consistent (the
 	// incremental updates between full runs only touch local parameters).
+	//lint:ignore ctxflow Framework is the in-process context-free facade; use Service for deadlines
 	res, _ := f.svc.ResultSet(context.Background())
 	return res
 }
@@ -522,6 +525,7 @@ func (sm *ShardedModel) SubmitAnswer(a Answer) error {
 // Fit runs full EM on every shard concurrently, merges roaming-worker
 // estimates, and runs the configured refinement sweeps.
 func (sm *ShardedModel) Fit() ShardFitStats {
+	//lint:ignore ctxflow ShardedModel is the in-process context-free facade; use Service for deadlines
 	sm.svc.Fit(context.Background())
 	return sm.eng.lastStats
 }

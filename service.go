@@ -572,14 +572,29 @@ func (s *Service) lookupTask(id string) (TaskID, error) {
 	return t, nil
 }
 
-// SubmitAnswer feeds one worker's votes on one task into the engine. The
-// pair's pending mark (if any) is cleared; unsolicited answers — pairs never
-// handed out by RequestTasks — are learned from exactly the same way and
-// never touch the budget. Every FullEMInterval-th submission triggers a full
-// fit; in between, the single engine applies incremental EM and the batch
-// engines only log. With background fitting (WithBackgroundFit) submissions
-// never fit inline: the pipeline schedules full fits off the request path.
+// SubmitAnswer feeds one worker's votes on one task into the engine. It is
+// SubmitAnswerContext without a deadline: the periodic inline full fit (every
+// FullEMInterval-th submission in synchronous mode) runs to completion.
 func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
+	// The context-free compatibility surface: the root context is the entire
+	// point of this wrapper.
+	//lint:ignore ctxflow context-free compat API; callers with deadlines use SubmitAnswerContext
+	return s.SubmitAnswerContext(context.Background(), workerID, taskID, selected)
+}
+
+// SubmitAnswerContext feeds one worker's votes on one task into the engine.
+// The pair's pending mark (if any) is cleared; unsolicited answers — pairs
+// never handed out by RequestTasks — are learned from exactly the same way
+// and never touch the budget. Every FullEMInterval-th submission triggers a
+// full fit honoring ctx between EM iterations (a cancelled fit keeps the
+// last completed iteration's estimates and marks the engine dirty); in
+// between, the single engine applies incremental EM and the batch engines
+// only log. With background fitting (WithBackgroundFit) submissions never
+// fit inline: the pipeline schedules full fits off the request path.
+func (s *Service) SubmitAnswerContext(ctx context.Context, workerID, taskID string, selected []bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w, err := s.lookupWorker(workerID)
@@ -630,7 +645,7 @@ func (s *Service) SubmitAnswer(workerID, taskID string, selected []bool) error {
 		delete(s.pending, pairKey{w, t})
 		s.sinceFull = 0
 		s.observeAnswer(true)
-		if _, err := s.fitEngineLocked(context.Background()); err != nil {
+		if _, err := s.fitEngineLocked(ctx); err != nil {
 			s.dirty = true
 			return err
 		}
@@ -656,7 +671,12 @@ func (s *Service) observeAnswer(full bool) {
 }
 
 // fitEngineLocked runs one full engine fit with observer timing; callers
-// must hold the write lock.
+// must hold the write lock. Fitting under the write lock is synchronous
+// mode's documented contract — submissions and Results block for the fit —
+// so lockorder's blocking-call walk stops here instead of flagging every
+// caller; background mode never reaches this function from the request path.
+//
+//lint:sanctioned lockorder synchronous mode fits under the write lock by design
 func (s *Service) fitEngineLocked(ctx context.Context) (bool, error) {
 	start := time.Now()
 	converged, err := s.eng.Fit(ctx)
