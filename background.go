@@ -84,10 +84,11 @@ type fitPipeline struct {
 	fitCtx    context.Context // cancels the in-flight fit on hard shutdown
 	cancelFit context.CancelFunc
 
-	mu       sync.Mutex
-	wantFull bool          // an explicit full fit was requested (WaitFresh)
-	inFlight bool          // a fit is running right now
-	notify   chan struct{} // closed and replaced on every publication
+	mu         sync.Mutex
+	wantFull   bool              // an explicit full fit was requested (WaitFresh)
+	inFlight   bool              // a fit is running right now
+	notify     chan struct{}     // closed and replaced on every publication
+	pendingMig *migrationRequest // queued elastic migration (capacity 1)
 
 	fits      atomic.Uint64 // completed fit attempts (including abandoned)
 	coalesced atomic.Uint64 // triggers dropped because a re-fit was queued
@@ -121,7 +122,11 @@ func (p *fitPipeline) run() {
 		case <-p.stop:
 			// Drain: fold any outstanding answers into one final full
 			// generation so a post-Close checkpoint is fully fitted. The
-			// fit honors fitCtx, which Close cancels on deadline.
+			// fit honors fitCtx, which Close cancels on deadline. A queued
+			// migration is abandoned — its waiter (if any) learns why.
+			if req := p.takeMigration(); req != nil {
+				req.finish(ErrClosed)
+			}
 			if p.backlog() > 0 || p.takeWantFull() {
 				p.runOneFit()
 			}
@@ -130,8 +135,41 @@ func (p *fitPipeline) run() {
 		case <-tick.C:
 		}
 		p.drainFits()
+		if req := p.takeMigration(); req != nil {
+			p.runOneMigration(req)
+		}
 		p.republishRegistrations()
 	}
+}
+
+// requestMigration queues one elastic migration for the scheduler goroutine
+// to execute between fits. At most one migration is ever queued; a second
+// request is rejected (the detector re-proposes on a later window).
+func (p *fitPipeline) requestMigration(req *migrationRequest) bool {
+	p.mu.Lock()
+	if p.pendingMig != nil {
+		p.mu.Unlock()
+		return false
+	}
+	select {
+	case <-p.stop:
+		p.mu.Unlock()
+		return false
+	default:
+	}
+	p.pendingMig = req
+	p.mu.Unlock()
+	p.kickNow()
+	return true
+}
+
+// takeMigration claims the queued migration, if any.
+func (p *fitPipeline) takeMigration() *migrationRequest {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	req := p.pendingMig
+	p.pendingMig = nil
+	return req
 }
 
 // drainFits runs fits until the pipeline owes nothing: the first fit of a
@@ -495,6 +533,11 @@ func (s *Service) WaitFresh(ctx context.Context) error {
 // submissions afterwards (submissions keep learning incrementally, but no
 // further full fits run).
 func (s *Service) Close(ctx context.Context) error {
+	if s.elastic != nil {
+		// Stop the drift detector first so no new migration is proposed
+		// while the pipeline drains.
+		s.elastic.close()
+	}
 	if s.bg == nil {
 		return nil
 	}

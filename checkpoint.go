@@ -145,6 +145,12 @@ func (s *Service) captureLocked() *snapshot.Snapshot {
 		sv.Single = e.m.CheckpointState()
 	case *shardedEngine:
 		sv.Sharded = e.sh.CheckpointState()
+		// The layout travels with the snapshot (an elastic migration makes
+		// it state, not a function of the built prefix), and the normalizer
+		// diameter with it: post-migration the built prefix spans every
+		// task at migration time, so recomputing the diameter from it would
+		// change the distance scale the parameters were learned under.
+		sv.NormDiameter = e.sh.Normalizer().Max()
 	case *federatedEngine:
 		sv.Federated = e.fed.CheckpointState()
 	}
@@ -166,7 +172,13 @@ func (s *Service) applySnapshot(sv *snapshot.ServiceState) error {
 	if sv.EngineBuilt {
 		switch s.cfg.engine {
 		case EngineSharded:
-			if sv.Shards != s.cfg.shards {
+			// An elastic service treats the snapshot's explicit layout as
+			// authoritative — migrations detach the live shard count from
+			// the configured one, so a K=4 checkpoint must restore into a
+			// service that has since split to K=6 and vice versa. Without
+			// elastic re-sharding the configured counts still have to
+			// match, exactly as before layouts existed.
+			if !s.cfg.elasticOn && sv.Shards != s.cfg.shards {
 				return fmt.Errorf("poilabel: snapshot used shard count %d, service is configured with %d", sv.Shards, s.cfg.shards)
 			}
 		case EngineFederated:
@@ -208,7 +220,13 @@ func (s *Service) applySnapshot(sv *snapshot.ServiceState) error {
 		if err := addWorkers(0, sv.BuiltWorkers); err != nil {
 			return err
 		}
-		if err := s.ensureEngine(); err != nil {
+		var layout [][]int
+		var diam float64
+		if s.cfg.engine == EngineSharded && sv.Sharded != nil {
+			layout = sv.Sharded.Layout
+			diam = sv.NormDiameter
+		}
+		if err := s.ensureEngineWith(layout, diam); err != nil {
 			return err
 		}
 		if err := addTasks(sv.BuiltTasks, nt); err != nil {

@@ -6,13 +6,14 @@
 //
 //	poiload [-addr 127.0.0.1:8080] [-workers N] [-rate R] [-duration D]
 //	        [-warmup D] [-think D] [-model closed|open]
-//	        [-scenario steady|surge|rolling-restart] [-seed N]
+//	        [-scenario steady|surge|rolling-restart|drift] [-seed N]
 //	        [-world-tasks N] [-world-workers N] [-json] [-append FILE -label L]
 //	        [-serve-bin PATH [-engine E] [-shards K] [-cities N]
 //	         [-budget N] [-fullem N] [-bg-fit D] [-bg-min-answers N]
-//	         [-snap PATH]]
+//	         [-elastic [-elastic-check D] [-elastic-max K]] [-snap PATH]]
 //	        [-max-error-rate F]
 //	        [-slo-baseline FILE [-slo-run LABEL] [-slo-tol F]]
+//	        [-drift-baseline FILE [-drift-run LABEL] [-drift-min-ratio F]]
 //
 // Two modes:
 //
@@ -45,6 +46,16 @@
 // whose OS, arch, CPU count, or seed differs from this run is reported and
 // skipped rather than compared, so the gate bites on the reference machine
 // and degrades to a smoke run everywhere else.
+//
+// -scenario drift shifts all traffic onto one quadrant's worker identities
+// halfway through the measure phase — the workload that forces an elastic
+// sharded server (-elastic, forwarded to the spawned poiserve along with its
+// thresholds) to split its hot shard. The report carries pre/post-drift
+// throughput separately, and -drift-baseline gates this run's post-drift
+// req/s against the frozen-layout run recorded in BENCH_serve.json
+// (-drift-run, default drift-closed-sharded-frozen): the elastic run must
+// clear -drift-min-ratio (default 1.2) times the frozen run's post-drift
+// throughput, with the same environment-match skip rule as -slo-baseline.
 package main
 
 import (
@@ -80,7 +91,7 @@ func run() error {
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup phase length (unrecorded)")
 	think := flag.Duration("think", 10*time.Millisecond, "mean think time before each answer")
 	modelStr := flag.String("model", "closed", "workload model: closed or open")
-	scenarioStr := flag.String("scenario", "steady", "run shape: steady, surge, or rolling-restart")
+	scenarioStr := flag.String("scenario", "steady", "run shape: steady, surge, rolling-restart, or drift")
 	seed := flag.Int64("seed", 7, "world + traffic seed; must match the server's -seed")
 	worldTasks := flag.Int("world-tasks", 0, "demo world task count (0 = Beijing 200); must match server -demo-tasks")
 	worldWorkers := flag.Int("world-workers", 0, "demo world worker count (0 = derived); must match server -demo")
@@ -100,7 +111,13 @@ func run() error {
 	fullEM := flag.Int("fullem", 100, "spawned server full-fit interval")
 	bgFit := flag.Duration("bg-fit", 0, "spawned server background fit cadence (0 = synchronous fits)")
 	bgMin := flag.Int("bg-min-answers", 256, "spawned server eager background fit threshold (needs -bg-fit)")
+	elastic := flag.Bool("elastic", false, "spawned server: drift-aware elastic re-sharding (needs -engine sharded and -bg-fit)")
+	elasticCheck := flag.Duration("elastic-check", time.Second, "spawned server drift-detector tick (needs -elastic)")
+	elasticMax := flag.Int("elastic-max", 0, "spawned server shard-count ceiling (0 = poiserve default)")
 	snap := flag.String("snap", "", "spawned server checkpoint path (default: temp file)")
+	driftBaseline := flag.String("drift-baseline", "", "gate post-drift throughput against the frozen-layout run in this baseline file (drift scenario only)")
+	driftRun := flag.String("drift-run", "drift-closed-sharded-frozen", "frozen-layout baseline run label for -drift-baseline")
+	driftMinRatio := flag.Float64("drift-min-ratio", 1.2, "required post-drift throughput multiple over the frozen baseline run")
 	flag.Parse()
 
 	model, err := loadgen.ParseModel(*modelStr)
@@ -154,6 +171,12 @@ func run() error {
 		var bgArgs []string
 		if *bgFit > 0 {
 			bgArgs = []string{"-bg-fit", bgFit.String(), "-bg-min-answers", fmt.Sprint(*bgMin)}
+		}
+		if *elastic {
+			bgArgs = append(bgArgs, "-elastic", "-elastic-check", elasticCheck.String())
+			if *elasticMax > 0 {
+				bgArgs = append(bgArgs, "-elastic-max", fmt.Sprint(*elasticMax))
+			}
 		}
 		proc = &serverProcess{
 			bin:     *serveBin,
@@ -218,7 +241,59 @@ func run() error {
 		return err
 	}
 	if *sloBaseline != "" {
-		return checkSLO(*sloBaseline, *sloRun, *sloTol, *seed, rep)
+		if err := checkSLO(*sloBaseline, *sloRun, *sloTol, *seed, rep); err != nil {
+			return err
+		}
+	}
+	if *driftBaseline != "" {
+		if scenario != loadgen.ScenarioDrift {
+			return errors.New("-drift-baseline only applies to -scenario drift")
+		}
+		if err := checkDrift(*driftBaseline, *driftRun, *driftMinRatio, *seed, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDrift is the elastic-vs-frozen throughput gate: it compares the
+// finished drift run's post-drift req/s against the frozen-layout drift run
+// recorded in the committed baseline file and fails when the ratio falls
+// under minRatio — the "a split must actually buy throughput" assertion
+// behind the elastic sharding work. Same environment-match skip rule as
+// checkSLO: wall-clock ratios only mean something on the reference machine.
+func checkDrift(path, frozenRun string, minRatio float64, seed int64, rep *loadgen.Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("drift baseline: %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("drift baseline %s unreadable: %w", path, err)
+	}
+	if b.GOOS != runtime.GOOS || b.GOARCH != runtime.GOARCH || b.NumCPU != runtime.NumCPU() || b.Seed != seed {
+		fmt.Fprintf(os.Stderr, "poiload: drift baseline env %s/%s %dcpu seed %d != this run %s/%s %dcpu seed %d — load ran, comparison skipped\n",
+			b.GOOS, b.GOARCH, b.NumCPU, b.Seed,
+			runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), seed)
+		return nil
+	}
+	base, ok := b.Runs[frozenRun]
+	if !ok {
+		return fmt.Errorf("drift baseline %s has no run %q", path, frozenRun)
+	}
+	if base.PostDriftRPS <= 0 {
+		return fmt.Errorf("drift baseline run %q recorded no post-drift throughput", frozenRun)
+	}
+	ratio := rep.PostDriftRPS / base.PostDriftRPS
+	verdict := "ok"
+	if ratio < minRatio {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "poiload: drift %-4s post-drift %.0f req/s vs frozen baseline %.0f req/s (%.2fx, need ≥%.2fx)\n",
+		verdict, rep.PostDriftRPS, base.PostDriftRPS, ratio, minRatio)
+	if verdict == "FAIL" {
+		return fmt.Errorf("post-drift throughput %.0f req/s is %.2fx the frozen run %q's %.0f req/s; need ≥%.2fx",
+			rep.PostDriftRPS, ratio, frozenRun, base.PostDriftRPS, minRatio)
 	}
 	return nil
 }
@@ -297,6 +372,9 @@ func assess(rep *loadgen.Report, scenario loadgen.Scenario, maxErrRate float64, 
 	if scenario == loadgen.ScenarioRollingRestart && rep.Restarts == 0 {
 		problems = append(problems, "rolling-restart run performed no restart")
 	}
+	if scenario == loadgen.ScenarioDrift && rep.DriftAtSeconds <= 0 {
+		problems = append(problems, "drift run never entered its post-drift phase")
+	}
 	if owned && rep.Restarts == 0 {
 		if rep.Counters == nil {
 			problems = append(problems, "no /metrics counter match available")
@@ -319,6 +397,10 @@ func printSummary(rep *loadgen.Report) {
 	fmt.Printf(", world %d tasks / %d workers\n", rep.WorldTasks, rep.WorldWorkers)
 	fmt.Printf("measured %.1fs (+%.1fs warmup): %.0f req/s, %.0f answers/s, error rate %.4f\n",
 		rep.MeasureSeconds, rep.WarmupSeconds, rep.ThroughputRPS, rep.AnswersPerS, rep.ErrorRate)
+	if rep.DriftAtSeconds > 0 {
+		fmt.Printf("drift at %.1fs: %.0f req/s before, %.0f req/s after\n",
+			rep.DriftAtSeconds, rep.PreDriftRPS, rep.PostDriftRPS)
+	}
 
 	names := make([]string, 0, len(rep.Endpoints))
 	for name := range rep.Endpoints {

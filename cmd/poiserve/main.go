@@ -7,6 +7,8 @@
 //	         [-shards K] [-cities N] [-budget N] [-h N]
 //	         [-assigner accopt|marginal|sf|entropy|random]
 //	         [-fullem N] [-bg-fit D [-bg-min-answers N] [-plan-candidates K]]
+//	         [-elastic [-elastic-check D] [-elastic-split R] [-elastic-merge R]
+//	          [-elastic-max K] [-elastic-min-answers N]]
 //	         [-demo N] [-demo-tasks N] [-seed N]
 //	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
 //	         [-shutdown-timeout D]
@@ -25,6 +27,16 @@
 // published snapshot (per-worker candidate lists, -plan-candidates K) and
 // only takes the lock for a short optimistic commit. /healthz grows a
 // "plan" section with conflict/retry counters and the last plan latency.
+//
+// With -elastic (requires -engine sharded and -bg-fit) the shard layout
+// becomes drift-aware: a detector watches per-shard answer traffic every
+// -elastic-check and re-partitions live — splitting a shard whose window
+// share exceeds -elastic-split times the mean (up to -elastic-max shards),
+// or merging the coldest shard into its nearest neighbor when their combined
+// share falls below -elastic-merge times the mean. Migrations run on the
+// background fit pipeline and never drop an acknowledged answer. /healthz
+// grows an "elastic" section and /metrics the poilabel_shard_* and
+// poilabel_elastic_* families.
 //
 // The server starts empty: register tasks and workers over HTTP, stream
 // answers, request assignments, and read results (see internal/serve for
@@ -83,6 +95,12 @@ func main() {
 	bgFit := flag.Duration("bg-fit", 0, "background fit cadence; fits run off the request path over a snapshot (0 = synchronous fits)")
 	bgMin := flag.Int("bg-min-answers", 256, "answers that trigger an eager background fit before the cadence tick (needs -bg-fit)")
 	planCand := flag.Int("plan-candidates", 0, "per-worker candidate prefix K for lock-free planning (0 = default, negative = disable caching; needs -bg-fit with the single engine and accopt)")
+	elastic := flag.Bool("elastic", false, "drift-aware elastic re-sharding: split hot shards, merge cold ones, migrate live (needs -engine sharded and -bg-fit)")
+	elasticCheck := flag.Duration("elastic-check", 5*time.Second, "drift-detector tick (needs -elastic; 0 = detector off, migrations only via tests)")
+	elasticSplit := flag.Float64("elastic-split", 0, "split a shard whose window answer share is at least this multiple of the per-shard mean (0 = default 2)")
+	elasticMerge := flag.Float64("elastic-merge", 0, "merge the coldest shard when its pair's combined share is at most this multiple of the mean (0 = default 0.5)")
+	elasticMax := flag.Int("elastic-max", 0, "shard-count ceiling for splits (0 = default 16)")
+	elasticMinAns := flag.Int("elastic-min-answers", 0, "answers a detector window must hold before acting (0 = default 32)")
 	demo := flag.Int("demo", 0, "pre-register a synthetic demo world with N workers (0 = start empty)")
 	demoTasks := flag.Int("demo-tasks", 0, "demo world task count (0 = the 200-POI Beijing dataset; needs -demo)")
 	seed := flag.Int64("seed", 7, "demo world / random assigner seed")
@@ -92,14 +110,25 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGTERM/SIGINT (0 = wait indefinitely)")
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *planCand, *demo, *demoTasks, *seed,
+	var elasticCfg *poilabel.ElasticConfig
+	if *elastic {
+		elasticCfg = &poilabel.ElasticConfig{
+			CheckInterval: *elasticCheck,
+			SplitRatio:    *elasticSplit,
+			MergeRatio:    *elasticMerge,
+			MaxShards:     *elasticMax,
+			MinAnswers:    *elasticMinAns,
+		}
+	}
+
+	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *planCand, elasticCfg, *demo, *demoTasks, *seed,
 		*ckpt, *ckptEvery, *restore, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin, planCand int, demo, demoTasks int, seed int64,
+func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin, planCand int, elastic *poilabel.ElasticConfig, demo, demoTasks int, seed int64,
 	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration) error {
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
@@ -112,6 +141,9 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 	}
 	if bgFit > 0 {
 		opts = append(opts, poilabel.WithBackgroundFit(bgFit, bgMin))
+	}
+	if elastic != nil {
+		opts = append(opts, poilabel.WithElasticShards(*elastic))
 	}
 	switch engine {
 	case "single":

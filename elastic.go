@@ -1,0 +1,553 @@
+package poilabel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poilabel/internal/geo"
+	"poilabel/internal/shard"
+)
+
+// ElasticConfig tunes drift-aware elastic re-sharding (WithElasticShards).
+// The detector watches per-shard answer arrivals in fixed windows (one per
+// CheckInterval tick) and proposes at most one migration per window: split
+// the hottest shard when its share of the window's answers crosses
+// SplitRatio times the per-shard mean, or merge the coldest shard into its
+// nearest neighbor when their combined share falls below MergeRatio times
+// the mean.
+type ElasticConfig struct {
+	// CheckInterval is the drift-detector tick. Zero disables the detector
+	// goroutine entirely; migrations then only happen through the forced
+	// test hooks.
+	CheckInterval time.Duration
+	// SplitRatio is the hot threshold: shard s splits when its window
+	// answer count is at least SplitRatio times the per-shard mean.
+	// Defaults to 2.
+	SplitRatio float64
+	// MergeRatio is the cold threshold: the coldest shard merges with its
+	// nearest neighbor when their combined window answer count is at most
+	// MergeRatio times the per-shard mean. Defaults to 0.5.
+	MergeRatio float64
+	// MinShards and MaxShards bound the layout. Defaults: 1 and 16.
+	MinShards int
+	MaxShards int
+	// MinAnswers is the minimum number of answers a window must hold before
+	// the detector acts — thin windows carry no drift signal. Defaults
+	// to 32.
+	MinAnswers int
+}
+
+// withElasticDefaults fills zero fields with the documented defaults.
+func (c ElasticConfig) withElasticDefaults() ElasticConfig {
+	if c.SplitRatio <= 0 {
+		c.SplitRatio = 2
+	}
+	if c.MergeRatio <= 0 {
+		c.MergeRatio = 0.5
+	}
+	if c.MinShards < 1 {
+		c.MinShards = 1
+	}
+	if c.MaxShards < 1 {
+		c.MaxShards = 16
+	}
+	if c.MinAnswers < 1 {
+		c.MinAnswers = 32
+	}
+	return c
+}
+
+// WithElasticShards turns on drift-aware elastic re-sharding: a detector
+// goroutine watches the per-shard imbalance signals (the same ones the
+// poilabel_shard_* metrics export) and re-partitions the sharded engine live
+// — splitting the hottest shard or merging cold neighbors — through the
+// background fit pipeline, so in-flight answers and handed-out assignments
+// are never dropped. Requires WithEngine(EngineSharded) and
+// WithBackgroundFit; NewService rejects other combinations.
+func WithElasticShards(cfg ElasticConfig) ServiceOption {
+	return func(c *serviceConfig) error {
+		if cfg.CheckInterval < 0 {
+			return fmt.Errorf("poilabel: negative elastic check interval %v", cfg.CheckInterval)
+		}
+		cfg = cfg.withElasticDefaults()
+		if cfg.MinShards > cfg.MaxShards {
+			return fmt.Errorf("poilabel: elastic MinShards %d above MaxShards %d", cfg.MinShards, cfg.MaxShards)
+		}
+		c.elasticOn = true
+		c.elastic = cfg
+		return nil
+	}
+}
+
+// ShardStat is one shard's slice of the imbalance signals, as exposed by
+// Service.ShardStats for the drift detector, the /metrics gauges, and
+// dashboards.
+type ShardStat struct {
+	// Shard is the shard index in the current layout.
+	Shard int `json:"shard"`
+	// Tasks is the number of tasks the shard currently owns.
+	Tasks int `json:"tasks"`
+	// Answers is the number of answers routed to the shard so far.
+	Answers int `json:"answers"`
+	// BoundaryAnswers is the subset of Answers from roaming workers —
+	// answer-graph mass straddling the shard's partition boundary.
+	BoundaryAnswers int `json:"boundary_answers"`
+	// LastFitDuration is the shard's most recent EM wall-clock time.
+	LastFitDuration time.Duration `json:"last_fit_duration"`
+}
+
+// ShardStats returns the per-shard imbalance signals of the sharded engine,
+// or nil when the engine is not sharded or not built yet.
+func (s *Service) ShardStats() []ShardStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	eng, ok := s.eng.(*shardedEngine)
+	if !ok {
+		return nil
+	}
+	raw := eng.sh.Stats()
+	out := make([]ShardStat, len(raw))
+	for i, st := range raw {
+		out[i] = ShardStat{
+			Shard:           i,
+			Tasks:           st.Tasks,
+			Answers:         st.Answers,
+			BoundaryAnswers: st.BoundaryAnswers,
+			LastFitDuration: st.LastFitDuration,
+		}
+	}
+	return out
+}
+
+// ElasticStats is a point-in-time view of the elastic re-sharding machinery,
+// the backing state for the poilabel_elastic_* metrics and the /healthz
+// elastic section.
+type ElasticStats struct {
+	// Enabled reports whether WithElasticShards was configured.
+	Enabled bool `json:"enabled"`
+	// Shards is the sharded engine's current shard count (0 until built).
+	Shards int `json:"shards"`
+	// MinShards and MaxShards are the configured layout bounds.
+	MinShards int `json:"min_shards,omitempty"`
+	MaxShards int `json:"max_shards,omitempty"`
+	// Migrations counts completed migrations (splits + merges); Aborted
+	// counts migrations abandoned mid-flight (raced a restore, layout
+	// changed under the decision, rebuild error, shutdown).
+	Migrations uint64 `json:"migrations"`
+	Splits     uint64 `json:"splits"`
+	Merges     uint64 `json:"merges"`
+	Aborted    uint64 `json:"aborted"`
+	// Migrating reports whether a migration is executing right now.
+	Migrating bool `json:"migrating"`
+	// LastAction describes the most recent completed migration.
+	LastAction   string    `json:"last_action,omitempty"`
+	LastActionAt time.Time `json:"last_action_at,omitempty"`
+}
+
+// ElasticStats reports the elastic controller's current state. On a service
+// without WithElasticShards it returns Enabled false with the live shard
+// count (when sharded) still populated.
+func (s *Service) ElasticStats() ElasticStats {
+	st := ElasticStats{}
+	s.mu.RLock()
+	if eng, ok := s.eng.(*shardedEngine); ok {
+		st.Shards = eng.sh.NumShards()
+	}
+	s.mu.RUnlock()
+	c := s.elastic
+	if c == nil {
+		return st
+	}
+	st.Enabled = true
+	st.MinShards = c.cfg.MinShards
+	st.MaxShards = c.cfg.MaxShards
+	st.Migrations = c.migrations.Load()
+	st.Splits = c.splits.Load()
+	st.Merges = c.merges.Load()
+	st.Aborted = c.aborted.Load()
+	st.Migrating = c.migrating.Load()
+	c.mu.Lock()
+	st.LastAction = c.lastAction
+	st.LastActionAt = c.lastActionAt
+	c.mu.Unlock()
+	return st
+}
+
+// migrationKind is the two layout moves the detector can propose.
+type migrationKind int
+
+const (
+	migrateSplit migrationKind = iota
+	migrateMerge
+)
+
+// migrationRequest is one proposed migration queued on the fit pipeline.
+// expectK guards the decision: the migration aborts if the live layout's
+// shard count no longer matches (another migration landed in between); zero
+// skips the check (forced test-hook migrations).
+type migrationRequest struct {
+	kind    migrationKind
+	si, sj  int
+	expectK int
+	// done receives the outcome exactly once (capacity 1, never blocks).
+	done chan error
+}
+
+func (r *migrationRequest) String() string {
+	if r.kind == migrateSplit {
+		return fmt.Sprintf("split shard %d", r.si)
+	}
+	return fmt.Sprintf("merge shards %d+%d", r.si, r.sj)
+}
+
+// finish delivers the outcome to a waiting test hook, if any.
+func (r *migrationRequest) finish(err error) {
+	if r.done != nil {
+		r.done <- err
+	}
+}
+
+// elasticController is the drift detector: one goroutine sampling the
+// per-shard answer counters every CheckInterval and proposing at most one
+// split or merge per window. It never touches engine state itself — proposed
+// migrations execute on the fit pipeline goroutine, serialized with
+// background fits.
+type elasticController struct {
+	s   *Service
+	cfg ElasticConfig
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// lastCounts holds the per-shard cumulative answer counts at the last
+	// tick; the difference against the current tick is the drift window.
+	// Only the detector goroutine and forced-migration tests touch it.
+	lastCounts []int
+
+	migrations atomic.Uint64
+	splits     atomic.Uint64
+	merges     atomic.Uint64
+	aborted    atomic.Uint64
+	migrating  atomic.Bool
+
+	mu           sync.Mutex
+	lastAction   string
+	lastActionAt time.Time
+}
+
+func newElasticController(s *Service, cfg ElasticConfig) *elasticController {
+	return &elasticController{
+		s:    s,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// run is the detector loop. One goroutine per elastic service; started only
+// when CheckInterval is positive.
+func (c *elasticController) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.CheckInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		c.checkOnce()
+	}
+}
+
+// close stops the detector goroutine (when it was started).
+func (c *elasticController) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.cfg.CheckInterval > 0 {
+		<-c.done
+	}
+}
+
+// checkOnce samples the per-shard counters, closes the current drift window,
+// and proposes at most one migration when the window shows imbalance.
+func (c *elasticController) checkOnce() {
+	s := c.s
+	s.mu.RLock()
+	eng, ok := s.eng.(*shardedEngine)
+	var stats []shard.ShardStat
+	if ok {
+		stats = eng.sh.Stats()
+	}
+	s.mu.RUnlock()
+	if stats == nil {
+		return
+	}
+	k := len(stats)
+	cur := make([]int, k)
+	for i := range stats {
+		cur[i] = stats[i].Answers
+	}
+	last := c.lastCounts
+	c.lastCounts = cur
+	if len(last) != k {
+		// First tick at this layout (startup, or a migration landed):
+		// start a fresh window.
+		return
+	}
+	total := 0
+	deltas := make([]int, k)
+	for i := range cur {
+		d := cur[i] - last[i]
+		if d < 0 {
+			// The engine was replaced under us (a restore); restart the
+			// window from the new counters.
+			return
+		}
+		deltas[i] = d
+		total += d
+	}
+	if total < c.cfg.MinAnswers || c.migrating.Load() {
+		return
+	}
+	mean := float64(total) / float64(k)
+	hot, cold := 0, 0
+	for i, d := range deltas {
+		if d > deltas[hot] {
+			hot = i
+		}
+		if d < deltas[cold] {
+			cold = i
+		}
+	}
+	if k < c.cfg.MaxShards && float64(deltas[hot]) >= c.cfg.SplitRatio*mean && stats[hot].Tasks >= 2 {
+		c.propose(&migrationRequest{kind: migrateSplit, si: hot, expectK: k})
+		return
+	}
+	if k > c.cfg.MinShards && k >= 2 {
+		sj := nearestShard(stats, cold)
+		if float64(deltas[cold]+deltas[sj]) <= c.cfg.MergeRatio*mean {
+			c.propose(&migrationRequest{kind: migrateMerge, si: cold, sj: sj, expectK: k})
+		}
+	}
+}
+
+// nearestShard returns the shard whose task region is nearest to shard si's
+// region center (ties to the lowest index) — the merge partner that keeps
+// the fused shard spatially coherent.
+func nearestShard(stats []shard.ShardStat, si int) int {
+	r := stats[si].Region
+	center := geo.Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+	best, bestD := -1, 0.0
+	for j := range stats {
+		if j == si {
+			continue
+		}
+		d := center.Dist(stats[j].Region.Clamp(center))
+		if best == -1 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// propose queues a migration on the fit pipeline; a proposal is dropped when
+// one is already queued.
+func (c *elasticController) propose(req *migrationRequest) {
+	c.s.bg.requestMigration(req)
+}
+
+// recordOutcome updates the controller's counters after a migration attempt.
+func (c *elasticController) recordOutcome(req *migrationRequest, action string, err error) {
+	if err != nil {
+		c.aborted.Add(1)
+		return
+	}
+	c.migrations.Add(1)
+	if req.kind == migrateSplit {
+		c.splits.Add(1)
+	} else {
+		c.merges.Add(1)
+	}
+	c.mu.Lock()
+	c.lastAction = action
+	c.lastActionAt = time.Now()
+	// The layout changed: invalidate the drift window so the next tick
+	// starts fresh against the new shard count.
+	c.lastCounts = nil
+	c.mu.Unlock()
+}
+
+// runOneMigration executes one live re-partition on the fit pipeline
+// goroutine, mirroring runOneFit's three phases:
+//
+//  1. Under the write lock (µs): validate the decision against the live
+//     layout, capture the service through the checkpoint path, and start
+//     recording the answer delta.
+//  2. Off-lock (the expensive part): rebuild a scratch service from the
+//     snapshot, derive the new layout (kd-split of the hot shard or sorted
+//     union of the cold pair), replay every answer into a fresh fitter at
+//     that layout in exact global arrival order, and run full EM on it.
+//  3. Under the write lock (µs): abort if a Restore bumped the epoch,
+//     replay mid-migration registrations and the delta onto the rebuilt
+//     engine, swap it in, and publish the new generation.
+//
+// Pending pairs and the budget are keyed by global IDs and never touched, so
+// no handed-out assignment is dropped or double-spent; in-flight answers land
+// either in the capture (before phase 1) or in the delta (after), never both
+// and never neither.
+func (p *fitPipeline) runOneMigration(req *migrationRequest) {
+	s := p.s
+	c := s.elastic
+	if c != nil {
+		c.migrating.Store(true)
+		defer c.migrating.Store(false)
+	}
+
+	s.mu.Lock()
+	eng, ok := s.eng.(*shardedEngine)
+	if !ok {
+		s.mu.Unlock()
+		err := fmt.Errorf("poilabel: migration needs a built sharded engine")
+		if c != nil {
+			c.recordOutcome(req, "", err)
+		}
+		req.finish(err)
+		return
+	}
+	liveK := eng.sh.NumShards()
+	if req.expectK != 0 && liveK != req.expectK {
+		s.mu.Unlock()
+		err := fmt.Errorf("poilabel: migration decided at K=%d, layout is now K=%d; abandoned", req.expectK, liveK)
+		if c != nil {
+			c.recordOutcome(req, "", err)
+		}
+		req.finish(err)
+		return
+	}
+	epoch := s.restoreEpoch
+	startSeq := s.answerSeq.Load()
+	snap := s.captureLocked()
+	cfg := s.cfg
+	s.delta = s.delta[:0]
+	s.deltaActive = true
+	deltaTasks, deltaWorkers := len(s.tasks), len(s.workers)
+	s.mu.Unlock()
+
+	p.setInFlight(true)
+	defer p.setInFlight(false)
+
+	// Phase 2, off-lock: scratch rebuild at the new layout.
+	scratch := &Service{
+		cfg:       cfg,
+		taskIdx:   make(map[string]TaskID),
+		workerIdx: make(map[string]WorkerID),
+		pending:   make(map[pairKey]bool),
+		dirty:     true,
+	}
+	scratch.cfg.observer = nil
+	err := scratch.applySnapshot(&snap.Service)
+	var action string
+	var converged bool
+	if err == nil {
+		se := scratch.eng.(*shardedEngine)
+		pts := make([]geo.Point, len(scratch.tasks))
+		for i := range scratch.tasks {
+			pts[i] = scratch.tasks[i].Location
+		}
+		var layout [][]int
+		switch req.kind {
+		case migrateSplit:
+			layout, err = shard.SplitLayout(pts, se.sh.Partition(), req.si)
+		case migrateMerge:
+			layout, err = shard.MergeLayout(se.sh.Partition(), req.si, req.sj)
+		}
+		if err == nil {
+			var rebuilt *shard.Sharded
+			rebuilt, err = se.sh.Rebuild(layout)
+			if err == nil {
+				action = fmt.Sprintf("%s (K %d -> %d)", req, se.sh.NumShards(), rebuilt.NumShards())
+				scratch.eng = newShardedEngineFrom(rebuilt)
+				converged, err = scratch.eng.Fit(p.fitCtx)
+			}
+		}
+	}
+
+	// Phase 3, under the write lock; the waiter is notified after it drops.
+	err = func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err == nil && s.restoreEpoch != epoch {
+			err = fmt.Errorf("poilabel: migration raced a restore; abandoned")
+		}
+		if err == nil {
+			// Replay registrations and answers that arrived mid-migration
+			// onto the rebuilt engine, exactly as runOneFit folds its delta.
+			for i := deltaTasks; i < len(s.tasks) && err == nil; i++ {
+				err = scratch.eng.AddTask(s.tasks[i])
+			}
+			for i := deltaWorkers; i < len(s.workers) && err == nil; i++ {
+				err = scratch.eng.AddWorker(s.workers[i])
+			}
+			for _, a := range s.delta {
+				if err != nil {
+					break
+				}
+				err = scratch.eng.Learn(a)
+			}
+		}
+		nDelta := len(s.delta)
+		s.delta = nil
+		s.deltaActive = false
+		if c != nil {
+			c.recordOutcome(req, action, err)
+		}
+		if err != nil {
+			// The live engine still holds every answer; keep serving it.
+			return err
+		}
+		s.eng = scratch.eng
+		// The rebuilt layout spans every task registered at capture time, so
+		// the construction boundary (what the next checkpoint's Layout
+		// covers) moves up to the capture point.
+		s.builtTasks = deltaTasks
+		s.builtWorkers = deltaWorkers
+		s.sinceFull = nDelta
+		s.dirty = nDelta > 0
+		s.publishLocked(s.answerSeq.Load(), startSeq, converged)
+		return nil
+	}()
+	req.finish(err)
+}
+
+// forceMigration queues a migration and blocks until it completes — the
+// test entry point for deterministic splits and merges. It requires
+// background fitting (migrations execute on the fit pipeline).
+func (s *Service) forceMigration(ctx context.Context, req *migrationRequest) error {
+	if s.bg == nil {
+		return fmt.Errorf("poilabel: forced migration requires WithBackgroundFit")
+	}
+	req.done = make(chan error, 1)
+	if !s.bg.requestMigration(req) {
+		return fmt.Errorf("poilabel: a migration is already queued")
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// forceSplit splits shard si now, regardless of drift.
+func (s *Service) forceSplit(ctx context.Context, si int) error {
+	return s.forceMigration(ctx, &migrationRequest{kind: migrateSplit, si: si})
+}
+
+// forceMerge merges shards si and sj now, regardless of drift.
+func (s *Service) forceMerge(ctx context.Context, si, sj int) error {
+	return s.forceMigration(ctx, &migrationRequest{kind: migrateMerge, si: si, sj: sj})
+}

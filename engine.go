@@ -216,7 +216,24 @@ func newShardedEngine(tasks []Task, workers []Worker, norm geo.Normalizer, cfg s
 	if err != nil {
 		return nil, err
 	}
-	return &shardedEngine{sh: sh, co: shard.NewCoordinator(sh)}, nil
+	return newShardedEngineFrom(sh), nil
+}
+
+// newShardedEngineWithLayout builds a sharded engine over an explicit task
+// partition instead of the kd default — the restore path for snapshots whose
+// layout has diverged from the kd construction through elastic migrations.
+func newShardedEngineWithLayout(tasks []Task, workers []Worker, norm geo.Normalizer, cfg shard.Config, layout [][]int) (*shardedEngine, error) {
+	sh, err := shard.NewWithLayout(tasks, workers, norm, cfg, layout)
+	if err != nil {
+		return nil, err
+	}
+	return newShardedEngineFrom(sh), nil
+}
+
+// newShardedEngineFrom wraps an already-built fitter — the migration swap
+// path, where the fitter was rebuilt off-lock by shard.Rebuild.
+func newShardedEngineFrom(sh *shard.Sharded) *shardedEngine {
+	return &shardedEngine{sh: sh, co: shard.NewCoordinator(sh)}
 }
 
 func (e *shardedEngine) Name() string           { return "sharded" }

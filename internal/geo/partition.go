@@ -61,6 +61,54 @@ func KDPartition(pts []Point, k int) [][]int {
 	return out
 }
 
+// KDPartitionOf is KDPartition restricted to a subset: it splits the points
+// selected by idx into k spatially coherent, size-balanced groups of global
+// indices using the same recursive median construction. The elastic sharder
+// uses it to carve one shard's task set in two without re-partitioning the
+// rest of the city. idx is not mutated; k is clamped to [1, len(idx)].
+// KDPartitionOf panics on an empty subset.
+func KDPartitionOf(pts []Point, idx []int, k int) [][]int {
+	if len(idx) == 0 {
+		panic("geo: KDPartitionOf over empty subset")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	scratch := append([]int(nil), idx...)
+	out := make([][]int, 0, k)
+	var split func(idx []int, k int)
+	split = func(idx []int, k int) {
+		if k == 1 {
+			g := append([]int(nil), idx...)
+			sort.Ints(g)
+			out = append(out, g)
+			return
+		}
+		r := boundIndexed(pts, idx)
+		byX := r.Width() >= r.Height()
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := pts[idx[a]], pts[idx[b]]
+			ka, kb := pa.Y, pb.Y
+			if byX {
+				ka, kb = pa.X, pb.X
+			}
+			if ka != kb {
+				return ka < kb
+			}
+			return idx[a] < idx[b]
+		})
+		kLo := k / 2
+		cut := len(idx) * kLo / k
+		split(idx[:cut], kLo)
+		split(idx[cut:], k-kLo)
+	}
+	split(scratch, k)
+	return out
+}
+
 // boundIndexed returns the bounding box of the subset of pts selected by idx.
 func boundIndexed(pts []Point, idx []int) Rect {
 	r := Rect{Min: pts[idx[0]], Max: pts[idx[0]]}

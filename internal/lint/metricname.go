@@ -26,7 +26,7 @@ var MetricNameAnalyzer = &Analyzer{
 // kind, which determines the suffix rule.
 var registryMethods = map[string]string{
 	"Counter": "counter", "CounterVec": "counter", "CounterFunc": "counter",
-	"Gauge": "gauge", "GaugeFunc": "gauge",
+	"Gauge": "gauge", "GaugeFunc": "gauge", "GaugeVecFunc": "gauge",
 	"Histogram": "histogram", "HistogramVec": "histogram",
 }
 
@@ -86,8 +86,10 @@ func checkRegistration(pass *Pass, info *types.Info, call *ast.CallExpr) {
 			pass.Reportf(lit.Pos(), "gauge %q must not end in _total: that suffix promises a monotonic counter", name)
 		}
 	}
-	// Trailing string literals on the Vec constructors are label names.
-	if strings.HasSuffix(fn.Name(), "Vec") {
+	// Trailing string literals on the Vec constructors are label names
+	// (GaugeVecFunc's fn argument is not a string literal, so the scan
+	// skips it and lands on the variadic label names that follow).
+	if strings.Contains(fn.Name(), "Vec") {
 		for _, arg := range call.Args[2:] {
 			llit, ok := ast.Unparen(arg).(*ast.BasicLit)
 			if !ok || llit.Kind != token.STRING {

@@ -10,11 +10,15 @@ import (
 )
 
 func register(r *metrics.Registry) {
-	r.Counter("mysystem_requests_total", "bad prefix")       // want `outside the poilabel_\*/poiserve_\* namespaces`
-	r.Counter("poilabel_requests", "no suffix")              // want `must end in _total`
-	r.Histogram("poiserve_latency_ms", "wrong unit")         // want `must end in _seconds`
-	r.Gauge("poilabel_stuff_total", "gauge as counter")      // want `must not end in _total`
-	r.CounterVec("poiserve_reqs_total", "label", "Endpoint") // want `label "Endpoint" must be lower_snake_case`
+	r.Counter("mysystem_requests_total", "bad prefix")              // want `outside the poilabel_\*/poiserve_\* namespaces`
+	r.Counter("poilabel_requests", "no suffix")                     // want `must end in _total`
+	r.Histogram("poiserve_latency_ms", "wrong unit")                // want `must end in _seconds`
+	r.Gauge("poilabel_stuff_total", "gauge as counter")             // want `must not end in _total`
+	r.CounterVec("poiserve_reqs_total", "label", "Endpoint")        // want `label "Endpoint" must be lower_snake_case`
+	r.GaugeVecFunc("poilabel_shard_work_total", "gauge as counter", // want `must not end in _total`
+		func() []metrics.LabelledValue { return nil }, "shard")
+	r.GaugeVecFunc("poilabel_shard_answers", "bad label",
+		func() []metrics.LabelledValue { return nil }, "Shard") // want `label "Shard" must be lower_snake_case`
 }
 
 var ErrGone = errors.New("gone")
@@ -30,6 +34,8 @@ func okRegister(r *metrics.Registry) {
 	r.Gauge("poiserve_queue_depth", "ok")
 	r.Histogram("poiserve_latency_seconds", "ok")
 	r.CounterVec("poiserve_reqs_total", "ok", "endpoint", "code")
+	r.GaugeVecFunc("poilabel_shard_answers", "ok",
+		func() []metrics.LabelledValue { return nil }, "shard")
 }
 
 func okIs(err error) bool {

@@ -9,10 +9,17 @@ type Histogram struct{}
 
 type Registry struct{}
 
+type LabelledValue struct {
+	Values []string
+	V      float64
+}
+
 func (r *Registry) Counter(name, help string) *Counter                      { return &Counter{} }
 func (r *Registry) CounterVec(name, help string, labels ...string) *Counter { return &Counter{} }
 func (r *Registry) Gauge(name, help string) *Gauge                          { return &Gauge{} }
-func (r *Registry) Histogram(name, help string) *Histogram                  { return &Histogram{} }
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabelledValue, labels ...string) {
+}
+func (r *Registry) Histogram(name, help string) *Histogram { return &Histogram{} }
 func (r *Registry) HistogramVec(name, help string, labels ...string) *Histogram {
 	return &Histogram{}
 }

@@ -38,7 +38,11 @@
 // and restarts the server mid-measure through a caller-provided Restarter
 // and asserts the durability story end to end — clients ride the outage
 // with bounded retries, and the restarted server must still hold every
-// answer it ever acknowledged.
+// answer it ever acknowledged. ScenarioDrift shifts the traffic's spatial
+// distribution mid-measure — every post-drift session runs as a worker
+// identity from one quadrant of the world — the workload that forces an
+// elastic sharded server to split its hot shard, with pre/post-drift
+// throughput reported separately so the two layouts can be compared.
 package loadgen
 
 import (
@@ -94,6 +98,12 @@ const (
 	// halfway through the measure phase via Config.Restarter, then asserts
 	// nothing acknowledged was lost.
 	ScenarioRollingRestart
+	// ScenarioDrift shifts the traffic's spatial distribution halfway
+	// through the measure phase: every session after the drift point runs as
+	// a worker identity from one quadrant of the world — the workload an
+	// elastic sharded server must answer with a split, and a frozen layout
+	// serves with one hot shard.
+	ScenarioDrift
 )
 
 // String implements fmt.Stringer.
@@ -105,11 +115,13 @@ func (s Scenario) String() string {
 		return "surge"
 	case ScenarioRollingRestart:
 		return "rolling-restart"
+	case ScenarioDrift:
+		return "drift"
 	}
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
-// ParseScenario parses "steady", "surge", or "rolling-restart".
+// ParseScenario parses "steady", "surge", "rolling-restart", or "drift".
 func ParseScenario(s string) (Scenario, error) {
 	switch s {
 	case "steady":
@@ -118,8 +130,10 @@ func ParseScenario(s string) (Scenario, error) {
 		return ScenarioSurge, nil
 	case "rolling-restart":
 		return ScenarioRollingRestart, nil
+	case "drift":
+		return ScenarioDrift, nil
 	}
-	return 0, fmt.Errorf("loadgen: unknown scenario %q (want steady, surge, or rolling-restart)", s)
+	return 0, fmt.Errorf("loadgen: unknown scenario %q (want steady, surge, rolling-restart, or drift)", s)
 }
 
 // Restarter restarts the server under test mid-run. Restart must block

@@ -65,6 +65,12 @@ type Report struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	// AnswersPerS is the measure-phase answer submission rate.
 	AnswersPerS float64 `json:"answers_per_s"`
+	// Drift scenario phases: when the traffic shifted into the measure
+	// phase, and the throughput on either side of it — the pair the elastic
+	// benchmark compares across server configurations.
+	DriftAtSeconds float64 `json:"drift_at_seconds,omitempty"`
+	PreDriftRPS    float64 `json:"pre_drift_rps,omitempty"`
+	PostDriftRPS   float64 `json:"post_drift_rps,omitempty"`
 	// ErrorRate is lifetime non-2xx responses over lifetime responses.
 	ErrorRate float64 `json:"error_rate"`
 
@@ -147,6 +153,19 @@ func (r *runner) buildReport(ctx context.Context, measured time.Duration, answer
 	if sec := measured.Seconds(); sec > 0 {
 		rep.ThroughputRPS = float64(measuredTotal) / sec
 		rep.AnswersPerS = float64(r.endpoints[epAnswers].hist.Count()) / sec
+	}
+	if r.cfg.Scenario == ScenarioDrift && r.driftStart > 0 {
+		var pre uint64
+		for _, c := range r.preDrift {
+			pre += c
+		}
+		rep.DriftAtSeconds = r.driftStart.Seconds()
+		if sec := r.driftStart.Seconds(); sec > 0 {
+			rep.PreDriftRPS = float64(pre) / sec
+		}
+		if sec := measured.Seconds() - r.driftStart.Seconds(); sec > 0 && measuredTotal >= pre {
+			rep.PostDriftRPS = float64(measuredTotal-pre) / sec
+		}
 	}
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)

@@ -50,6 +50,15 @@ type runner struct {
 	downtimeNS atomic.Int64 // cumulative transport-retry wait
 	surge      atomic.Bool  // inside the surge window
 	stopping   atomic.Bool  // run over; drain, don't persist
+
+	// Drift scenario state. drift flips once, mid-measure; every session
+	// after that runs as an identity from driftPool (the hot quadrant).
+	// driftStart and preDrift are written by the scenario goroutine and read
+	// only after its WaitGroup completes.
+	drift      atomic.Bool
+	driftPool  []int
+	driftStart time.Duration
+	preDrift   map[string]uint64
 }
 
 // Run executes one load run and returns its report. The context bounds the
@@ -77,6 +86,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			epAssignments: {hist: metrics.NewHistogram()},
 			epAnswers:     {hist: metrics.NewHistogram()},
 		},
+	}
+
+	if cfg.Scenario == ScenarioDrift {
+		r.driftPool = world.QuadrantWorkers()
+		if len(r.driftPool) == 0 {
+			return nil, fmt.Errorf("loadgen: drift scenario found no workers in the hot quadrant; grow the world")
+		}
+		r.preDrift = make(map[string]uint64, len(r.endpoints))
 	}
 
 	health, err := r.awaitReady(ctx, 15*time.Second)
@@ -150,6 +167,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			r.restarts.Add(1)
 			r.cfg.Logf("loadgen: server back after %s", time.Since(start).Round(time.Millisecond))
 		}()
+	case ScenarioDrift:
+		scenarioWG.Add(1)
+		go func() {
+			defer scenarioWG.Done()
+			if err := sleepCtx(runCtx, cfg.Duration/2); err != nil {
+				return
+			}
+			// Snapshot the measure-phase counts before flipping so pre- and
+			// post-drift throughput can be reported separately.
+			r.driftStart = time.Since(measureStart)
+			for name, rec := range r.endpoints {
+				r.preDrift[name] = rec.hist.Count()
+			}
+			r.drift.Store(true)
+			r.cfg.Logf("loadgen: drift on at t+%s: all traffic now from %d hot-quadrant identities",
+				r.driftStart.Round(time.Millisecond), len(r.driftPool))
+		}()
 	}
 
 	// Sleep on runCtx, not ctx: a failed scenario (restart that never came
@@ -178,8 +212,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 func (r *runner) clientLoop(ctx context.Context, idx int) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + 7000 + int64(idx)))
 	for ctx.Err() == nil {
-		r.session(ctx, idx, rng)
+		r.session(ctx, r.sessionIdx(idx), rng)
 	}
+}
+
+// sessionIdx maps a client slot onto the worker identity it should run as:
+// itself, until the drift scenario flips, then a hot-quadrant identity (the
+// slot pins which one, so closed-model determinism survives the remap).
+func (r *runner) sessionIdx(idx int) int {
+	if r.drift.Load() {
+		return r.driftPool[idx%len(r.driftPool)]
+	}
+	return idx
 }
 
 // arrivalLoop fires open-model sessions with exponential inter-arrival
@@ -203,7 +247,7 @@ func (r *runner) arrivalLoop(ctx context.Context) {
 			r.dropped.Add(1)
 			continue
 		}
-		idx := rng.Intn(r.cfg.Workers)
+		idx := r.sessionIdx(rng.Intn(r.cfg.Workers))
 		seed := rng.Int63()
 		r.sessions.Add(1)
 		wg.Add(1)

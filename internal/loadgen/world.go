@@ -68,6 +68,45 @@ func NewWorld(numTasks, numWorkers int, seed int64) (*World, error) {
 	return w, nil
 }
 
+// QuadrantWorkers returns the worker identities whose home location falls in
+// the most populated quadrant of the tasks' bounding box — the identity pool
+// the drift scenario switches all traffic onto mid-run. Deterministic for a
+// given world, so client and analysis agree on which quadrant got hot.
+func (w *World) QuadrantWorkers() []int {
+	if len(w.Data.Tasks) == 0 || len(w.Workers) == 0 {
+		return nil
+	}
+	minX, minY := w.Data.Tasks[0].Location.X, w.Data.Tasks[0].Location.Y
+	maxX, maxY := minX, minY
+	for _, t := range w.Data.Tasks {
+		minX, maxX = min(minX, t.Location.X), max(maxX, t.Location.X)
+		minY, maxY = min(minY, t.Location.Y), max(maxY, t.Location.Y)
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	quads := make([][]int, 4)
+	for i, wk := range w.Workers {
+		if len(wk.Locations) == 0 {
+			continue
+		}
+		p := wk.Locations[0]
+		q := 0
+		if p.X > cx {
+			q |= 1
+		}
+		if p.Y > cy {
+			q |= 2
+		}
+		quads[q] = append(quads[q], i)
+	}
+	best := 0
+	for q := 1; q < 4; q++ {
+		if len(quads[q]) > len(quads[best]) {
+			best = q
+		}
+	}
+	return quads[best]
+}
+
 // AnswerFor generates worker identity wi's answer to the task with stable
 // ID taskID. Safe for concurrent use.
 func (w *World) AnswerFor(wi int, taskID string) (model.Answer, error) {

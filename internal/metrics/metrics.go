@@ -56,13 +56,15 @@ type family struct {
 	name string
 	help string
 
-	counter     *Counter
-	counterVec  *CounterVec
-	counterFunc func() uint64
-	gauge       *Gauge
-	gaugeFunc   func() float64
-	hist        *Histogram
-	histVec     *HistogramVec
+	counter      *Counter
+	counterVec   *CounterVec
+	counterFunc  func() uint64
+	gauge        *Gauge
+	gaugeFunc    func() float64
+	gaugeVecFn   func() []LabelledValue
+	gaugeVecLbls []string
+	hist         *Histogram
+	histVec      *HistogramVec
 }
 
 func (r *Registry) register(name, help string, build func(*family)) {
@@ -114,6 +116,26 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // time. fn must be safe to call concurrently with the instrumented code.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, func(f *family) { f.gaugeFunc = fn })
+}
+
+// LabelledValue is one child of a GaugeVecFunc family at scrape time: its
+// label values (matching the registered label names) and its current value.
+type LabelledValue struct {
+	Values []string
+	V      float64
+}
+
+// GaugeVecFunc registers a labelled gauge family whose full child set is
+// read from fn at exposition time. It suits families whose children come
+// and go with live structure — per-shard gauges under elastic
+// re-partitioning, where a merge must retire a shard's child rather than
+// freeze its last value. fn must be safe to call concurrently with the
+// instrumented code; children render sorted by label tuple.
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabelledValue, labels ...string) {
+	r.register(name, help, func(f *family) {
+		f.gaugeVecFn = fn
+		f.gaugeVecLbls = labels
+	})
 }
 
 // Histogram registers and returns a latency histogram.
@@ -300,6 +322,24 @@ func (f *family) render(b *strings.Builder) {
 	case f.gaugeFunc != nil:
 		writeHeader("gauge")
 		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.gaugeFunc()))
+	case f.gaugeVecFn != nil:
+		writeHeader("gauge")
+		children := f.gaugeVecFn()
+		sort.Slice(children, func(a, b int) bool {
+			va, vb := children[a].Values, children[b].Values
+			for i := range va {
+				if i >= len(vb) {
+					return false
+				}
+				if va[i] != vb[i] {
+					return va[i] < vb[i]
+				}
+			}
+			return len(va) < len(vb)
+		})
+		for _, c := range children {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.gaugeVecLbls, c.Values, "", ""), formatFloat(c.V))
+		}
 	case f.hist != nil:
 		writeHeader("summary")
 		renderSummary(b, f.name, nil, nil, f.hist)

@@ -35,7 +35,12 @@ import (
 // locked_total, conflicts_total, retries_total, conflict_rate,
 // last_duration_seconds, candidate_{builds,rebuilds,hits}_total), read from
 // Service.PlanStats at scrape time and zero when lock-free planning is not
-// configured.
+// configured; and the sharded/elastic families: per-shard
+// poilabel_shard_{tasks,answers,boundary_answers,fit_duration_seconds}
+// gauges (label: shard) whose child set tracks the live layout,
+// poilabel_shard_count, and the poilabel_elastic_* migration gauges and
+// counters, read from Service.ShardStats / Service.ElasticStats at scrape
+// time (empty or zero on a non-sharded engine).
 type Metrics struct {
 	reg *metrics.Registry
 
@@ -124,6 +129,59 @@ func NewMetrics(reg *metrics.Registry, svc *poilabel.Service) *Metrics {
 	reg.CounterFunc("poilabel_plan_candidate_hits_total",
 		"Single-worker plans served from an existing candidate list.",
 		func() uint64 { return svc.PlanStats().Candidates.Hits })
+	// Sharded engine and elastic re-partitioning (poilabel_ prefix). The
+	// per-shard families read Service.ShardStats at scrape time, so the child
+	// set tracks the live layout: a split grows it, a merge shrinks it, and
+	// retired shard indices disappear from the scrape. Empty (no children /
+	// zeros) on a non-sharded engine.
+	shardChildren := func(pick func(poilabel.ShardStat) float64) func() []metrics.LabelledValue {
+		return func() []metrics.LabelledValue {
+			stats := svc.ShardStats()
+			out := make([]metrics.LabelledValue, len(stats))
+			for i, st := range stats {
+				out[i] = metrics.LabelledValue{
+					Values: []string{strconv.Itoa(st.Shard)},
+					V:      pick(st),
+				}
+			}
+			return out
+		}
+	}
+	reg.GaugeVecFunc("poilabel_shard_tasks",
+		"Tasks owned by each shard of the current layout.",
+		shardChildren(func(st poilabel.ShardStat) float64 { return float64(st.Tasks) }), "shard")
+	reg.GaugeVecFunc("poilabel_shard_answers",
+		"Answers routed to each shard so far.",
+		shardChildren(func(st poilabel.ShardStat) float64 { return float64(st.Answers) }), "shard")
+	reg.GaugeVecFunc("poilabel_shard_boundary_answers",
+		"Answers from roaming workers — answer-graph mass straddling each shard's partition boundary.",
+		shardChildren(func(st poilabel.ShardStat) float64 { return float64(st.BoundaryAnswers) }), "shard")
+	reg.GaugeVecFunc("poilabel_shard_fit_duration_seconds",
+		"Wall-clock of each shard's most recent EM fit.",
+		shardChildren(func(st poilabel.ShardStat) float64 { return st.LastFitDuration.Seconds() }), "shard")
+	reg.GaugeFunc("poilabel_shard_count",
+		"Shards in the sharded engine's current layout (0 when not sharded).",
+		func() float64 { return float64(svc.ElasticStats().Shards) })
+	reg.GaugeFunc("poilabel_elastic_migrating",
+		"1 while a live migration is executing, else 0.",
+		func() float64 {
+			if svc.ElasticStats().Migrating {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("poilabel_elastic_migrations_total",
+		"Completed live migrations (splits plus merges).",
+		func() uint64 { return svc.ElasticStats().Migrations })
+	reg.CounterFunc("poilabel_elastic_splits_total",
+		"Completed shard splits.",
+		func() uint64 { return svc.ElasticStats().Splits })
+	reg.CounterFunc("poilabel_elastic_merges_total",
+		"Completed shard merges.",
+		func() uint64 { return svc.ElasticStats().Merges })
+	reg.CounterFunc("poilabel_elastic_aborted_total",
+		"Migrations abandoned mid-flight (raced a restore, stale layout, rebuild error, shutdown).",
+		func() uint64 { return svc.ElasticStats().Aborted })
 	svc.SetObserver(m)
 	return m
 }

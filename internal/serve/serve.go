@@ -374,6 +374,10 @@ type healthResponse struct {
 	// lock-free planning is configured (background fitting on the single
 	// engine with the AccOpt assigner).
 	Plan *healthPlan `json:"plan,omitempty"`
+	// Elastic is the elastic re-partitioning state, present when the service
+	// runs with WithElasticShards (or on any sharded engine, so operators can
+	// see the current shard count even with the drift detector off).
+	Elastic *healthElastic `json:"elastic,omitempty"`
 }
 
 // healthFit mirrors poilabel.FitPipelineStats for the health endpoint.
@@ -400,6 +404,21 @@ type healthPlan struct {
 	CandidateBuilds   uint64  `json:"candidate_builds"`
 	CandidateRebuilds uint64  `json:"candidate_rebuilds"`
 	CandidateHits     uint64  `json:"candidate_hits"`
+}
+
+// healthElastic mirrors poilabel.ElasticStats for the health endpoint.
+type healthElastic struct {
+	Enabled      bool   `json:"enabled"`
+	Shards       int    `json:"shards"`
+	MinShards    int    `json:"min_shards,omitempty"`
+	MaxShards    int    `json:"max_shards,omitempty"`
+	Migrations   uint64 `json:"migrations"`
+	Splits       uint64 `json:"splits"`
+	Merges       uint64 `json:"merges"`
+	Aborted      uint64 `json:"aborted"`
+	Migrating    bool   `json:"migrating"`
+	LastAction   string `json:"last_action,omitempty"`
+	LastActionAt string `json:"last_action_at,omitempty"`
 }
 
 func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
@@ -436,6 +455,23 @@ func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
 			CandidateBuilds:   st.Candidates.Builds,
 			CandidateRebuilds: st.Candidates.Rebuilds,
 			CandidateHits:     st.Candidates.Hits,
+		}
+	}
+	if st := h.svc.ElasticStats(); st.Enabled || st.Shards > 0 {
+		resp.Elastic = &healthElastic{
+			Enabled:    st.Enabled,
+			Shards:     st.Shards,
+			MinShards:  st.MinShards,
+			MaxShards:  st.MaxShards,
+			Migrations: st.Migrations,
+			Splits:     st.Splits,
+			Merges:     st.Merges,
+			Aborted:    st.Aborted,
+			Migrating:  st.Migrating,
+			LastAction: st.LastAction,
+		}
+		if !st.LastActionAt.IsZero() {
+			resp.Elastic.LastActionAt = st.LastActionAt.UTC().Format(time.RFC3339Nano)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -8,21 +8,28 @@ import (
 
 // CheckpointState captures the fitter's learned state in the durable
 // snapshot wire format: every shard's model state (answer logs carry
-// shard-local task IDs) plus the merged per-worker estimates. The partition
-// structure itself is not serialized — it is a deterministic function of the
-// construction-time task set and the subsequent AddTask sequence, which the
-// restoring side replays before calling RestoreState.
+// shard-local task IDs), the merged per-worker estimates, the
+// construction-time layout, and the global answer arrival order. The layout
+// travels explicitly because elastic migration makes it state, not a
+// deterministic function of the construction-time task set: the restoring
+// side rebuilds the fitter from Layout before calling RestoreState, then
+// replays the AddTask sequence.
 func (s *Sharded) CheckpointState() *snapshot.ShardedState {
 	st := &snapshot.ShardedState{
 		Shards: make([]snapshot.ModelState, len(s.models)),
 		PI:     append([]float64(nil), s.pi...),
 		PDW:    make([][]float64, len(s.pdw)),
+		Layout: cloneLayout(s.baseParts),
+		Order:  make([]int, len(s.order)),
 	}
 	for si, m := range s.models {
 		st.Shards[si] = *m.CheckpointState()
 	}
 	for w := range s.pdw {
 		st.PDW[w] = append([]float64(nil), s.pdw[w]...)
+	}
+	for i, si := range s.order {
+		st.Order[i] = int(si)
 	}
 	return st
 }
@@ -69,6 +76,45 @@ func (s *Sharded) RestoreState(st *snapshot.ShardedState) error {
 	for w := range s.pi {
 		s.pi[w] = st.PI[w]
 		copy(s.pdw[w], st.PDW[w])
+	}
+	return s.restoreOrder(st.Order)
+}
+
+// restoreOrder rebuilds the global arrival log from the snapshot. A recorded
+// order must be consistent with the restored per-shard logs; snapshots
+// written before elastic sharding carry none, so a shard-major order is
+// synthesized — per-shard state is unaffected, only the replay order of a
+// later migration differs from the original arrival order.
+func (s *Sharded) restoreOrder(order []int) error {
+	total := 0
+	for _, m := range s.models {
+		total += m.Answers().Len()
+	}
+	s.order = s.order[:0]
+	if order == nil {
+		for si, m := range s.models {
+			for i := 0; i < m.Answers().Len(); i++ {
+				s.order = append(s.order, int32(si))
+			}
+		}
+		return nil
+	}
+	if len(order) != total {
+		return fmt.Errorf("shard: snapshot order has %d entries, logs hold %d answers", len(order), total)
+	}
+	perShard := make([]int, len(s.models))
+	for _, si := range order {
+		if si < 0 || si >= len(s.models) {
+			return fmt.Errorf("shard: snapshot order references shard %d, fitter has %d", si, len(s.models))
+		}
+		perShard[si]++
+		s.order = append(s.order, int32(si))
+	}
+	for si, m := range s.models {
+		if perShard[si] != m.Answers().Len() {
+			return fmt.Errorf("shard: snapshot order routes %d answers to shard %d, its log holds %d",
+				perShard[si], si, m.Answers().Len())
+		}
 	}
 	return nil
 }

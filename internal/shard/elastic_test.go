@@ -1,0 +1,389 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"poilabel/internal/core"
+	"poilabel/internal/geo"
+	"poilabel/internal/model"
+)
+
+// roamingAnswers is blockAnswers plus a few cross-quadrant answers, so the
+// global arrival order genuinely interleaves shards and roaming workers
+// exercise the merge path — the stream every migration invariant replays.
+func roamingAnswers(tasks []model.Task, workers []model.Worker, nPerQuad, wPerQuad int) []model.Answer {
+	answers := blockAnswers(tasks, workers, nPerQuad, wPerQuad)
+	for i := 0; i < 3; i++ {
+		answers = append(answers, answer(tasks, 0, model.TaskID(nPerQuad+i)))
+		answers = append(answers, answer(tasks, model.WorkerID(wPerQuad), model.TaskID(i)))
+	}
+	return answers
+}
+
+func observeAll(t *testing.T, sh *Sharded, answers []model.Answer) {
+	t.Helper()
+	for _, a := range answers {
+		if err := sh.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertShardedEqual pins bit-identity of everything the serving layer
+// publishes: task posteriors, inferred labels, and merged worker estimates.
+func assertShardedEqual(t *testing.T, got, want *Sharded) {
+	t.Helper()
+	gr, wr := got.Result(), want.Result()
+	for ti := range wr.Prob {
+		for k := range wr.Prob[ti] {
+			if gr.Prob[ti][k] != wr.Prob[ti][k] {
+				t.Fatalf("P(z) mismatch at task %d label %d: %v vs %v",
+					ti, k, gr.Prob[ti][k], wr.Prob[ti][k])
+			}
+			if gr.Inferred[ti][k] != wr.Inferred[ti][k] {
+				t.Fatalf("label mismatch at task %d label %d", ti, k)
+			}
+		}
+	}
+	for wi := range want.workers {
+		w := model.WorkerID(wi)
+		if got.WorkerQuality(w) != want.WorkerQuality(w) {
+			t.Fatalf("worker %d quality: %v vs %v", wi, got.WorkerQuality(w), want.WorkerQuality(w))
+		}
+		gs, ws := got.DistanceSensitivity(w), want.DistanceSensitivity(w)
+		for f := range ws {
+			if gs[f] != ws[f] {
+				t.Fatalf("worker %d sensitivity[%d]: %v vs %v", wi, f, gs[f], ws[f])
+			}
+		}
+	}
+}
+
+func TestValidateLayout(t *testing.T) {
+	cases := []struct {
+		name   string
+		layout [][]int
+		n      int
+		want   string // substring of the error, "" = valid
+	}{
+		{"valid", [][]int{{0, 2}, {1, 3}}, 4, ""},
+		{"single group", [][]int{{0, 1, 2}}, 3, ""},
+		{"empty layout", nil, 3, "empty layout"},
+		{"empty group", [][]int{{0, 1, 2}, {}}, 3, "is empty"},
+		{"out of range", [][]int{{0, 5}}, 2, "references task"},
+		{"negative", [][]int{{-1, 0}}, 2, "references task"},
+		{"descending", [][]int{{1, 0}}, 2, "not strictly ascending"},
+		{"duplicate", [][]int{{0, 1}, {1}}, 2, "more than one"},
+		{"gap", [][]int{{0}, {2}}, 3, "covers 2 of 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateLayout(tc.layout, tc.n)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid layout rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSplitMergeRoundTrip pins the layout algebra: splitting any group and
+// re-merging its two halves restores the original layout exactly, at every
+// position.
+func TestSplitMergeRoundTrip(t *testing.T) {
+	tasks, _, _ := quadWorld(6, 1)
+	locs := taskLocations(tasks)
+	base := [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}, {12, 13, 14, 15, 16, 17}, {18, 19, 20, 21, 22, 23}}
+	if err := ValidateLayout(base, len(tasks)); err != nil {
+		t.Fatal(err)
+	}
+	for si := range base {
+		split, err := SplitLayout(locs, base, si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(split) != len(base)+1 {
+			t.Fatalf("split layout has %d groups, want %d", len(split), len(base)+1)
+		}
+		if err := ValidateLayout(split, len(tasks)); err != nil {
+			t.Fatalf("split layout invalid: %v", err)
+		}
+		merged, err := MergeLayout(split, si, si+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) != len(base) {
+			t.Fatalf("round trip has %d groups, want %d", len(merged), len(base))
+		}
+		for g := range base {
+			if len(merged[g]) != len(base[g]) {
+				t.Fatalf("group %d: %d tasks after round trip, want %d", g, len(merged[g]), len(base[g]))
+			}
+			for j := range base[g] {
+				if merged[g][j] != base[g][j] {
+					t.Fatalf("group %d diverged after split(%d)+merge round trip: %v vs %v",
+						g, si, merged[g], base[g])
+				}
+			}
+		}
+	}
+	// Error paths.
+	if _, err := SplitLayout(locs, [][]int{{0}}, 0); err == nil {
+		t.Fatal("split of a 1-task shard accepted")
+	}
+	if _, err := SplitLayout(locs, base, len(base)); err == nil {
+		t.Fatal("split of unknown shard accepted")
+	}
+	if _, err := MergeLayout(base, 1, 1); err == nil {
+		t.Fatal("self-merge accepted")
+	}
+	if _, err := MergeLayout([][]int{{0, 1}}, 0, 1); err == nil {
+		t.Fatal("merge of unknown shard accepted")
+	}
+}
+
+// TestRebuildToSingleShardMatchesPlainModel is the elastic extension of the
+// K=1 correctness anchor: re-partitioning a live 4-shard fitter down to one
+// shard must reproduce the plain core.Model bit for bit, including the
+// iteration count.
+func TestRebuildToSingleShardMatchesPlainModel(t *testing.T) {
+	const nPerQuad, wPerQuad = 10, 3
+	tasks, workers, norm := quadWorld(nPerQuad, wPerQuad)
+	answers := roamingAnswers(tasks, workers, nPerQuad, wPerQuad)
+
+	sh, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, sh, answers)
+	sh.Fit() // the migration source is a fitted, serving shard set
+
+	all := make([]int, len(tasks))
+	for i := range all {
+		all[i] = i
+	}
+	rebuilt, err := sh.Rebuild([][]int{all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rebuilt.Fit()
+
+	m, err := core.NewModel(tasks, workers, norm, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		if err := m.Observe(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := m.Fit()
+	if st.Iterations != ref.Iterations {
+		t.Errorf("iterations: rebuilt %d, plain %d", st.Iterations, ref.Iterations)
+	}
+	got, want := rebuilt.Result(), m.Result()
+	for ti := range want.Prob {
+		for k := range want.Prob[ti] {
+			if got.Prob[ti][k] != want.Prob[ti][k] {
+				t.Fatalf("P(z) mismatch at task %d label %d: %v vs %v",
+					ti, k, got.Prob[ti][k], want.Prob[ti][k])
+			}
+		}
+	}
+	for wi := range workers {
+		w := model.WorkerID(wi)
+		if rebuilt.WorkerQuality(w) != m.WorkerQuality(w) {
+			t.Fatalf("worker %d quality: rebuilt %v, plain %v", wi, rebuilt.WorkerQuality(w), m.WorkerQuality(w))
+		}
+	}
+}
+
+// TestRebuildMatchesFreshConstruction pins the core migration invariant: a
+// rebuilt fitter is indistinguishable from one freshly constructed at the
+// target layout and fed the identical global answer stream.
+func TestRebuildMatchesFreshConstruction(t *testing.T) {
+	const nPerQuad, wPerQuad = 10, 3
+	tasks, workers, norm := quadWorld(nPerQuad, wPerQuad)
+	answers := roamingAnswers(tasks, workers, nPerQuad, wPerQuad)
+
+	sh, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, sh, answers)
+	sh.Fit()
+
+	// Split the shard holding task 0 — the hot-downtown move.
+	target, err := SplitLayout(taskLocations(tasks), sh.Partition(), sh.TaskShard(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := sh.Rebuild(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt.Fit()
+	if rebuilt.NumShards() != 5 {
+		t.Fatalf("rebuilt has %d shards, want 5", rebuilt.NumShards())
+	}
+
+	cfg := Config{Shards: len(target), Model: testConfig()}
+	fresh, err := NewWithLayout(tasks, workers, norm, cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, fresh, answers)
+	fresh.Fit()
+
+	assertShardedEqual(t, rebuilt, fresh)
+
+	// The source fitter must be untouched by the rebuild.
+	if sh.NumShards() != 4 {
+		t.Fatalf("source fitter mutated: %d shards", sh.NumShards())
+	}
+	if sh.TotalAnswers() != len(answers) {
+		t.Fatalf("source fitter lost answers: %d of %d", sh.TotalAnswers(), len(answers))
+	}
+}
+
+// TestRebuildSplitThenMergeRestoresExactly runs a full split-then-merge
+// migration cycle and requires the final fitter to match the original
+// block-diagonal fit bit for bit — the dynamic-layout extension of the PR 2
+// exact-match anchors.
+func TestRebuildSplitThenMergeRestoresExactly(t *testing.T) {
+	const nPerQuad, wPerQuad = 12, 3
+	tasks, workers, norm := quadWorld(nPerQuad, wPerQuad)
+	answers := roamingAnswers(tasks, workers, nPerQuad, wPerQuad)
+
+	sh, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, sh, answers)
+	sh.Fit()
+
+	si := sh.TaskShard(0)
+	split, err := SplitLayout(taskLocations(tasks), sh.Partition(), si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := sh.Rebuild(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid.Fit()
+
+	back, err := MergeLayout(mid.Partition(), si, si+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := mid.Rebuild(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final.Fit()
+
+	if final.NumShards() != sh.NumShards() {
+		t.Fatalf("round trip ended at %d shards, want %d", final.NumShards(), sh.NumShards())
+	}
+	assertShardedEqual(t, final, sh)
+	// Stronger than the published surface: the per-shard EM state itself
+	// must be byte-equal, shard by shard.
+	for s2 := range sh.models {
+		fp, sp := final.models[s2].Params(), sh.models[s2].Params()
+		for j := range sp.PZ {
+			for k := range sp.PZ[j] {
+				if fp.PZ[j][k] != sp.PZ[j][k] {
+					t.Fatalf("shard %d PZ[%d][%d]: %v vs %v", s2, j, k, fp.PZ[j][k], sp.PZ[j][k])
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildAfterRestore pins that the arrival-order log survives the
+// durable snapshot round trip: a restored fitter migrates to the same place
+// the original would have.
+func TestRebuildAfterRestore(t *testing.T) {
+	const nPerQuad, wPerQuad = 8, 2
+	tasks, workers, norm := quadWorld(nPerQuad, wPerQuad)
+	answers := roamingAnswers(tasks, workers, nPerQuad, wPerQuad)
+
+	sh, err := New(tasks, workers, norm, Config{Shards: 4, Model: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeAll(t, sh, answers)
+	sh.Fit()
+	st := sh.CheckpointState()
+
+	restored, err := NewWithLayout(tasks, workers, norm, Config{Shards: 4, Model: testConfig()}, st.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+
+	target, err := SplitLayout(taskLocations(tasks), sh.Partition(), sh.TaskShard(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sh.Rebuild(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Rebuild(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fit()
+	b.Fit()
+	assertShardedEqual(t, b, a)
+
+	// Legacy snapshots carry no order log: restore must synthesize a
+	// shard-major one rather than fail, and a later rebuild must equal a
+	// fresh construction fed that shard-major stream.
+	st.Order = nil
+	legacy, err := NewWithLayout(tasks, workers, norm, Config{Shards: 4, Model: testConfig()}, st.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.RestoreState(st); err != nil {
+		t.Fatalf("legacy snapshot without order rejected: %v", err)
+	}
+	lr, err := legacy.Rebuild(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.TotalAnswers() != len(answers) {
+		t.Fatalf("legacy rebuild holds %d answers, want %d", lr.TotalAnswers(), len(answers))
+	}
+
+	// A corrupt order log (wrong length) must be rejected.
+	st.Order = st.Order[:0]
+	st.Order = append(st.Order, 0)
+	bad, err := NewWithLayout(tasks, workers, norm, Config{Shards: 4, Model: testConfig()}, st.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.RestoreState(st); err == nil {
+		t.Fatal("corrupt order log accepted")
+	}
+}
+
+// taskLocations projects the task set onto its locations, the shape the
+// layout algebra takes.
+func taskLocations(tasks []model.Task) []geo.Point {
+	pts := make([]geo.Point, len(tasks))
+	for i, t := range tasks {
+		pts[i] = t.Location
+	}
+	return pts
+}

@@ -61,16 +61,29 @@ type Config struct {
 // fans out over the shards internally.
 type Sharded struct {
 	cfg     Config
+	norm    geo.Normalizer
 	tasks   []model.Task
 	workers []model.Worker
 
-	parts   [][]int    // shard -> global task indices, ascending
-	shardOf []int32    // global task -> shard
-	localOf []int32    // global task -> dense local index within its shard
-	regions []geo.Rect // bounding box of each shard's task locations
+	parts     [][]int    // shard -> global task indices, ascending at construction
+	baseParts [][]int    // construction-time layout, frozen (AddTask grows parts only)
+	shardOf   []int32    // global task -> shard
+	localOf   []int32    // global task -> dense local index within its shard
+	regions   []geo.Rect // bounding box of each shard's task locations
 
 	models []*core.Model
 	counts [][]int // counts[s][w]: answers by worker w routed to shard s
+
+	// order logs the shard index of every accepted answer in global
+	// submission order. Together with the per-shard append-only answer logs
+	// it reconstructs the exact global arrival stream, which Rebuild replays
+	// so a migrated fitter is bit-identical to a fresh one fed the same
+	// answers (float summation order inside each shard is preserved).
+	order []int32
+
+	// lastFitDur[s] is the wall-clock duration of shard s's most recent EM
+	// run — one of the imbalance signals the drift detector watches.
+	lastFitDur []time.Duration
 
 	// Merged per-worker estimates, refreshed by Fit.
 	pi  []float64
@@ -82,6 +95,17 @@ type Sharded struct {
 // whole city so per-shard distances stay on the same scale as an unsharded
 // model's.
 func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Config) (*Sharded, error) {
+	return NewWithLayout(tasks, workers, norm, cfg, nil)
+}
+
+// NewWithLayout creates a sharded fitter over an explicit partition instead
+// of the kd-tree default. layout must partition the task indices 0..len-1
+// into non-empty, strictly ascending groups; its length overrides
+// Config.Shards. A nil layout falls back to geo.KDPartition, making New a
+// thin wrapper. Elastic re-partitioning uses explicit layouts to rebuild a
+// fitter at a migrated shard boundary and to restore snapshots whose layout
+// no longer matches the kd construction over the current task set.
+func NewWithLayout(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Config, layout [][]int) (*Sharded, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("shard: no tasks")
 	}
@@ -118,14 +142,26 @@ func New(tasks []model.Task, workers []model.Worker, norm geo.Normalizer, cfg Co
 	for i := range tasks {
 		pts[i] = tasks[i].Location
 	}
-	s := &Sharded{
-		cfg:     cfg,
-		tasks:   tasks,
-		workers: workers,
-		parts:   geo.KDPartition(pts, cfg.Shards),
-		shardOf: make([]int32, len(tasks)),
-		localOf: make([]int32, len(tasks)),
+	if layout == nil {
+		layout = geo.KDPartition(pts, cfg.Shards)
+	} else {
+		if err := ValidateLayout(layout, len(tasks)); err != nil {
+			return nil, err
+		}
+		layout = cloneLayout(layout)
 	}
+	cfg.Shards = len(layout)
+	s := &Sharded{
+		cfg:       cfg,
+		norm:      norm,
+		tasks:     tasks,
+		workers:   workers,
+		parts:     layout,
+		baseParts: cloneLayout(layout),
+		shardOf:   make([]int32, len(tasks)),
+		localOf:   make([]int32, len(tasks)),
+	}
+	s.lastFitDur = make([]time.Duration, len(layout))
 	for si, part := range s.parts {
 		local := make([]model.Task, len(part))
 		locs := make([]geo.Point, len(part))
@@ -228,6 +264,7 @@ func (s *Sharded) Observe(a model.Answer) error {
 		return err
 	}
 	s.counts[si][a.Worker]++
+	s.order = append(s.order, si)
 	return nil
 }
 
@@ -321,6 +358,7 @@ func (s *Sharded) fitAll(ctx context.Context, into []core.FitStats, only []bool)
 		go func(i int) {
 			defer wg.Done()
 			into[i], errs[i] = s.models[i].FitContext(ctx)
+			s.lastFitDur[i] = into[i].Elapsed
 		}(i)
 	}
 	wg.Wait()
@@ -493,3 +531,66 @@ func (s *Sharded) TotalAnswers() int {
 // AnswerCount returns the number of answers worker w has in shard si — the
 // weight their estimate from that shard carries in the merge.
 func (s *Sharded) AnswerCount(si int, w model.WorkerID) int { return s.counts[si][w] }
+
+// Normalizer returns the city-wide distance normalizer the fitter was built
+// with. Rebuild and snapshot capture need it so a migrated or restored
+// fitter keeps per-shard distances on the same scale.
+func (s *Sharded) Normalizer() geo.Normalizer { return s.norm }
+
+// BaseLayout returns a deep copy of the construction-time partition: the
+// global task indices of every shard before any AddTask calls. Restoring a
+// snapshot rebuilds the fitter from this layout over the construction-time
+// task prefix, then replays the AddTask sequence.
+func (s *Sharded) BaseLayout() [][]int { return cloneLayout(s.baseParts) }
+
+// ShardStat is one shard's slice of the imbalance signals the drift
+// detector and the /metrics endpoint share: size, answer mass, boundary
+// (roaming) answer mass, and the duration of the last EM run.
+type ShardStat struct {
+	// Tasks is the number of tasks currently owned by the shard.
+	Tasks int
+	// Answers is the number of answers routed to the shard so far.
+	Answers int
+	// BoundaryAnswers is the subset of Answers submitted by roaming
+	// workers — workers who also have answers in at least one other shard.
+	// High boundary mass means the answer graph has drifted across this
+	// shard's partition boundary.
+	BoundaryAnswers int
+	// LastFitDuration is the wall-clock time of the shard's most recent EM
+	// run (zero before the first fit).
+	LastFitDuration time.Duration
+	// Region is the bounding box of the shard's task locations.
+	Region geo.Rect
+}
+
+// Stats returns a fresh per-shard snapshot of the imbalance signals. It
+// reads only the fitter's bookkeeping (never the models), so it is cheap
+// enough to call at every metrics scrape and detector tick.
+func (s *Sharded) Stats() []ShardStat {
+	out := make([]ShardStat, len(s.models))
+	// A worker's answers count as boundary mass in every shard they touch
+	// when they touch more than one.
+	nshard := make([]int, len(s.workers))
+	for si := range s.counts {
+		for w, c := range s.counts[si] {
+			if c > 0 {
+				nshard[w]++
+			}
+		}
+	}
+	for si := range s.models {
+		st := ShardStat{
+			Tasks:           len(s.parts[si]),
+			LastFitDuration: s.lastFitDur[si],
+			Region:          s.regions[si],
+		}
+		for w, c := range s.counts[si] {
+			st.Answers += c
+			if nshard[w] > 1 {
+				st.BoundaryAnswers += c
+			}
+		}
+		out[si] = st
+	}
+	return out
+}

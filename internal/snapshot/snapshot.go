@@ -87,6 +87,15 @@ type ServiceState struct {
 	EngineBuilt  bool `json:"engine_built"`
 	BuiltTasks   int  `json:"built_tasks"`
 	BuiltWorkers int  `json:"built_workers"`
+	// NormDiameter is the city diameter the distance normalizer divides by.
+	// It is captured explicitly (additive field; zero in older snapshots)
+	// because after an elastic migration the engine's layout is no longer a
+	// pure function of the construction-time task prefix — the restoring
+	// side can rebuild the layout from ShardedState.Layout but could not
+	// recover the normalizer from it. When zero, restore recomputes the
+	// diameter from the built task/worker prefix exactly as construction
+	// did.
+	NormDiameter float64 `json:"norm_diameter,omitempty"`
 
 	// Budget is the remaining assignment budget (-1 means unlimited).
 	// Restoring it rather than re-reading the service's construction option
@@ -168,6 +177,23 @@ type ShardedState struct {
 	Shards []ModelState `json:"shards"`
 	PI     []float64    `json:"pi"`
 	PDW    [][]float64  `json:"pdw"`
+	// Layout is the fitter's construction-time partition: Layout[s] holds
+	// the global task indices (within the built prefix) of shard s,
+	// strictly ascending. Additive field: snapshots written before elastic
+	// sharding omit it, and the restoring side falls back to re-deriving
+	// the kd-partition from the built task prefix, which reproduces the
+	// frozen layouts those snapshots were taken under. When present it is
+	// authoritative — after a migration the live layout is no longer the
+	// kd-partition of the built prefix.
+	Layout [][]int `json:"layout,omitempty"`
+	// Order[i] is the shard index of the i-th accepted answer in global
+	// submission order. Together with the per-shard logs it reconstructs
+	// the exact arrival stream, which elastic migration replays to keep
+	// rebuilt fitters bit-identical. Additive field: when absent, restore
+	// synthesizes a shard-major order (correct per-shard, so all published
+	// results are unchanged; only a subsequent migration's float summation
+	// order differs from the original arrival order).
+	Order []int `json:"order,omitempty"`
 }
 
 // FederationState is the learned state of one federation.Federation: every

@@ -17,6 +17,12 @@
 #   4. rolling-restart + background fits: the drain must fold outstanding
 #      answers into a final generation before the final checkpoint, so the
 #      zero-lost-acked-answers assertion holds with the pipeline enabled.
+#   5. drift + elastic re-sharding: halfway through, all traffic shifts
+#      onto one quadrant's workers while the elastic sharded server
+#      live-migrates its partition; poiload exits non-zero on any lost
+#      acked answer or error rate above 1%. (The elastic-vs-frozen 1.2x
+#      post-drift throughput gate runs against BENCH_serve.json's
+#      L-world drift series, not this short smoke workload.)
 #
 # CI's load-smoke job runs this; it also works locally:
 #   scripts/poiload_smoke.sh [port]
@@ -47,5 +53,10 @@ echo "== load-smoke: steady + background fits + SLO gate =="
 echo "== load-smoke: rolling-restart + background fits =="
 "$BIN_DIR/poiload" "${COMMON[@]}" -scenario rolling-restart -max-error-rate 0.01 \
         -bg-fit 250ms -bg-min-answers 64
+
+echo "== load-smoke: drift + elastic re-sharding =="
+"$BIN_DIR/poiload" "${COMMON[@]}" -scenario drift -max-error-rate 0.01 \
+        -engine sharded -shards 2 -bg-fit 250ms -bg-min-answers 64 \
+        -elastic -elastic-check 300ms
 
 echo "LOAD SMOKE OK"

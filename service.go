@@ -94,6 +94,8 @@ type serviceConfig struct {
 	bgInterval     time.Duration // background fit cadence; 0 = synchronous fits
 	bgMinAnswers   int           // eager background fit threshold
 	planCand       int           // candidate prefix K; 0 = default, < 0 disables
+	elasticOn      bool          // drift-aware elastic re-sharding (WithElasticShards)
+	elastic        ElasticConfig
 }
 
 // ServiceOption configures a Service. Options follow the functional-options
@@ -318,6 +320,11 @@ type Service struct {
 	planStats       planCounters
 	planEnabled     bool
 	forceLockedPlan bool
+
+	// Elastic re-sharding state (see elastic.go). The controller is the
+	// drift-detector goroutine; migrations themselves execute on the fit
+	// pipeline so they serialize with background fits.
+	elastic *elasticController
 }
 
 // NewService creates a Service. With no options it serves the single engine
@@ -348,6 +355,14 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		pending:   make(map[pairKey]bool),
 		dirty:     true,
 	}
+	if cfg.elasticOn {
+		if cfg.engine != EngineSharded {
+			return nil, fmt.Errorf("poilabel: WithElasticShards requires the sharded engine (got %q)", cfg.engine)
+		}
+		if cfg.bgInterval <= 0 {
+			return nil, fmt.Errorf("poilabel: WithElasticShards requires WithBackgroundFit (migrations run on the fit pipeline)")
+		}
+	}
 	if cfg.bgInterval > 0 {
 		s.bg = newFitPipeline(s, cfg.bgInterval, cfg.bgMinAnswers)
 		if cfg.engine == EngineSingle && cfg.assigner == AssignerAccOpt {
@@ -358,6 +373,12 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 			}
 		}
 		go s.bg.run()
+	}
+	if cfg.elasticOn {
+		s.elastic = newElasticController(s, cfg.elastic)
+		if cfg.elastic.CheckInterval > 0 {
+			go s.elastic.run()
+		}
 	}
 	return s, nil
 }
@@ -441,6 +462,17 @@ func (s *Service) addWorkerLocked(id string, spec WorkerSpec) error {
 // the write lock. The distance normalizer spans every location registered at
 // build time (later registrations use the same scale, clamped to [0, 1]).
 func (s *Service) ensureEngine() error {
+	return s.ensureEngineWith(nil, 0)
+}
+
+// ensureEngineWith is ensureEngine with the two degrees of freedom the
+// elastic restore path needs pinned from the snapshot instead of recomputed:
+// an explicit shard layout (sharded engine only; nil means the kd default)
+// and the normalizer diameter (zero means derive it from the registered
+// locations, as construction does). After a migration the live layout is no
+// longer a function of the built prefix, so both must travel explicitly for
+// a restore to reproduce the engine.
+func (s *Service) ensureEngineWith(layout [][]int, diam float64) error {
 	if s.eng != nil {
 		return nil
 	}
@@ -450,19 +482,21 @@ func (s *Service) ensureEngine() error {
 	if len(s.workers) == 0 {
 		return ErrNoWorkers
 	}
-	var pts []Point
-	for i := range s.tasks {
-		pts = append(pts, s.tasks[i].Location)
-	}
-	for i := range s.workers {
-		pts = append(pts, s.workers[i].Locations...)
-	}
-	// A zero bounding-box diameter (every location coincides) would panic
-	// inside the normalizer; surface it as an error instead — the model's
-	// distance signal needs spatial extent.
-	diam := geo.Bound(pts).Diameter()
 	if diam <= 0 {
-		return fmt.Errorf("poilabel: all registered locations coincide at %v; distances need spatial extent", pts[0])
+		var pts []Point
+		for i := range s.tasks {
+			pts = append(pts, s.tasks[i].Location)
+		}
+		for i := range s.workers {
+			pts = append(pts, s.workers[i].Locations...)
+		}
+		// A zero bounding-box diameter (every location coincides) would panic
+		// inside the normalizer; surface it as an error instead — the model's
+		// distance signal needs spatial extent.
+		diam = geo.Bound(pts).Diameter()
+		if diam <= 0 {
+			return fmt.Errorf("poilabel: all registered locations coincide at %v; distances need spatial extent", pts[0])
+		}
 	}
 	norm := geo.NewNormalizer(diam)
 	cfg := s.cfg.model
@@ -474,11 +508,16 @@ func (s *Service) ensureEngine() error {
 	case EngineSingle:
 		eng, err = newSingleEngine(s.tasks, s.workers, norm, cfg, s.cfg.assigner, s.cfg.seed)
 	case EngineSharded:
-		eng, err = newShardedEngine(s.tasks, s.workers, norm, shard.Config{
+		shCfg := shard.Config{
 			Shards:       s.cfg.shards,
 			RefineSweeps: s.cfg.refineSweeps,
 			Model:        cfg,
-		})
+		}
+		if layout != nil {
+			eng, err = newShardedEngineWithLayout(s.tasks, s.workers, norm, shCfg, layout)
+		} else {
+			eng, err = newShardedEngine(s.tasks, s.workers, norm, shCfg)
+		}
 	case EngineFederated:
 		eng, err = newFederatedEngine(s.tasks, s.workers, norm, federation.Config{
 			Cities: s.cfg.cities,
