@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"poilabel/internal/assign"
+	"poilabel/internal/trace"
 )
 
 // ErrClosed is returned by operations that need the background fit pipeline
@@ -283,9 +284,18 @@ func (p *fitPipeline) setInFlight(v bool) {
 func (p *fitPipeline) runOneFit() {
 	s := p.s
 
+	// The trace root for this cycle. Its End — registered before the final
+	// locked section's deferred Unlock, so it runs after the lock drops —
+	// pushes the finished trace into the rings; no span operation below ever
+	// runs ring work while s.mu is held.
+	tctx, root := s.tracer.StartRoot(p.fitCtx, "fit.cycle", 0)
+	defer root.End()
+
+	_, capSp := trace.Start(tctx, "fit.capture")
 	s.mu.Lock()
 	if s.eng == nil {
 		s.mu.Unlock()
+		capSp.End()
 		return
 	}
 	epoch := s.restoreEpoch
@@ -296,6 +306,8 @@ func (p *fitPipeline) runOneFit() {
 	s.deltaActive = true
 	deltaTasks, deltaWorkers := len(s.tasks), len(s.workers)
 	s.mu.Unlock()
+	capSp.AttrInt("answers", int64(startSeq))
+	capSp.End()
 
 	p.setInFlight(true)
 	defer p.setInFlight(false)
@@ -309,13 +321,24 @@ func (p *fitPipeline) runOneFit() {
 		dirty:     true,
 	}
 	scratch.cfg.observer = nil
+	_, rbSp := trace.Start(tctx, "fit.rebuild")
 	err := scratch.applySnapshot(&snap.Service)
+	if err != nil {
+		rbSp.Fail(err)
+	}
+	rbSp.End()
 	var converged bool
 	if err == nil {
-		converged, err = scratch.eng.Fit(p.fitCtx)
+		emCtx, emSp := trace.Start(tctx, "fit.em")
+		converged, err = scratch.eng.Fit(emCtx)
+		if err != nil {
+			emSp.Fail(err)
+		}
+		emSp.End()
 	}
 	elapsed := time.Since(start)
 
+	_, mergeSp := trace.Start(tctx, "fit.merge")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p.fits.Add(1)
@@ -344,17 +367,23 @@ func (p *fitPipeline) runOneFit() {
 		}
 	}
 	nDelta := len(s.delta)
+	mergeSp.AttrInt("delta", int64(nDelta))
+	mergeSp.End()
 	s.delta = nil
 	s.deltaActive = false
 	if err != nil {
 		// Keep serving the previous generation; the live engine still holds
 		// every answer (it learned them as they arrived).
+		root.Fail(err)
 		return
 	}
+	_, swapSp := trace.Start(tctx, "fit.swap")
 	s.eng = scratch.eng
 	s.sinceFull = nDelta
 	s.dirty = nDelta > 0
 	s.publishLocked(s.answerSeq.Load(), startSeq, converged)
+	swapSp.End()
+	root.Attr("converged", fmt.Sprintf("%t", converged))
 }
 
 // republishRegistrations refreshes the published generation when tasks or

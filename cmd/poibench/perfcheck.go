@@ -30,6 +30,10 @@ import (
 // cliff, which the 3× ceiling still catches.
 var seriesTol = map[string]float64{
 	"plan_warm_ms_by_tasks": 2.0, // fail only beyond 3× baseline
+	// Per-span overhead is tens of nanoseconds: scheduler jitter swings it,
+	// but the regressions worth catching (a lock added to the mint path, an
+	// allocation per span) are multiples, not percents.
+	"trace_span_overhead_ns": 1.0, // fail only beyond 2× baseline
 }
 
 func checkPerf(dir string, seed int64, tol float64) error {

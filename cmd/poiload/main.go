@@ -14,6 +14,14 @@
 //	        [-max-error-rate F]
 //	        [-slo-baseline FILE [-slo-run LABEL] [-slo-tol F]]
 //	        [-drift-baseline FILE [-drift-run LABEL] [-drift-min-ratio F]]
+//	        [-trace]
+//
+// With -trace every request carries a client-minted X-Poilabel-Trace ID and
+// the report's slowest measured requests are joined, by ID, with the server's
+// span trees from GET /debug/traces — the top five print with a per-span
+// breakdown of where the server spent the client's p99. A spawned server
+// (-serve-bin) gets -trace forwarded automatically; a pre-started server
+// must be running with it for the join to find anything.
 //
 // Two modes:
 //
@@ -118,6 +126,7 @@ func run() error {
 	driftBaseline := flag.String("drift-baseline", "", "gate post-drift throughput against the frozen-layout run in this baseline file (drift scenario only)")
 	driftRun := flag.String("drift-run", "drift-closed-sharded-frozen", "frozen-layout baseline run label for -drift-baseline")
 	driftMinRatio := flag.Float64("drift-min-ratio", 1.2, "required post-drift throughput multiple over the frozen baseline run")
+	traceOn := flag.Bool("trace", false, "stamp requests with X-Poilabel-Trace IDs and join the slowest with server span trees (server needs -trace; forwarded to a spawned server)")
 	flag.Parse()
 
 	model, err := loadgen.ParseModel(*modelStr)
@@ -148,6 +157,7 @@ func run() error {
 		Seed:         *seed,
 		WorldTasks:   *worldTasks,
 		WorldWorkers: *worldWorkers,
+		Trace:        *traceOn,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -177,6 +187,9 @@ func run() error {
 			if *elasticMax > 0 {
 				bgArgs = append(bgArgs, "-elastic-max", fmt.Sprint(*elasticMax))
 			}
+		}
+		if *traceOn {
+			bgArgs = append(bgArgs, "-trace")
 		}
 		proc = &serverProcess{
 			bin:     *serveBin,
@@ -426,6 +439,47 @@ func printSummary(rep *loadgen.Report) {
 		fmt.Printf("counters: client %d/%d vs server %d/%d assignments/answers — %s\n",
 			rep.Counters.ClientAssignments, rep.Counters.ClientAnswers,
 			rep.Counters.ServerAssignments, rep.Counters.ServerAnswers, ok)
+	}
+	if len(rep.SlowTraces) > 0 {
+		printSlowTraces(rep.SlowTraces, 5)
+	}
+}
+
+// printSlowTraces renders the top n client-side latency outliers joined with
+// their server-side span trees: per outlier, the client's measured latency,
+// the trace ID, and an indented tree of where the server spent the time.
+func printSlowTraces(joined []loadgen.JoinedTrace, n int) {
+	fmt.Println("slowest traced requests (client-side), with server span trees:")
+	for i, jt := range joined {
+		if i == n {
+			break
+		}
+		fmt.Printf("%3d. %-12s client %8.2fms  trace %s", i+1, jt.Endpoint, jt.ClientMS, jt.ID)
+		if jt.Server == nil {
+			fmt.Println("  (no longer retained server-side)")
+			continue
+		}
+		fmt.Printf("  server %.2fms\n", jt.Server.DurationMS)
+		// Spans are in mint order, so a parent always precedes its children
+		// and the depths resolve in one pass.
+		depth := make([]int, len(jt.Server.Spans))
+		for j, sp := range jt.Server.Spans {
+			if sp.Parent >= 0 {
+				depth[j] = depth[sp.Parent] + 1
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "     %s%-20s %8.2fms", strings.Repeat("  ", depth[j]), sp.Name, sp.DurationMS)
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&b, " %s=%s", a.K, a.V)
+			}
+			if sp.Failed {
+				fmt.Fprintf(&b, " FAILED")
+				if sp.Error != "" {
+					fmt.Fprintf(&b, " (%s)", sp.Error)
+				}
+			}
+			fmt.Println(b.String())
+		}
 	}
 }
 

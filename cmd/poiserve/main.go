@@ -12,6 +12,16 @@
 //	         [-demo N] [-demo-tasks N] [-seed N]
 //	         [-checkpoint path [-checkpoint-interval D]] [-restore path]
 //	         [-shutdown-timeout D]
+//	         [-trace [-trace-slow D]] [-debug-addr :6060]
+//
+// With -trace every request, background fit, and migration records a span
+// tree: recent traces are kept in a ring served on GET /debug/traces (filter
+// with ?slow=1, ?min_ms=, ?name=), slow and errored traces are always kept,
+// responses carry X-Poilabel-Trace IDs (client-supplied IDs are adopted, so
+// cmd/poiload can join its latency outliers with server-side span trees),
+// and /metrics grows the poilabel_trace_* families. With -debug-addr the
+// full net/http/pprof surface is mounted on a second listener and /metrics
+// grows poiserve_go_* runtime gauges (goroutines, live heap, GC pause).
 //
 // With -bg-fit D full EM fits leave the request path entirely: a background
 // pipeline fits over a copy-on-write snapshot at most every D (eagerly once
@@ -72,6 +82,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -81,6 +92,7 @@ import (
 	"poilabel/internal/crowd"
 	"poilabel/internal/metrics"
 	"poilabel/internal/serve"
+	"poilabel/internal/trace"
 )
 
 func main() {
@@ -108,6 +120,9 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "also auto-checkpoint at this interval (0 = manual only; needs -checkpoint)")
 	restore := flag.String("restore", "", "restore state from this snapshot file at startup (engine flags must match)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGTERM/SIGINT (0 = wait indefinitely)")
+	traceOn := flag.Bool("trace", false, "request-scoped tracing: span trees on GET /debug/traces, IDs via X-Poilabel-Trace, poilabel_trace_* metrics")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root duration at or above which a trace is kept in the always-keep slow ring (needs -trace)")
+	debugAddr := flag.String("debug-addr", "", "also serve net/http/pprof and runtime gauges on this address (empty = off)")
 	flag.Parse()
 
 	var elasticCfg *poilabel.ElasticConfig
@@ -121,15 +136,29 @@ func main() {
 		}
 	}
 
+	var traceCfg *trace.Config
+	if *traceOn {
+		// A serving ring deeper than the library default: at a few thousand
+		// requests/sec the default 256 recycles in a tenth of a second, too
+		// fast for a client (or a human with curl) to catch an outlier it
+		// just saw. 2048 keeps roughly a second of busy traffic inspectable
+		// for a few MB of retained traces.
+		traceCfg = &trace.Config{SlowThreshold: *traceSlow, RingSize: 2048}
+	}
+
 	if err := run(*addr, *engine, *shards, *cities, *budget, *h, *assigner, *fullEM, *bgFit, *bgMin, *planCand, elasticCfg, *demo, *demoTasks, *seed,
-		*ckpt, *ckptEvery, *restore, *shutdownTimeout); err != nil {
+		*ckpt, *ckptEvery, *restore, *shutdownTimeout, traceCfg, *debugAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "poiserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, engine string, shards, cities, budget, h int, assigner string, fullEM int, bgFit time.Duration, bgMin, planCand int, elastic *poilabel.ElasticConfig, demo, demoTasks int, seed int64,
-	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration) error {
+	ckptPath string, ckptEvery time.Duration, restorePath string, shutdownTimeout time.Duration, traceCfg *trace.Config, debugAddr string) error {
+	var tracer *trace.Tracer
+	if traceCfg != nil {
+		tracer = trace.New(*traceCfg)
+	}
 	opts := []poilabel.ServiceOption{
 		poilabel.WithBudget(budget),
 		poilabel.WithTasksPerRequest(h),
@@ -144,6 +173,9 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 	}
 	if elastic != nil {
 		opts = append(opts, poilabel.WithElasticShards(*elastic))
+	}
+	if tracer != nil {
+		opts = append(opts, poilabel.WithTracer(tracer))
 	}
 	switch engine {
 	case "single":
@@ -210,7 +242,22 @@ func run(addr, engine string, shards, cities, budget, h int, assigner string, fu
 			log.Printf("auto-checkpointing to %s every %s", ckptPath, ckptEvery)
 		}
 	}
-	serveOpts = append(serveOpts, serve.WithMetrics(serve.NewMetrics(metrics.NewRegistry(), svc)))
+	reg := metrics.NewRegistry()
+	serveOpts = append(serveOpts, serve.WithMetrics(serve.NewMetrics(reg, svc)))
+	if tracer != nil {
+		tracer.RegisterMetrics(reg)
+		serveOpts = append(serveOpts, serve.WithTracer(tracer))
+		log.Printf("tracing on: GET /debug/traces, slow threshold %s", tracer.SlowThreshold())
+	}
+	if debugAddr != "" {
+		serve.RegisterRuntimeMetrics(reg)
+		go func() {
+			log.Printf("debug server (pprof) listening on %s", debugAddr)
+			if err := http.ListenAndServe(debugAddr, serve.DebugHandler()); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("poiserve listening on %s (engine %s, budget %d, h %d)", addr, engine, budget, h)
 	err = serve.ListenAndServe(ctx, addr, serve.NewHandler(svc, serveOpts...), shutdownTimeout, ck, svc.Close)

@@ -9,6 +9,7 @@ import (
 
 	"poilabel/internal/geo"
 	"poilabel/internal/shard"
+	"poilabel/internal/trace"
 )
 
 // ElasticConfig tunes drift-aware elastic re-sharding (WithElasticShards).
@@ -407,11 +408,27 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 		defer c.migrating.Store(false)
 	}
 
+	// The migration's trace root; its deferred End runs after every locked
+	// section below has released s.mu.
+	tctx, root := s.tracer.StartRoot(p.fitCtx, "migrate.cycle", 0)
+	defer root.End()
+	if req.kind == migrateSplit {
+		root.Attr("kind", "split")
+	} else {
+		root.Attr("kind", "merge")
+		root.AttrInt("with", int64(req.sj))
+	}
+	root.AttrInt("shard", int64(req.si))
+
+	_, capSp := trace.Start(tctx, "migrate.capture")
 	s.mu.Lock()
 	eng, ok := s.eng.(*shardedEngine)
 	if !ok {
 		s.mu.Unlock()
 		err := fmt.Errorf("poilabel: migration needs a built sharded engine")
+		capSp.Fail(err)
+		capSp.End()
+		root.Fail(err)
 		if c != nil {
 			c.recordOutcome(req, "", err)
 		}
@@ -422,6 +439,9 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 	if req.expectK != 0 && liveK != req.expectK {
 		s.mu.Unlock()
 		err := fmt.Errorf("poilabel: migration decided at K=%d, layout is now K=%d; abandoned", req.expectK, liveK)
+		capSp.Fail(err)
+		capSp.End()
+		root.Fail(err)
 		if c != nil {
 			c.recordOutcome(req, "", err)
 		}
@@ -436,6 +456,9 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 	s.deltaActive = true
 	deltaTasks, deltaWorkers := len(s.tasks), len(s.workers)
 	s.mu.Unlock()
+	capSp.AttrInt("answers", int64(startSeq))
+	capSp.AttrInt("k", int64(liveK))
+	capSp.End()
 
 	p.setInFlight(true)
 	defer p.setInFlight(false)
@@ -449,9 +472,11 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 		dirty:     true,
 	}
 	scratch.cfg.observer = nil
+	_, rbSp := trace.Start(tctx, "migrate.rebuild")
 	err := scratch.applySnapshot(&snap.Service)
 	var action string
 	var converged bool
+	var rebuilt *shard.Sharded
 	if err == nil {
 		se := scratch.eng.(*shardedEngine)
 		pts := make([]geo.Point, len(scratch.tasks))
@@ -466,18 +491,31 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 			layout, err = shard.MergeLayout(se.sh.Partition(), req.si, req.sj)
 		}
 		if err == nil {
-			var rebuilt *shard.Sharded
 			rebuilt, err = se.sh.Rebuild(layout)
 			if err == nil {
 				action = fmt.Sprintf("%s (K %d -> %d)", req, se.sh.NumShards(), rebuilt.NumShards())
 				scratch.eng = newShardedEngineFrom(rebuilt)
-				converged, err = scratch.eng.Fit(p.fitCtx)
 			}
 		}
+	}
+	if err != nil {
+		rbSp.Fail(err)
+	} else {
+		rbSp.AttrInt("k_after", int64(rebuilt.NumShards()))
+	}
+	rbSp.End()
+	if err == nil {
+		emCtx, emSp := trace.Start(tctx, "migrate.em")
+		converged, err = scratch.eng.Fit(emCtx)
+		if err != nil {
+			emSp.Fail(err)
+		}
+		emSp.End()
 	}
 
 	// Phase 3, under the write lock; the waiter is notified after it drops.
 	err = func() error {
+		_, mergeSp := trace.Start(tctx, "migrate.merge")
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if err == nil && s.restoreEpoch != epoch {
@@ -500,6 +538,8 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 			}
 		}
 		nDelta := len(s.delta)
+		mergeSp.AttrInt("delta", int64(nDelta))
+		mergeSp.End()
 		s.delta = nil
 		s.deltaActive = false
 		if c != nil {
@@ -507,8 +547,11 @@ func (p *fitPipeline) runOneMigration(req *migrationRequest) {
 		}
 		if err != nil {
 			// The live engine still holds every answer; keep serving it.
+			root.Fail(err)
 			return err
 		}
+		_, swapSp := trace.Start(tctx, "migrate.swap")
+		defer swapSp.End()
 		s.eng = scratch.eng
 		// The rebuilt layout spans every task registered at capture time, so
 		// the construction boundary (what the next checkpoint's Layout

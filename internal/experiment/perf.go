@@ -8,11 +8,14 @@ package experiment
 // see PERFORMANCE.md for the workflow.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
+
+	"poilabel/internal/trace"
 )
 
 // PerfSeries is one measured curve of a perf report: a metric sampled
@@ -84,8 +87,36 @@ func RunPerfInference(seed int64) (*PerfReport, error) {
 		{Label: "full_em_seconds", X: fig13.Assignments, Y: fig13.Seconds},
 		{Label: "em_iterations", X: fig13.Assignments, Y: iters},
 		{Label: "seconds_per_iteration", X: fig13.Assignments, Y: perIter},
+		traceOverheadSeries(),
 	}
 	return r, nil
+}
+
+// traceSpansPerTrace is the span count per measured trace in the
+// trace_span_overhead_ns series (and its X value): a request-shaped tree
+// plus a fit-shaped fan-out, near the tracer's MaxSpans default.
+const traceSpansPerTrace = 100
+
+// traceOverheadSeries measures the tracing subsystem's per-span cost: the
+// amortized nanoseconds for one Start/End pair inside a live trace,
+// including the root-End render and ring push each trace pays once. This is
+// the number the "tracing stays within 5% of tracing-off" serving claim
+// rests on, so it is tracked like the hot paths.
+func traceOverheadSeries() PerfSeries {
+	tr := trace.New(trace.Config{SlowThreshold: time.Hour})
+	const traces = 3000
+	start := time.Now()
+	for t := 0; t < traces; t++ {
+		//lint:ignore ctxflow the measured loop is the root of this benchmark; there is no caller context to thread
+		ctx, root := tr.StartRoot(context.Background(), "fit.cycle", 0)
+		for i := 1; i < traceSpansPerTrace; i++ {
+			_, sp := trace.Start(ctx, "fit.shard")
+			sp.End()
+		}
+		root.End()
+	}
+	perSpan := float64(time.Since(start).Nanoseconds()) / float64(traces*traceSpansPerTrace)
+	return PerfSeries{Label: "trace_span_overhead_ns", X: []int{traceSpansPerTrace}, Y: []float64{perSpan}}
 }
 
 // RunPerfAssign measures AccOpt assignment rounds across task and worker
@@ -130,6 +161,7 @@ func RunPerfSmoke(seed int64) ([]*PerfReport, error) {
 	rInf := newPerfReport("inference", seed)
 	rInf.Series = []PerfSeries{
 		{Label: "full_em_seconds", X: fig13.Assignments, Y: fig13.Seconds},
+		traceOverheadSeries(),
 	}
 
 	msTasks, err := timeAssignment(PerfAssignTaskCounts[0], 100, seed)

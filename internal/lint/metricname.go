@@ -15,10 +15,15 @@ import (
 // without _total, a histogram without _seconds, an uppercase label) is a
 // silent monitoring gap. It also catches typed sentinel errors compared
 // with == instead of errors.Is — wrapped errors make == quietly wrong.
+// Span names carry the same weight: the /debug/traces name filter, the
+// per-span-name duration summaries, and the lifecycle docs all key on the
+// answer./plan./fit./migrate. prefixes, so a span minted outside them (or
+// with uppercase/undotted segments) vanishes from every view that matters.
 var MetricNameAnalyzer = &Analyzer{
 	Name: "metricname",
 	Doc: "report metric registrations off the poilabel_*/poiserve_* naming " +
-		"conventions and sentinel errors compared with == instead of errors.Is",
+		"conventions, span names outside the answer./plan./fit./migrate. " +
+		"lifecycles, and sentinel errors compared with == instead of errors.Is",
 	Run: runMetricName,
 }
 
@@ -39,6 +44,7 @@ func runMetricName(pass *Pass) error {
 			switch x := n.(type) {
 			case *ast.CallExpr:
 				checkRegistration(pass, info, x)
+				checkSpanName(pass, info, x)
 			case *ast.BinaryExpr:
 				checkSentinelCompare(pass, info, x)
 			}
@@ -103,6 +109,47 @@ func checkRegistration(pass *Pass, info *types.Info, call *ast.CallExpr) {
 				pass.Reportf(llit.Pos(), "label %q must be lower_snake_case", label)
 			}
 		}
+	}
+}
+
+// spanNamePattern is the span naming contract: dotted lowercase segments
+// under exactly the four instrumented lifecycles.
+var spanNamePattern = regexp.MustCompile(`^(answer|plan|fit|migrate)(\.[a-z0-9_]+)+$`)
+
+// checkSpanName validates the literal name argument of a span mint — the
+// package-level trace.Start or the Tracer.StartRoot method of any package
+// path ending internal/trace. Computed names are let through: the convention
+// is about the literals instrumentation sites hard-code.
+func checkSpanName(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := callee(info, call)
+	if fn == nil || !strings.HasSuffix(funcPkgPath(fn), "internal/trace") {
+		return
+	}
+	switch fn.Name() {
+	case "Start":
+		if recvTypeName(fn) != "" {
+			return
+		}
+	case "StartRoot":
+		if recvTypeName(fn) != "Tracer" {
+			return
+		}
+	default:
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !spanNamePattern.MatchString(name) {
+		pass.Reportf(lit.Pos(), "span name %q must be dotted lowercase under the answer./plan./fit./migrate. lifecycles", name)
 	}
 }
 

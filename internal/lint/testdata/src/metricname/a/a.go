@@ -4,9 +4,11 @@
 package a
 
 import (
+	"context"
 	"errors"
 
 	"metricname/internal/metrics"
+	"metricname/internal/trace"
 )
 
 func register(r *metrics.Registry) {
@@ -19,6 +21,14 @@ func register(r *metrics.Registry) {
 		func() []metrics.LabelledValue { return nil }, "shard")
 	r.GaugeVecFunc("poilabel_shard_answers", "bad label",
 		func() []metrics.LabelledValue { return nil }, "Shard") // want `label "Shard" must be lower_snake_case`
+}
+
+func spans(ctx context.Context, t *trace.Tracer) {
+	t.StartRoot(ctx, "http.request", 0) // want `span name "http.request" must be dotted lowercase`
+	t.StartRoot(ctx, "answer", 0)       // want `span name "answer" must be dotted lowercase`
+	trace.Start(ctx, "Answer.dedup")    // want `span name "Answer.dedup" must be dotted lowercase`
+	trace.Start(ctx, "fit.EM")          // want `span name "fit.EM" must be dotted lowercase`
+	trace.Start(ctx, "plan.commit.")    // want `span name "plan.commit." must be dotted lowercase`
 }
 
 var ErrGone = errors.New("gone")
@@ -36,6 +46,15 @@ func okRegister(r *metrics.Registry) {
 	r.CounterVec("poiserve_reqs_total", "ok", "endpoint", "code")
 	r.GaugeVecFunc("poilabel_shard_answers", "ok",
 		func() []metrics.LabelledValue { return nil }, "shard")
+}
+
+func okSpans(ctx context.Context, t *trace.Tracer) {
+	t.StartRoot(ctx, "answer.request", 0)
+	t.StartRoot(ctx, "migrate.cycle", 7)
+	trace.Start(ctx, "plan.commit")
+	trace.Start(ctx, "fit.em_step_2")
+	name := "whatever goes"
+	trace.Start(ctx, name) // computed names are the caller's business
 }
 
 func okIs(err error) bool {

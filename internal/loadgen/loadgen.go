@@ -177,6 +177,11 @@ type Config struct {
 	Restarter Restarter
 	// HTTPTimeout bounds each request. Zero means 30s.
 	HTTPTimeout time.Duration
+	// Trace stamps every request with a client-minted X-Poilabel-Trace ID,
+	// tracks the slowest measured requests, and joins them after the run with
+	// the server's span trees from GET /debug/traces (Report.SlowTraces).
+	// The server must be running with -trace for the join to find anything.
+	Trace bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }

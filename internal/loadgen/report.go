@@ -98,6 +98,12 @@ type Report struct {
 	BudgetRemaining int `json:"budget_remaining"`
 
 	Counters *CounterMatch `json:"counters,omitempty"`
+
+	// SlowTraces (Config.Trace) are the run's slowest measured requests,
+	// slowest first, each joined by trace ID with the server-side span tree
+	// from /debug/traces — the client's p99 outliers seen from inside the
+	// server. Server is nil for entries the server no longer retains.
+	SlowTraces []JoinedTrace `json:"slow_traces,omitempty"`
 }
 
 // buildReport assembles the report and the final server-side accounting.
@@ -181,6 +187,17 @@ func (r *runner) buildReport(ctx context.Context, measured time.Duration, answer
 		r.cfg.Logf("loadgen: counter match skipped: %v", err)
 	} else {
 		rep.Counters = cm
+	}
+
+	if r.cfg.Trace {
+		// One final fetch catches outliers from the last poll window, then
+		// the join reads from the hit cache the poll loop filled mid-run.
+		if traces, err := r.fetchTraces(ctx, 512); err != nil {
+			r.cfg.Logf("loadgen: final trace fetch skipped: %v", err)
+		} else {
+			r.recordTraceHits(traces)
+		}
+		rep.SlowTraces = r.joinedSlowTraces()
 	}
 	return rep, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"poilabel/internal/metrics"
+	"poilabel/internal/trace"
 )
 
 // Endpoint labels the runner records under.
@@ -59,6 +60,17 @@ type runner struct {
 	driftPool  []int
 	driftStart time.Duration
 	preDrift   map[string]uint64
+
+	// Trace-join state (Config.Trace). Client-minted IDs live in the upper
+	// half of the ID space (traceBase | seq) so they can never collide with
+	// the server's own low-sequence IDs; slowest tracks the measured
+	// requests worth joining, and traceHits caches their server-side span
+	// trees as the poll loop finds them (see tracePollLoop).
+	traceBase uint64
+	traceSeq  atomic.Uint64
+	slowest   *slowTracker
+	traceMu   sync.Mutex
+	traceHits map[string]*trace.Trace
 }
 
 // Run executes one load run and returns its report. The context bounds the
@@ -86,6 +98,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			epAssignments: {hist: metrics.NewHistogram()},
 			epAnswers:     {hist: metrics.NewHistogram()},
 		},
+	}
+
+	if cfg.Trace {
+		r.traceBase = 1<<63 | (uint64(cfg.Seed)<<32)&(1<<63-1)
+		r.slowest = newSlowTracker(slowTraceK)
+		r.traceHits = make(map[string]*trace.Trace)
 	}
 
 	if cfg.Scenario == ScenarioDrift {
@@ -125,6 +143,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			r.arrivalLoop(runCtx)
+		}()
+	}
+	if cfg.Trace {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.tracePollLoop(runCtx)
 		}()
 	}
 
@@ -368,6 +393,12 @@ func (r *runner) do(ctx context.Context, endpoint, path string, body, out any, i
 		maxRetries = 150
 		backoff    = 100 * time.Millisecond
 	)
+	// One trace ID per logical request, reused across transport retries: the
+	// attempt the server actually processes is the one that adopts it.
+	var traceID string
+	if r.cfg.Trace {
+		traceID = trace.FormatID(r.traceBase | r.traceSeq.Add(1))
+	}
 	retried := false
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, bytes.NewReader(payload))
@@ -375,6 +406,9 @@ func (r *runner) do(ctx context.Context, endpoint, path string, body, out any, i
 			return 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set(trace.Header, traceID)
+		}
 		start := time.Now()
 		resp, err := r.client.Do(req)
 		elapsed := time.Since(start)
@@ -401,6 +435,9 @@ func (r *runner) do(ctx context.Context, endpoint, path string, body, out any, i
 		rec.total.Add(1)
 		if r.measuring.Load() {
 			rec.hist.Observe(elapsed)
+			if traceID != "" {
+				r.slowest.add(TraceSample{ID: traceID, Endpoint: endpoint, ClientMS: roundMS(elapsed)})
+			}
 		}
 		status := resp.StatusCode
 		if isAnswer && retried && status == http.StatusConflict &&

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"poilabel/internal/trace"
+)
+
+// slowTraceK is how many of the slowest measured requests the runner tracks
+// for the post-run trace join. cmd/poiload prints the top five; a few spares
+// absorb traces the server's ring has already evicted.
+const slowTraceK = 16
+
+// TraceSample is one measured request's client-side trace record: the ID it
+// sent in the X-Poilabel-Trace header and the latency the client observed.
+type TraceSample struct {
+	ID       string  `json:"id"`
+	Endpoint string  `json:"endpoint"`
+	ClientMS float64 `json:"client_ms"`
+}
+
+// JoinedTrace pairs a client-side latency outlier with the server-side span
+// tree recorded under the same trace ID — the view that answers "where did
+// my p99 request spend its time *inside* the server". Server is nil when the
+// server's rings no longer retain the trace (it was fast enough to be
+// evicted by later traffic).
+type JoinedTrace struct {
+	TraceSample
+	Server *trace.Trace `json:"server,omitempty"`
+}
+
+// slowTracker keeps the k slowest measured samples, slowest first.
+type slowTracker struct {
+	mu      sync.Mutex
+	k       int
+	samples []TraceSample
+}
+
+func newSlowTracker(k int) *slowTracker {
+	return &slowTracker{k: k, samples: make([]TraceSample, 0, k)}
+}
+
+// add offers one sample; it is kept iff it ranks among the k slowest so far.
+func (st *slowTracker) add(s TraceSample) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.samples) == st.k && s.ClientMS <= st.samples[st.k-1].ClientMS {
+		return
+	}
+	// Insert in descending ClientMS order, then trim to k.
+	i := sort.Search(len(st.samples), func(i int) bool {
+		return st.samples[i].ClientMS < s.ClientMS
+	})
+	st.samples = append(st.samples, TraceSample{})
+	copy(st.samples[i+1:], st.samples[i:])
+	st.samples[i] = s
+	if len(st.samples) > st.k {
+		st.samples = st.samples[:st.k]
+	}
+}
+
+// top returns the tracked samples, slowest first.
+func (st *slowTracker) top() []TraceSample {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]TraceSample(nil), st.samples...)
+}
+
+// JoinTraces matches client-side samples against server-retained traces by
+// ID, preserving the samples' order (slowest first). Samples the server no
+// longer retains join with a nil Server rather than disappearing — the
+// client's side of the measurement is still real.
+func JoinTraces(samples []TraceSample, traces []*trace.Trace) []JoinedTrace {
+	byID := make(map[string]*trace.Trace, len(traces))
+	for _, tr := range traces {
+		byID[tr.ID] = tr
+	}
+	out := make([]JoinedTrace, len(samples))
+	for i, s := range samples {
+		out[i] = JoinedTrace{TraceSample: s, Server: byID[s.ID]}
+	}
+	return out
+}
+
+// tracePollLoop runs while the measure phase does: the server's recent-trace
+// ring recycles in well under a second at load-test rates, so waiting until
+// the end of the run to join would find every mid-run outlier already
+// evicted. Instead the runner polls /debug/traces and caches the span trees
+// of whatever currently ranks among the slowest samples, while the server
+// still retains them.
+func (r *runner) tracePollLoop(ctx context.Context) {
+	for {
+		if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+			return
+		}
+		if !r.missingTraceHits() {
+			continue
+		}
+		// Snapshots come back slowest-first, so a small limit still contains
+		// the outliers worth joining — and keeps the poll from stealing
+		// serving CPU to render hundreds of trace trees every round.
+		traces, err := r.fetchTraces(ctx, 128)
+		if err != nil {
+			continue // server mid-restart, or tracing off; the final fetch reports that
+		}
+		r.recordTraceHits(traces)
+	}
+}
+
+// missingTraceHits reports whether any tracked sample still lacks its
+// server-side trace, so an idle poll round can skip the HTTP fetch.
+func (r *runner) missingTraceHits() bool {
+	for _, s := range r.slowest.top() {
+		r.traceMu.Lock()
+		_, ok := r.traceHits[s.ID]
+		r.traceMu.Unlock()
+		if !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// recordTraceHits caches the span trees of fetched traces whose IDs are
+// currently tracked as slowest samples.
+func (r *runner) recordTraceHits(traces []*trace.Trace) {
+	byID := make(map[string]*trace.Trace, len(traces))
+	for _, tr := range traces {
+		byID[tr.ID] = tr
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	for _, s := range r.slowest.top() {
+		if tr, ok := byID[s.ID]; ok {
+			r.traceHits[s.ID] = tr
+		}
+	}
+}
+
+// joinedSlowTraces builds the report's join from the cached hits.
+func (r *runner) joinedSlowTraces() []JoinedTrace {
+	r.traceMu.Lock()
+	hits := make([]*trace.Trace, 0, len(r.traceHits))
+	for _, tr := range r.traceHits {
+		hits = append(hits, tr)
+	}
+	r.traceMu.Unlock()
+	return JoinTraces(r.slowest.top(), hits)
+}
+
+// fetchTraces pulls the server's slowest retained traces from
+// GET /debug/traces (the snapshot is sorted slowest-first).
+func (r *runner) fetchTraces(ctx context.Context, limit int) ([]*trace.Trace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/debug/traces?limit=%d", r.cfg.BaseURL, limit), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/traces status %d (server started without -trace?)", resp.StatusCode)
+	}
+	var body struct {
+		Traces []*trace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Traces, nil
+}

@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"testing"
+
+	"poilabel/internal/trace"
+)
+
+func sample(id string, ms float64) TraceSample {
+	return TraceSample{ID: id, Endpoint: epAnswers, ClientMS: ms}
+}
+
+func TestSlowTrackerKeepsKSlowest(t *testing.T) {
+	st := newSlowTracker(3)
+	for _, ms := range []float64{5, 1, 9, 3, 7, 2, 8} {
+		st.add(sample(trace.FormatID(uint64(ms)), ms))
+	}
+	top := st.top()
+	if len(top) != 3 {
+		t.Fatalf("kept %d samples, want 3", len(top))
+	}
+	want := []float64{9, 8, 7}
+	for i, s := range top {
+		if s.ClientMS != want[i] {
+			t.Fatalf("top[%d] = %.0fms, want %.0fms (full: %v)", i, s.ClientMS, want[i], top)
+		}
+	}
+}
+
+func TestSlowTrackerBelowCapacityKeepsAll(t *testing.T) {
+	st := newSlowTracker(8)
+	st.add(sample("a", 2))
+	st.add(sample("b", 4))
+	top := st.top()
+	if len(top) != 2 || top[0].ClientMS != 4 || top[1].ClientMS != 2 {
+		t.Fatalf("top = %v, want [4 2]", top)
+	}
+}
+
+// TestJoinTraces joins client samples with server traces by ID, preserving
+// the slowest-first sample order and surviving IDs the server evicted.
+func TestJoinTraces(t *testing.T) {
+	samples := []TraceSample{
+		sample("000000000000000a", 12),
+		sample("000000000000000b", 8),
+		sample("000000000000000c", 5),
+	}
+	traces := []*trace.Trace{
+		{ID: "000000000000000c", Root: "answer.request", DurationMS: 4.5},
+		{ID: "000000000000000a", Root: "plan.request", DurationMS: 11.9},
+		{ID: "00000000000000ff", Root: "fit.cycle", DurationMS: 30},
+	}
+	joined := JoinTraces(samples, traces)
+	if len(joined) != 3 {
+		t.Fatalf("joined %d entries, want one per sample", len(joined))
+	}
+	if joined[0].Server == nil || joined[0].Server.Root != "plan.request" {
+		t.Fatalf("slowest sample joined with %+v, want the plan.request trace", joined[0].Server)
+	}
+	if joined[1].Server != nil {
+		t.Fatalf("evicted ID joined with %+v, want nil", joined[1].Server)
+	}
+	if joined[2].Server == nil || joined[2].Server.Root != "answer.request" {
+		t.Fatalf("third sample joined with %+v, want the answer.request trace", joined[2].Server)
+	}
+	if joined[0].ClientMS != 12 || joined[2].ClientMS != 5 {
+		t.Fatal("client-side latencies not preserved through the join")
+	}
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	runtimemetrics "runtime/metrics"
+
+	"poilabel/internal/metrics"
+)
+
+// DebugHandler returns the profiling mux poiserve mounts behind -debug-addr:
+// the full net/http/pprof surface (/debug/pprof/ index, profile, heap,
+// goroutine, trace, …) on a mux of its own, so profiles can be pulled under
+// load without exposing pprof on the serving address.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// The runtime/metrics names the gauges below sample. All three exist from
+// Go 1.16 on; readRuntimeSample still tolerates a bad name so a runtime
+// rename degrades a gauge to zero instead of breaking /metrics.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapLive   = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/gc/pauses:seconds"
+)
+
+// RegisterRuntimeMetrics registers runtime health gauges — goroutine count,
+// live heap bytes, and the median GC pause — sampled from runtime/metrics at
+// scrape time. poiserve calls it alongside NewMetrics when tracing/debugging
+// is enabled so load runs capture the runtime's side of the story.
+func RegisterRuntimeMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("poiserve_go_goroutines", "Live goroutines.",
+		func() float64 { return readRuntimeSample(rmGoroutines) })
+	reg.GaugeFunc("poiserve_go_heap_live_bytes", "Bytes of live heap objects.",
+		func() float64 { return readRuntimeSample(rmHeapLive) })
+	reg.GaugeFunc("poiserve_go_gc_pause_p50_seconds", "Median stop-the-world GC pause.",
+		func() float64 { return readRuntimeSample(rmGCPauses) })
+}
+
+// readRuntimeSample samples one runtime/metrics name and flattens it to a
+// float64: counters and gauges read directly, histograms reduce to their
+// weighted median. Unknown names read as 0.
+func readRuntimeSample(name string) float64 {
+	sample := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(sample)
+	switch sample[0].Value.Kind() {
+	case runtimemetrics.KindUint64:
+		return float64(sample[0].Value.Uint64())
+	case runtimemetrics.KindFloat64:
+		return sample[0].Value.Float64()
+	case runtimemetrics.KindFloat64Histogram:
+		return histogramMedian(sample[0].Value.Float64Histogram())
+	default:
+		return 0
+	}
+}
+
+// histogramMedian returns the weighted median of a runtime float64
+// histogram, approximating each bucket by its midpoint (boundary buckets by
+// their finite edge).
+func histogramMedian(h *runtimemetrics.Float64Histogram) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen*2 < total {
+			continue
+		}
+		// Bucket i spans Buckets[i] .. Buckets[i+1]; the edges can be ±Inf.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case lo == hi:
+			return lo
+		case isInf(lo):
+			return hi
+		case isInf(hi):
+			return lo
+		default:
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -4,10 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"time"
+
+	"poilabel/internal/trace"
 )
 
 // Serve runs handler on ln until ctx is cancelled, then shuts down
@@ -65,15 +66,15 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 			defer cancel()
 		}
 		if err := hook(hookCtx); err != nil {
-			log.Printf("serve: pre-checkpoint hook: %v", err)
+			trace.DefaultLogger().Warn(hookCtx, "pre-checkpoint hook failed", "err", err)
 		}
 	}
 	if ck != nil {
-		if n, err := ck.Checkpoint(); err != nil {
+		n, err := ck.Checkpoint()
+		if err != nil {
 			return fmt.Errorf("serve: final checkpoint: %w", err)
-		} else {
-			log.Printf("serve: final checkpoint: %d bytes to %s", n, ck.Path())
 		}
+		trace.DefaultLogger().Info(drainCtx, "final checkpoint", "bytes", n, "path", ck.Path())
 	}
 	if drainErr != nil {
 		return fmt.Errorf("serve: drain: %w", drainErr)

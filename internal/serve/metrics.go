@@ -41,6 +41,11 @@ import (
 // poilabel_shard_count, and the poilabel_elastic_* migration gauges and
 // counters, read from Service.ShardStats / Service.ElasticStats at scrape
 // time (empty or zero on a non-sharded engine).
+//
+// When tracing is on, the tracer adds its own poilabel_trace_* families
+// (span duration summaries by span name and the trace lifecycle counters)
+// via Tracer.RegisterMetrics, and RegisterRuntimeMetrics adds the
+// poiserve_go_* runtime gauges; both are wired by cmd/poiserve, not here.
 type Metrics struct {
 	reg *metrics.Registry
 
@@ -78,8 +83,10 @@ func NewMetrics(reg *metrics.Registry, svc *poilabel.Service) *Metrics {
 		func() float64 { return float64(svc.NumWorkers()) })
 	reg.GaugeFunc("poiserve_pending_pairs", "Handed-out pairs awaiting an answer.",
 		func() float64 { return float64(svc.PendingCount()) })
+	// Served from Service.Health's cached answer sequence: a scrape must not
+	// recount through the engine under the read lock.
 	reg.GaugeFunc("poiserve_answers_observed", "Answers observed by the engine.",
-		func() float64 { return float64(svc.AnswerCount()) })
+		func() float64 { return float64(svc.Health().Answers) })
 	reg.GaugeFunc("poiserve_budget_remaining", "Assignment budget remaining (-1 = unlimited).",
 		func() float64 { return float64(svc.RemainingBudget()) })
 	// Background fit pipeline (poilabel_ prefix: these describe the library's

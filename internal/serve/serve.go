@@ -12,6 +12,7 @@
 //	GET  /workers/{id}                                         worker estimate
 //	GET  /healthz                                              liveness + counters
 //	GET  /metrics                                              Prometheus text (WithMetrics)
+//	GET  /debug/traces                                         retained traces, slowest first (WithTracer)
 //
 // Typed service errors map onto statuses: unknown IDs are 404, duplicate
 // registrations and duplicate answers 409, an exhausted budget 402, a
@@ -35,7 +36,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -43,7 +43,13 @@ import (
 	"time"
 
 	"poilabel"
+	"poilabel/internal/trace"
 )
+
+// TraceHeader is the header trace IDs travel in, both directions: a client
+// may supply one (joining its own measurement to the server-side trace) and
+// the traced endpoints always echo the effective ID back.
+const TraceHeader = trace.Header
 
 // Checkpointer persists one service's snapshot to a fixed file. Writes are
 // atomic (write-then-rename, see snapshot.WriteFileAtomic) and serialized
@@ -84,9 +90,9 @@ func (c *Checkpointer) Run(ctx context.Context, interval time.Duration) {
 			return
 		case <-t.C:
 			if n, err := c.Checkpoint(); err != nil {
-				log.Printf("serve: auto-checkpoint failed: %v", err)
+				trace.DefaultLogger().Error(ctx, "auto-checkpoint failed", "err", err)
 			} else {
-				log.Printf("serve: checkpointed %d bytes to %s", n, c.path)
+				trace.DefaultLogger().Info(ctx, "checkpointed", "bytes", n, "path", c.path)
 			}
 		}
 	}
@@ -107,11 +113,24 @@ func WithMetrics(m *Metrics) Option {
 	return func(h *Handler) { h.metrics = m }
 }
 
+// WithTracer enables the GET /debug/traces endpoint and mints a trace root
+// around every POST /answers (answer.request) and POST /assignments
+// (plan.request): the request's trace ID — adopted from the TraceHeader when
+// the client sent one, minted fresh otherwise — is echoed back in the same
+// header so clients can join their own latency measurements to the
+// server-side span tree. Pass the same tracer the service was built with
+// (poilabel.WithTracer) so the request spans and the background fit.cycle /
+// migrate.cycle roots land in the same rings.
+func WithTracer(t *trace.Tracer) Option {
+	return func(h *Handler) { h.tracer = t }
+}
+
 // Handler is the HTTP gateway over one Service.
 type Handler struct {
 	svc     *poilabel.Service
 	ckpt    *Checkpointer // nil when checkpointing is not configured
 	metrics *Metrics      // nil when /metrics is not configured
+	tracer  *trace.Tracer // nil when tracing is not configured
 }
 
 // NewHandler returns the gateway for svc.
@@ -145,9 +164,9 @@ func (h *Handler) dispatch(w http.ResponseWriter, r *http.Request) {
 	case path == "/workers" && r.Method == http.MethodPost:
 		h.postWorker(w, r)
 	case path == "/answers" && r.Method == http.MethodPost:
-		h.postAnswer(w, r)
+		h.traced(w, r, "answer.request", h.postAnswer)
 	case path == "/assignments" && r.Method == http.MethodPost:
-		h.postAssignments(w, r)
+		h.traced(w, r, "plan.request", h.postAssignments)
 	case path == "/checkpoint" && r.Method == http.MethodPost:
 		h.postCheckpoint(w, r)
 	case path == "/results" && r.Method == http.MethodGet:
@@ -158,11 +177,87 @@ func (h *Handler) dispatch(w http.ResponseWriter, r *http.Request) {
 		h.getHealth(w, r)
 	case path == "/metrics" && r.Method == http.MethodGet:
 		h.getMetrics(w, r)
-	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/checkpoint" || path == "/results" || path == "/healthz" || path == "/metrics":
+	case path == "/debug/traces" && r.Method == http.MethodGet:
+		h.getTraces(w, r)
+	case path == "/tasks" || path == "/workers" || path == "/answers" || path == "/assignments" || path == "/checkpoint" || path == "/results" || path == "/healthz" || path == "/metrics" || path == "/debug/traces":
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed on %s", r.Method, path))
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", path))
 	}
+}
+
+// traced wraps one endpoint with a trace root: adopt (or mint) the trace ID,
+// echo it in TraceHeader, run the handler with the span in the request
+// context, and mark the root failed on a non-2xx status. The root's End runs
+// after the handler has returned — after every service lock it took has been
+// released — which is where the finished trace enters the rings.
+func (h *Handler) traced(w http.ResponseWriter, r *http.Request, name string, fn func(http.ResponseWriter, *http.Request)) {
+	if h.tracer == nil {
+		fn(w, r)
+		return
+	}
+	var id uint64
+	if hdr := r.Header.Get(TraceHeader); hdr != "" {
+		id, _ = trace.ParseID(hdr)
+	}
+	ctx, root := h.tracer.StartRoot(r.Context(), name, id)
+	w.Header().Set(TraceHeader, root.TraceID())
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	fn(rec, r.WithContext(ctx))
+	root.AttrInt("status", int64(rec.status))
+	if rec.status >= 400 {
+		root.Fail(fmt.Errorf("http %d", rec.status))
+	}
+	root.End()
+}
+
+// tracesResponse is the GET /debug/traces JSON shape.
+type tracesResponse struct {
+	Count  int            `json:"count"`
+	Stats  trace.Stats    `json:"stats"`
+	Traces []*trace.Trace `json:"traces"`
+}
+
+// getTraces serves the retained traces, slowest first. Filters: ?slow=1
+// keeps only traces at or above the tracer's slow threshold, ?min_ms=N
+// drops traces shorter than N milliseconds, ?name=prefix keeps only traces
+// whose root span matches the name or dotted prefix (e.g. name=migrate),
+// and ?limit=N caps the result count (default 100).
+func (h *Handler) getTraces(w http.ResponseWriter, r *http.Request) {
+	if h.tracer == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("tracing not configured; start the server with tracing enabled"))
+		return
+	}
+	q := trace.Query{Limit: 100, Name: r.URL.Query().Get("name")}
+	if v := r.URL.Query().Get("slow"); v == "1" || v == "true" {
+		q.Slow = true
+	}
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+		q.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		q.Limit = n
+	}
+	traces := h.tracer.Snapshot(q)
+	if traces == nil {
+		traces = []*trace.Trace{}
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Count:  len(traces),
+		Stats:  h.tracer.TracerStats(),
+		Traces: traces,
+	})
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -422,14 +517,18 @@ type healthElastic struct {
 }
 
 func (h *Handler) getHealth(w http.ResponseWriter, _ *http.Request) {
+	// One Health() call gathers every counter under a single read lock, with
+	// the answer total served from the service's cached sequence instead of
+	// a per-scrape engine recount (see poilabel.Service.Health).
+	hs := h.svc.Health()
 	resp := healthResponse{
 		OK:              true,
 		Engine:          h.svc.EngineKind().String(),
-		Tasks:           h.svc.NumTasks(),
-		Workers:         h.svc.NumWorkers(),
-		Answers:         h.svc.AnswerCount(),
-		Pending:         h.svc.PendingCount(),
-		RemainingBudget: h.svc.RemainingBudget(),
+		Tasks:           hs.Tasks,
+		Workers:         hs.Workers,
+		Answers:         hs.Answers,
+		Pending:         hs.Pending,
+		RemainingBudget: hs.RemainingBudget,
 	}
 	if st := h.svc.FitStats(); st.Enabled {
 		resp.Fit = &healthFit{

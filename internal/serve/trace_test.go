@@ -1,0 +1,190 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"poilabel"
+	"poilabel/internal/serve"
+	"poilabel/internal/trace"
+)
+
+// newTracedServer builds a gateway with tracing wired the way cmd/poiserve
+// wires it: the same tracer on the service (fit/plan spans) and the handler
+// (request roots, /debug/traces).
+func newTracedServer(t *testing.T, cfg trace.Config, opts ...poilabel.ServiceOption) (*httptest.Server, *trace.Tracer) {
+	t.Helper()
+	tracer := trace.New(cfg)
+	svc, err := poilabel.NewService(append(opts, poilabel.WithTracer(tracer))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewHandler(svc, serve.WithTracer(tracer)))
+	t.Cleanup(srv.Close)
+	return srv, tracer
+}
+
+// tracesResponse mirrors the GET /debug/traces body.
+type tracesResponse struct {
+	Count  int            `json:"count"`
+	Stats  trace.Stats    `json:"stats"`
+	Traces []*trace.Trace `json:"traces"`
+}
+
+func getTraces(t *testing.T, srv *httptest.Server, query string) tracesResponse {
+	t.Helper()
+	var out tracesResponse
+	if code := do(t, http.MethodGet, srv.URL+"/debug/traces"+query, nil, &out); code != http.StatusOK {
+		t.Fatalf("GET /debug/traces%s: status %d", query, code)
+	}
+	return out
+}
+
+func TestDebugTracesUnconfigured404(t *testing.T) {
+	srv := newServer(t)
+	if code := do(t, http.MethodGet, srv.URL+"/debug/traces", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("GET /debug/traces without a tracer: status %d, want 404", code)
+	}
+}
+
+// TestDebugTracesEndpoint drives traced requests through the gateway and
+// exercises the /debug/traces filters: name prefix, min_ms, slow, limit, and
+// the 400 on malformed parameters.
+func TestDebugTracesEndpoint(t *testing.T) {
+	srv, _ := newTracedServer(t, trace.Config{SlowThreshold: time.Hour})
+	postTask(t, srv, "t0", 0, 0, []string{"a", "b"})
+	postWorker(t, srv, "w0", 1, 1)
+
+	// One plan.request and one answer.request trace.
+	var assignResp struct {
+		Assignments map[string][]string `json:"assignments"`
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/assignments",
+		map[string]any{"workers": []string{"w0"}}, &assignResp); code != http.StatusOK {
+		t.Fatalf("POST /assignments: status %d", code)
+	}
+	if code := do(t, http.MethodPost, srv.URL+"/answers",
+		map[string]any{"worker": "w0", "task": "t0", "selected": []bool{true, false}}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /answers: status %d", code)
+	}
+
+	all := getTraces(t, srv, "")
+	if all.Count < 2 {
+		t.Fatalf("got %d traces, want at least the plan.request and answer.request", all.Count)
+	}
+	roots := map[string]bool{}
+	for _, tr := range all.Traces {
+		roots[tr.Root] = true
+	}
+	if !roots["plan.request"] || !roots["answer.request"] {
+		t.Fatalf("trace roots %v missing plan.request or answer.request", roots)
+	}
+	if all.Stats.Finished < 2 {
+		t.Fatalf("stats report %d finished traces, want >= 2", all.Stats.Finished)
+	}
+
+	// The answer.request trace must contain the submit pipeline's spans.
+	var answerSpans []string
+	for _, tr := range all.Traces {
+		if tr.Root == "answer.request" {
+			for _, sp := range tr.Spans {
+				answerSpans = append(answerSpans, sp.Name)
+			}
+		}
+	}
+	for _, want := range []string{"answer.submit", "answer.dedup"} {
+		found := false
+		for _, name := range answerSpans {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("answer.request spans %v missing %q", answerSpans, want)
+		}
+	}
+
+	// Name filter: bare prefix keeps only that lifecycle.
+	filtered := getTraces(t, srv, "?name=answer")
+	if filtered.Count == 0 {
+		t.Fatal("?name=answer matched nothing")
+	}
+	for _, tr := range filtered.Traces {
+		if !strings.HasPrefix(tr.Root, "answer.") {
+			t.Fatalf("?name=answer returned root %q", tr.Root)
+		}
+	}
+
+	// min_ms high enough to exclude everything; slow with an hour threshold
+	// likewise. Both must return an empty list, not an error (and not null).
+	if got := getTraces(t, srv, "?min_ms=3600000"); got.Count != 0 || got.Traces == nil {
+		t.Fatalf("?min_ms=3600000: count %d traces %v, want empty non-nil", got.Count, got.Traces)
+	}
+	if got := getTraces(t, srv, "?slow=1"); got.Count != 0 {
+		t.Fatalf("?slow=1 under an hour-long threshold: count %d, want 0", got.Count)
+	}
+	if got := getTraces(t, srv, "?limit=1"); got.Count != 1 {
+		t.Fatalf("?limit=1: count %d, want 1", got.Count)
+	}
+
+	if code := do(t, http.MethodGet, srv.URL+"/debug/traces?min_ms=bogus", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("?min_ms=bogus: status %d, want 400", code)
+	}
+	if code := do(t, http.MethodGet, srv.URL+"/debug/traces?limit=bogus", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("?limit=bogus: status %d, want 400", code)
+	}
+}
+
+// TestTraceHeaderAdoptionAndEcho checks both directions of the wire
+// contract: a client-minted ID is adopted (and normalized to the 16-digit
+// form), and a request without one gets a server-minted ID echoed back.
+func TestTraceHeaderAdoptionAndEcho(t *testing.T) {
+	srv, tracer := newTracedServer(t, trace.Config{SlowThreshold: time.Hour})
+	postTask(t, srv, "t0", 0, 0, []string{"a"})
+	postWorker(t, srv, "w0", 1, 1)
+
+	body, _ := json.Marshal(map[string]any{"workers": []string{"w0"}})
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/assignments", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.TraceHeader, "deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, want := resp.Header.Get(serve.TraceHeader), "00000000deadbeef"; got != want {
+		t.Fatalf("echoed trace ID %q, want the adopted client ID %q", got, want)
+	}
+	if tr := tracer.Lookup("00000000deadbeef"); tr == nil {
+		t.Fatal("client-supplied trace ID not retained server-side")
+	} else if tr.Root != "plan.request" {
+		t.Fatalf("adopted trace root %q, want plan.request", tr.Root)
+	}
+
+	// No client ID: the server mints one and still echoes it.
+	req2, err := http.NewRequest(http.MethodPost, srv.URL+"/assignments", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	id := resp2.Header.Get(serve.TraceHeader)
+	if id == "" {
+		t.Fatal("no server-minted trace ID echoed")
+	}
+	if tracer.Lookup(id) == nil {
+		t.Fatalf("server-minted trace %s not retained", id)
+	}
+}

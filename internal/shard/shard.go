@@ -31,6 +31,7 @@ import (
 	"poilabel/internal/core"
 	"poilabel/internal/geo"
 	"poilabel/internal/model"
+	"poilabel/internal/trace"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero.
@@ -357,7 +358,17 @@ func (s *Sharded) fitAll(ctx context.Context, into []core.FitStats, only []bool)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Per-shard child span, minted and ended on this goroutine — the
+			// concurrent-emission case the arena mutex exists for. No-op
+			// unless the caller's context carries a fit/migrate trace.
+			_, sp := trace.Start(ctx, "fit.shard")
+			sp.AttrInt("shard", int64(i))
 			into[i], errs[i] = s.models[i].FitContext(ctx)
+			if errs[i] != nil {
+				sp.Fail(errs[i])
+			}
+			sp.AttrInt("iterations", int64(into[i].Iterations))
+			sp.End()
 			s.lastFitDur[i] = into[i].Elapsed
 		}(i)
 	}

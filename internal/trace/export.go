@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is the immutable rendered form of a finished trace. It is built
+// once, under the arena lock, when the root span ends; the rings and every
+// /debug/traces snapshot share the same *Trace, so nothing here may be
+// mutated after render.
+type Trace struct {
+	ID           string     `json:"id"`
+	Root         string     `json:"root"`
+	Start        time.Time  `json:"start"`
+	DurationMS   float64    `json:"duration_ms"`
+	Slow         bool       `json:"slow"`
+	Error        bool       `json:"error"`
+	DroppedSpans uint32     `json:"dropped_spans,omitempty"`
+	Spans        []SpanView `json:"spans"`
+}
+
+// SpanView is one rendered span. Parent indexes into Trace.Spans; -1 marks
+// the root. Offsets and durations are microseconds: coarse enough to read,
+// fine enough for the sub-millisecond plan/commit phases.
+type SpanView struct {
+	Name       string  `json:"name"`
+	Parent     int32   `json:"parent"`
+	StartUS    int64   `json:"start_us"`
+	DurationUS int64   `json:"duration_us"`
+	Error      string  `json:"error,omitempty"`
+	Failed     bool    `json:"failed,omitempty"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ring is a fixed-size overwrite-oldest buffer of finished traces. Each has
+// its own mutex; see ringShards for why the recent ring is split.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+func (r *ring) init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.buf = make([]*Trace, n)
+}
+
+func (r *ring) push(tr *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = tr
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshotInto appends the ring's current contents to dst.
+func (r *ring) snapshotInto(dst []*Trace) []*Trace {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[i])
+	}
+	r.mu.Unlock()
+	return dst
+}
+
+// finish renders the arena into an immutable Trace, records it in the
+// rings, reports every span to the observer, and recycles the arena. Runs
+// on the goroutine that ended the root span, with no caller locks held.
+func (a *arena) finish(rootEnd time.Duration) {
+	t := a.tracer
+
+	a.mu.Lock()
+	n := int(a.n)
+	views := make([]SpanView, n)
+	for i := 0; i < n; i++ {
+		sp := &a.chunks[i/spanChunk][i%spanChunk]
+		end := sp.end
+		if end == 0 {
+			// A child left un-ended (e.g. a replan loop bailed out early)
+			// inherits the root's end so the tree still renders closed.
+			end = rootEnd
+		}
+		v := SpanView{
+			Name:    sp.name,
+			Parent:  sp.parent,
+			StartUS: sp.start.Microseconds(),
+			Failed:  sp.failed,
+			Error:   sp.errMsg,
+		}
+		d := end - sp.start
+		if d < 0 {
+			d = 0
+		}
+		v.DurationUS = d.Microseconds()
+		v.DurationMS = float64(d) / float64(time.Millisecond)
+		if len(sp.attrs) > 0 {
+			v.Attrs = append([]Attr(nil), sp.attrs...)
+		}
+		views[i] = v
+	}
+	errored := a.failed.Load() > 0
+	tr := &Trace{
+		ID:           FormatID(a.id),
+		Root:         views[0].Name,
+		Start:        a.start,
+		DurationMS:   float64(rootEnd) / float64(time.Millisecond),
+		Slow:         rootEnd >= t.cfg.SlowThreshold,
+		Error:        errored,
+		DroppedSpans: a.dropped,
+		Spans:        views,
+	}
+	id := a.id
+	a.mu.Unlock()
+
+	t.recent[id%ringShards].push(tr)
+	if tr.Slow {
+		t.slow.push(tr)
+		t.slowKept.Add(1)
+	}
+	if tr.Error {
+		t.errs.push(tr)
+		t.errKept.Add(1)
+	}
+	t.finished.Add(1)
+
+	if fn := t.onSpan.Load(); fn != nil {
+		for i := range views {
+			(*fn)(views[i].Name, time.Duration(views[i].DurationUS)*time.Microsecond, views[i].Failed)
+		}
+	}
+
+	// Keep one chunk's worth of capacity; a trace that overflowed its first
+	// chunk returns the extras to the GC rather than pinning them forever.
+	if len(a.chunks) > 1 {
+		a.chunks = a.chunks[:1]
+	}
+	t.pool.Put(a)
+}
+
+// Query filters a Snapshot. The zero value returns everything retained.
+type Query struct {
+	// Slow restricts to traces kept in the slow ring's criterion
+	// (duration at or above the tracer's threshold).
+	Slow bool
+	// MinDuration drops traces shorter than this.
+	MinDuration time.Duration
+	// Name keeps only traces whose root span name equals it, or — when it
+	// ends with a '.' or names a bare prefix like "migrate" — traces whose
+	// root name starts with that prefix.
+	Name string
+	// Limit caps the result count after sorting (slowest first); <=0 means
+	// no cap.
+	Limit int
+}
+
+func (q Query) match(tr *Trace) bool {
+	if q.Slow && !tr.Slow {
+		return false
+	}
+	if q.MinDuration > 0 && tr.DurationMS < float64(q.MinDuration)/float64(time.Millisecond) {
+		return false
+	}
+	if q.Name != "" && tr.Root != q.Name {
+		pfx := q.Name
+		if pfx[len(pfx)-1] != '.' {
+			pfx += "."
+		}
+		if len(tr.Root) < len(pfx) || tr.Root[:len(pfx)] != pfx {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the retained traces matching q, slowest first. The
+// returned Traces are shared immutable values; callers may hold them
+// indefinitely. Nil tracers return nil.
+func (t *Tracer) Snapshot(q Query) []*Trace {
+	if t == nil {
+		return nil
+	}
+	var all []*Trace
+	for i := range t.recent {
+		all = t.recent[i].snapshotInto(all)
+	}
+	all = t.slow.snapshotInto(all)
+	all = t.errs.snapshotInto(all)
+
+	// A trace can sit in up to three rings; dedup by identity, filter, sort.
+	seen := make(map[*Trace]struct{}, len(all))
+	out := all[:0]
+	for _, tr := range all {
+		if _, dup := seen[tr]; dup {
+			continue
+		}
+		seen[tr] = struct{}{}
+		if q.match(tr) {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurationMS != out[j].DurationMS {
+			return out[i].DurationMS > out[j].DurationMS
+		}
+		return out[i].Start.After(out[j].Start)
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given wire-form ID, or nil.
+func (t *Tracer) Lookup(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	for _, tr := range t.Snapshot(Query{}) {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}

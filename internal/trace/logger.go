@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// Logger is a minimal leveled structured logger: one line per event,
+// `ts LEVEL msg k=v ...`, with the current trace ID stamped as trace=<id>
+// whenever the context carries a span. It exists so operational code
+// (checkpointer, drain) logs in a form the trace rings can be joined
+// against, without pulling in a logging dependency. A nil *Logger drops
+// everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// NewLogger returns a Logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(NewLogger(os.Stderr, LevelInfo))
+}
+
+// DefaultLogger returns the process-wide logger (stderr, Info, unless
+// replaced by SetDefaultLogger).
+func DefaultLogger() *Logger { return defaultLogger.Load() }
+
+// SetDefaultLogger replaces the process-wide logger; tests use it to
+// capture or silence output. A nil l installs a drop-everything logger.
+func SetDefaultLogger(l *Logger) {
+	if l == nil {
+		l = NewLogger(io.Discard, LevelError+1)
+	}
+	defaultLogger.Store(l)
+}
+
+// SetLevel changes the minimum level emitted.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Debug logs at DEBUG; kv are alternating key, value pairs.
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) {
+	l.log(ctx, LevelDebug, msg, kv)
+}
+
+// Info logs at INFO; kv are alternating key, value pairs.
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any) {
+	l.log(ctx, LevelInfo, msg, kv)
+}
+
+// Warn logs at WARN; kv are alternating key, value pairs.
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any) {
+	l.log(ctx, LevelWarn, msg, kv)
+}
+
+// Error logs at ERROR; kv are alternating key, value pairs.
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) {
+	l.log(ctx, LevelError, msg, kv)
+}
+
+func (l *Logger) log(ctx context.Context, lvl Level, msg string, kv []any) {
+	if l == nil || int32(lvl) < l.min.Load() {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + 16*len(kv))
+	b.WriteString(time.Now().UTC().Format(time.RFC3339))
+	b.WriteByte(' ')
+	b.WriteString(lvl.String())
+	b.WriteByte(' ')
+	appendValue(&b, msg)
+	if ctx != nil {
+		if sp := FromContext(ctx); sp != nil {
+			b.WriteString(" trace=")
+			b.WriteString(sp.TraceID())
+		}
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		appendValue(&b, fmt.Sprintf("%v", kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v=MISSING", kv[len(kv)-1])
+	}
+	b.WriteByte('\n')
+	line := b.String()
+	l.mu.Lock()
+	io.WriteString(l.w, line)
+	l.mu.Unlock()
+}
+
+// appendValue writes v, quoting it when it contains whitespace, '=' or '"'
+// so lines stay machine-splittable on spaces.
+func appendValue(b *strings.Builder, v string) {
+	if strings.ContainsAny(v, " \t\n=\"") {
+		fmt.Fprintf(b, "%q", v)
+		return
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"time"
+
+	"poilabel/internal/metrics"
+)
+
+// RegisterMetrics wires the tracer into a metrics registry: per-span-name
+// duration summaries plus the tracer's lifetime counters. Call at most once
+// per tracer (the registry panics on duplicate names). The span observer it
+// installs runs on whichever goroutine finishes a trace, with no service
+// locks held, so a histogram observe is the full cost.
+//
+// Families registered:
+//
+//	poilabel_trace_span_duration_seconds{span}  histogram of span durations by span name
+//	poilabel_trace_span_errors_total{span}      spans that ended failed, by span name
+//	poilabel_trace_started_total                traces started
+//	poilabel_trace_finished_total               traces finished and retained
+//	poilabel_trace_slow_total                   finished traces kept in the slow ring
+//	poilabel_trace_error_total                  finished traces kept in the error ring
+//	poilabel_trace_span_dropped_total           spans dropped at the per-trace cap
+func (t *Tracer) RegisterMetrics(reg *metrics.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	durs := reg.HistogramVec("poilabel_trace_span_duration_seconds",
+		"Span durations by span name, observed when the owning trace finishes.", "span")
+	fails := reg.CounterVec("poilabel_trace_span_errors_total",
+		"Spans that ended in failure, by span name.", "span")
+	reg.CounterFunc("poilabel_trace_started_total",
+		"Traces started.", func() uint64 { return t.started.Load() })
+	reg.CounterFunc("poilabel_trace_finished_total",
+		"Traces finished and retained in the rings.", func() uint64 { return t.finished.Load() })
+	reg.CounterFunc("poilabel_trace_slow_total",
+		"Finished traces kept in the always-keep slow ring.", func() uint64 { return t.slowKept.Load() })
+	reg.CounterFunc("poilabel_trace_error_total",
+		"Finished traces kept in the always-keep error ring.", func() uint64 { return t.errKept.Load() })
+	reg.CounterFunc("poilabel_trace_span_dropped_total",
+		"Spans dropped because a trace hit its span cap.", func() uint64 { return t.spanDrops.Load() })
+
+	fn := func(name string, d time.Duration, failed bool) {
+		durs.With(name).Observe(d)
+		if failed {
+			fails.With(name).Add(1)
+		}
+	}
+	t.onSpan.Store(&fn)
+}

@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.StartRoot(context.Background(), "answer.request", 0)
+	if root != nil {
+		t.Fatalf("nil tracer minted a span")
+	}
+	ctx2, child := Start(ctx, "answer.submit")
+	if child != nil || ctx2 != ctx {
+		t.Fatalf("Start without a trace in ctx should be a no-op")
+	}
+	// All nil-span methods must be safe.
+	child.Attr("k", "v")
+	child.AttrInt("n", 1)
+	child.Fail(fmt.Errorf("boom"))
+	child.End()
+	if got := child.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+	if tr.Snapshot(Query{}) != nil || tr.Lookup("01") != nil {
+		t.Fatalf("nil tracer should snapshot nil")
+	}
+	if s := tr.TracerStats(); s != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", s)
+	}
+}
+
+func TestSpanTreeRendersParentsAttrsAndErrors(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	ctx, root := tr.StartRoot(context.Background(), "answer.request", 0)
+	root.Attr("endpoint", "/answers")
+	cctx, submit := Start(ctx, "answer.submit")
+	submit.AttrInt("labels", 3)
+	_, dedup := Start(cctx, "answer.dedup")
+	dedup.Fail(fmt.Errorf("duplicate answer"))
+	dedup.End()
+	submit.End()
+	root.End()
+
+	traces := tr.Snapshot(Query{})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Root != "answer.request" || !got.Error || got.Slow {
+		t.Fatalf("trace = %+v", got)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got.Spans))
+	}
+	if got.Spans[0].Parent != -1 || got.Spans[1].Parent != 0 || got.Spans[2].Parent != 1 {
+		t.Fatalf("parents = %d,%d,%d", got.Spans[0].Parent, got.Spans[1].Parent, got.Spans[2].Parent)
+	}
+	if got.Spans[2].Error != "duplicate answer" || !got.Spans[2].Failed {
+		t.Fatalf("dedup span = %+v", got.Spans[2])
+	}
+	if len(got.Spans[0].Attrs) != 1 || got.Spans[0].Attrs[0].V != "/answers" {
+		t.Fatalf("root attrs = %+v", got.Spans[0].Attrs)
+	}
+	if got.Spans[1].Attrs[0].K != "labels" || got.Spans[1].Attrs[0].V != "3" {
+		t.Fatalf("submit attrs = %+v", got.Spans[1].Attrs)
+	}
+	if lk := tr.Lookup(got.ID); lk != got {
+		t.Fatalf("Lookup(%q) = %v", got.ID, lk)
+	}
+}
+
+func TestRecentRingEvictsButSlowAndErrorRingsKeep(t *testing.T) {
+	// Tiny recent ring so churn evicts quickly; generous keep rings. The
+	// threshold is far above what the churn traces take but far below the
+	// deliberate sleep in the one slow trace.
+	tr := New(Config{RingSize: ringShards, SlowRingSize: 4, ErrorRingSize: 4, SlowThreshold: 2 * time.Millisecond})
+
+	_, slow := tr.StartRoot(context.Background(), "migrate.cycle", 0)
+	time.Sleep(5 * time.Millisecond)
+	slow.End()
+	slowID := tr.Snapshot(Query{})[0].ID
+
+	_, errRoot := tr.StartRoot(context.Background(), "fit.cycle", 0)
+	errRoot.Fail(fmt.Errorf("fit aborted"))
+	errRoot.End()
+
+	for i := 0; i < 10*ringShards; i++ {
+		_, sp := tr.StartRoot(context.Background(), "answer.request", 0)
+		sp.End()
+	}
+
+	all := tr.Snapshot(Query{})
+	var haveSlow, haveErr bool
+	for _, g := range all {
+		if g.ID == slowID {
+			haveSlow = true
+		}
+		if g.Root == "fit.cycle" && g.Error {
+			haveErr = true
+		}
+	}
+	if !haveSlow {
+		t.Fatalf("slow trace evicted despite always-keep slow ring")
+	}
+	if !haveErr {
+		t.Fatalf("error trace evicted despite always-keep error ring")
+	}
+
+	// The recent rings are bounded: total retained must be far below the
+	// number of traces finished.
+	st := tr.TracerStats()
+	if st.Finished < uint64(10*ringShards) {
+		t.Fatalf("finished = %d", st.Finished)
+	}
+	if len(all) > ringShards+tr.cfg.SlowRingSize+tr.cfg.ErrorRingSize {
+		t.Fatalf("retained %d traces, rings should bound this", len(all))
+	}
+}
+
+func TestSlowKeepUsesThreshold(t *testing.T) {
+	tr := New(Config{SlowThreshold: 5 * time.Millisecond})
+	_, fast := tr.StartRoot(context.Background(), "plan.request", 0)
+	fast.End()
+	_, slow := tr.StartRoot(context.Background(), "plan.request", 0)
+	time.Sleep(10 * time.Millisecond)
+	slow.End()
+
+	slowOnly := tr.Snapshot(Query{Slow: true})
+	if len(slowOnly) != 1 || !slowOnly[0].Slow {
+		t.Fatalf("slow filter returned %d traces", len(slowOnly))
+	}
+	st := tr.TracerStats()
+	if st.SlowKept != 1 || st.Finished != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	for _, name := range []string{"answer.request", "plan.request", "migrate.cycle"} {
+		_, sp := tr.StartRoot(context.Background(), name, 0)
+		sp.End()
+	}
+	if got := tr.Snapshot(Query{Name: "plan.request"}); len(got) != 1 || got[0].Root != "plan.request" {
+		t.Fatalf("name filter: %+v", got)
+	}
+	if got := tr.Snapshot(Query{Name: "migrate"}); len(got) != 1 || got[0].Root != "migrate.cycle" {
+		t.Fatalf("prefix filter: %+v", got)
+	}
+	if got := tr.Snapshot(Query{MinDuration: time.Hour}); len(got) != 0 {
+		t.Fatalf("min duration filter kept %d", len(got))
+	}
+	if got := tr.Snapshot(Query{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit: %d", len(got))
+	}
+}
+
+func TestMaxSpansCapCountsDrops(t *testing.T) {
+	tr := New(Config{MaxSpans: 4, SlowThreshold: time.Hour})
+	ctx, root := tr.StartRoot(context.Background(), "fit.cycle", 0)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "fit.shard")
+		sp.End() // nil-safe past the cap
+	}
+	root.End()
+	got := tr.Snapshot(Query{})[0]
+	if len(got.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(got.Spans))
+	}
+	if got.DroppedSpans != 7 {
+		t.Fatalf("dropped = %d, want 7", got.DroppedSpans)
+	}
+	if st := tr.TracerStats(); st.DroppedSpans != 7 {
+		t.Fatalf("stats drops = %d", st.DroppedSpans)
+	}
+}
+
+// TestConcurrentSpanEmission exercises the 16-way fan-out shape the sharded
+// fit uses: many goroutines minting and ending children of one trace while
+// other goroutines run whole traces of their own. Run under -race.
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := New(Config{MaxSpans: 1024, SlowThreshold: time.Hour})
+
+	const fanout = 16
+	ctx, root := tr.StartRoot(context.Background(), "fit.cycle", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, "fit.shard")
+			sp.AttrInt("shard", int64(i))
+			sp.End()
+		}(i)
+	}
+	// Concurrently, independent request traces end into the shared rings.
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, r := tr.StartRoot(context.Background(), "answer.request", 0)
+			_, c := Start(rctx, "answer.submit")
+			c.End()
+			r.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	fit := tr.Snapshot(Query{Name: "fit.cycle"})
+	if len(fit) != 1 {
+		t.Fatalf("fit traces = %d", len(fit))
+	}
+	if len(fit[0].Spans) != fanout+1 {
+		t.Fatalf("fit spans = %d, want %d", len(fit[0].Spans), fanout+1)
+	}
+	for _, sv := range fit[0].Spans[1:] {
+		if sv.Parent != 0 || sv.Name != "fit.shard" {
+			t.Fatalf("shard span = %+v", sv)
+		}
+	}
+	if st := tr.TracerStats(); st.Finished != fanout+1 {
+		t.Fatalf("finished = %d, want %d", st.Finished, fanout+1)
+	}
+}
+
+func TestAdoptedTraceIDRoundTrips(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	id, ok := ParseID("00deadbeef")
+	if !ok {
+		t.Fatalf("ParseID failed")
+	}
+	_, sp := tr.StartRoot(context.Background(), "answer.request", id)
+	wire := sp.TraceID()
+	if wire != FormatID(id) || !strings.HasSuffix(wire, "deadbeef") || len(wire) != 16 {
+		t.Fatalf("wire id = %q", wire)
+	}
+	sp.End()
+	if tr.Lookup(wire) == nil {
+		t.Fatalf("adopted id not retrievable")
+	}
+	if _, ok := ParseID(""); ok {
+		t.Fatalf("empty id parsed")
+	}
+	if _, ok := ParseID("0"); ok {
+		t.Fatalf("zero id parsed")
+	}
+	if _, ok := ParseID("zzzz"); ok {
+		t.Fatalf("non-hex id parsed")
+	}
+	if _, ok := ParseID("0123456789abcdef0"); ok {
+		t.Fatalf("17-digit id parsed")
+	}
+}
+
+func TestUnendedChildInheritsRootEnd(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	ctx, root := tr.StartRoot(context.Background(), "plan.request", 0)
+	_, child := Start(ctx, "plan.plan")
+	_ = child // never ended: simulates an early-return path
+	time.Sleep(time.Millisecond)
+	root.End()
+	got := tr.Snapshot(Query{})[0]
+	if got.Spans[1].DurationUS <= 0 {
+		t.Fatalf("un-ended child rendered with duration %dus", got.Spans[1].DurationUS)
+	}
+	if got.Spans[1].DurationUS > got.Spans[0].DurationUS {
+		t.Fatalf("child outlasted root: %d > %d", got.Spans[1].DurationUS, got.Spans[0].DurationUS)
+	}
+}
+
+func TestLoggerLevelsQuotingAndTraceStamp(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.WriteString(string(p))
+	})
+	l := NewLogger(w, LevelInfo)
+
+	l.Debug(context.Background(), "dropped")
+	l.Info(context.Background(), "checkpointed", "bytes", 123)
+	l.Warn(context.Background(), "odd kv", "orphan")
+	l.Error(context.Background(), "has spaces", "msg", "a b=c")
+
+	tr := New(Config{SlowThreshold: time.Hour})
+	ctx, sp := tr.StartRoot(context.Background(), "answer.request", 0)
+	l.Info(ctx, "in scope")
+	id := sp.TraceID()
+	sp.End()
+
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("debug line emitted at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "INFO checkpointed bytes=123") {
+		t.Fatalf("missing info line:\n%s", out)
+	}
+	if !strings.Contains(out, "orphan=MISSING") {
+		t.Fatalf("odd kv not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="a b=c"`) {
+		t.Fatalf("value not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `ERROR "has spaces"`) {
+		t.Fatalf("message not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"in scope" trace=`+id) {
+		t.Fatalf("trace id not stamped:\n%s", out)
+	}
+
+	// A nil logger drops everything without panicking.
+	var nl *Logger
+	nl.Info(context.Background(), "nope")
+	nl.SetLevel(LevelDebug)
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestSetDefaultLogger(t *testing.T) {
+	old := DefaultLogger()
+	defer SetDefaultLogger(old)
+	SetDefaultLogger(nil)
+	DefaultLogger().Error(context.Background(), "swallowed")
+	l := NewLogger(io.Discard, LevelDebug)
+	SetDefaultLogger(l)
+	if DefaultLogger() != l {
+		t.Fatalf("default logger not replaced")
+	}
+}

@@ -1,11 +1,13 @@
 package poilabel
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"poilabel/internal/assign"
+	"poilabel/internal/trace"
 )
 
 // maxPlanRetries bounds the optimistic-commit retry loop. Each retry
@@ -147,7 +149,7 @@ func (s *Service) planWorkers(snap *assign.Snapshot, gen uint64, ws []WorkerID, 
 // optimistic commit under the write lock, replanning conflicted picks with a
 // grown exclusion set instead of starting over. See docs/ARCHITECTURE.md
 // ("Life of an assignment").
-func (s *Service) requestTasksLockFree(ws []WorkerID, pc *planContext) (map[string][]string, error) {
+func (s *Service) requestTasksLockFree(ctx context.Context, ws []WorkerID, pc *planContext) (map[string][]string, error) {
 	start := time.Now()
 	snap := pc.pub.plan
 	var dedupHits atomic.Int64
@@ -160,21 +162,32 @@ func (s *Service) requestTasksLockFree(ws []WorkerID, pc *planContext) (map[stri
 	}
 
 	accepted := make(map[WorkerID][]TaskID, len(ws))
+	// The candidate-scan phase: plan every requested worker against the
+	// immutable snapshot, no lock held.
+	_, planSp := trace.Start(ctx, "plan.plan")
 	plans := s.planWorkers(snap, pc.pub.gen, ws, pc.h, skip)
+	planSp.End()
+	var totalConflicts, retries int64
 	for attempt := 0; ; attempt++ {
+		_, commitSp := trace.Start(ctx, "plan.commit")
 		conflicts, exhausted, stale := s.commitPlans(plans, accepted, pc.epoch)
+		commitSp.AttrInt("conflicts", int64(len(conflicts)))
+		commitSp.End()
 		if len(conflicts) > 0 {
 			s.planStats.conflicts.Add(uint64(len(conflicts)))
+			totalConflicts += int64(len(conflicts))
 		}
 		if stale || len(conflicts) == 0 || exhausted || attempt >= maxPlanRetries {
 			break
 		}
 		s.planStats.retries.Add(1)
+		retries++
 		// A conflicted pair is answered or pending on the live state; it can
 		// never become assignable again, so excluding it permanently keeps
 		// the retry loop shrinking. Pairs we committed ourselves entered the
 		// live pending set after our skip capture — exclude them explicitly
 		// too so replans cannot propose them twice.
+		_, replanSp := trace.Start(ctx, "plan.replan")
 		need := make(map[WorkerID]int, len(conflicts))
 		for _, pk := range conflicts {
 			pc.skipSet[pk] = struct{}{}
@@ -192,6 +205,7 @@ func (s *Service) requestTasksLockFree(ws []WorkerID, pc *planContext) (map[stri
 				plans[w] = ts
 			}
 		}
+		replanSp.End()
 		if len(plans) == 0 {
 			break
 		}
@@ -199,6 +213,15 @@ func (s *Service) requestTasksLockFree(ws []WorkerID, pc *planContext) (map[stri
 
 	s.planStats.lockFree.Add(1)
 	s.planStats.lastNanos.Store(time.Since(start).Nanoseconds())
+	if sp := trace.FromContext(ctx); sp != nil {
+		var committed int64
+		for _, ts := range accepted {
+			committed += int64(len(ts))
+		}
+		sp.AttrInt("committed", committed)
+		sp.AttrInt("conflicts", totalConflicts)
+		sp.AttrInt("retries", retries)
+	}
 	if pc.observer != nil {
 		if n := dedupHits.Load(); n > 0 {
 			pc.observer.DedupHitsObserved(int(n))

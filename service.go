@@ -14,6 +14,7 @@ import (
 	"poilabel/internal/geo"
 	"poilabel/internal/model"
 	"poilabel/internal/shard"
+	"poilabel/internal/trace"
 )
 
 // Typed errors returned by the Service. Use errors.Is to test for them; the
@@ -96,6 +97,7 @@ type serviceConfig struct {
 	planCand       int           // candidate prefix K; 0 = default, < 0 disables
 	elasticOn      bool          // drift-aware elastic re-sharding (WithElasticShards)
 	elastic        ElasticConfig
+	tracer         *trace.Tracer // nil disables tracing (every span site is nil-safe)
 }
 
 // ServiceOption configures a Service. Options follow the functional-options
@@ -247,6 +249,18 @@ func WithObserver(o Observer) ServiceOption {
 	}
 }
 
+// WithTracer attaches a tracer. Request-path spans (answer.*, plan.*) attach
+// to whatever trace the caller's context carries — the HTTP gateway mints
+// those roots — while the background pipeline mints its own fit.cycle and
+// migrate.cycle roots on this tracer. A nil tracer (the default) keeps every
+// span site a no-op.
+func WithTracer(tr *trace.Tracer) ServiceOption {
+	return func(c *serviceConfig) error {
+		c.tracer = tr
+		return nil
+	}
+}
+
 // pairKey is retained in poilabel.go; the Service shares it.
 
 // Service is the one front door to the POI-labelling system: a
@@ -325,6 +339,12 @@ type Service struct {
 	// drift-detector goroutine; migrations themselves execute on the fit
 	// pipeline so they serialize with background fits.
 	elastic *elasticController
+
+	// tracer mints the background pipeline's fit.cycle/migrate.cycle trace
+	// roots; request-path spans attach to the caller's context instead. Nil
+	// when tracing is off. Invariant: the tracer never acquires s.mu, and no
+	// root span is ever ended while s.mu is held.
+	tracer *trace.Tracer
 }
 
 // NewService creates a Service. With no options it serves the single engine
@@ -354,6 +374,7 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		workerIdx: make(map[string]WorkerID),
 		pending:   make(map[pairKey]bool),
 		dirty:     true,
+		tracer:    cfg.tracer,
 	}
 	if cfg.elasticOn {
 		if cfg.engine != EngineSharded {
@@ -634,6 +655,18 @@ func (s *Service) SubmitAnswerContext(ctx context.Context, workerID, taskID stri
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	ctx, sub := trace.Start(ctx, "answer.submit")
+	err := s.submitAnswer(ctx, workerID, taskID, selected)
+	if err != nil {
+		sub.Fail(err)
+	}
+	sub.End()
+	return err
+}
+
+// submitAnswer is SubmitAnswerContext's body, split out so the wrapper can
+// close the answer.submit span around every return path.
+func (s *Service) submitAnswer(ctx context.Context, workerID, taskID string, selected []bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w, err := s.lookupWorker(workerID)
@@ -651,13 +684,27 @@ func (s *Service) SubmitAnswerContext(ctx context.Context, workerID, taskID stri
 		return err
 	}
 	a := Answer{Worker: w, Task: t, Selected: append([]bool(nil), selected...)}
+	// The dedup phase: was this pair handed out by RequestTasks (pending),
+	// and does the engine already hold an answer for it (the Learn below
+	// rejects duplicates)? Only a child span — its End never touches the
+	// rings, so it is safe under the write lock we hold.
+	_, ded := trace.Start(ctx, "answer.dedup")
+	if s.pending[pairKey{w, t}] {
+		ded.Attr("pending", "true")
+	}
+	ded.End()
 	if s.bg != nil {
 		// Background mode: never fit inline. The engine's cheap per-answer
 		// update keeps the live parameters warm; the scheduler decides when
 		// the next full fit folds everything into a published generation.
-		if err := s.eng.Learn(a); err != nil {
+		_, lrn := trace.Start(ctx, "answer.learn")
+		err := s.eng.Learn(a)
+		if err != nil {
+			lrn.Fail(err)
+			lrn.End()
 			return err
 		}
+		lrn.End()
 		delete(s.pending, pairKey{w, t})
 		if s.sincePlan != nil {
 			// The published plan snapshot predates this answer; record the
@@ -684,16 +731,27 @@ func (s *Service) SubmitAnswerContext(ctx context.Context, workerID, taskID stri
 		delete(s.pending, pairKey{w, t})
 		s.sinceFull = 0
 		s.observeAnswer(true)
-		if _, err := s.fitEngineLocked(ctx); err != nil {
+		// Synchronous mode's inline full fit, the expensive tail of every
+		// FullEMInterval-th submission.
+		fctx, fit := trace.Start(ctx, "answer.fit_inline")
+		if _, err := s.fitEngineLocked(fctx); err != nil {
 			s.dirty = true
+			fit.Fail(err)
+			fit.End()
 			return err
 		}
+		fit.End()
 		s.dirty = false
 		return nil
 	}
-	if err := s.eng.Learn(a); err != nil {
+	_, lrn := trace.Start(ctx, "answer.learn")
+	err = s.eng.Learn(a)
+	if err != nil {
+		lrn.Fail(err)
+		lrn.End()
 		return err
 	}
+	lrn.End()
 	delete(s.pending, pairKey{w, t})
 	s.sinceFull++
 	s.dirty = true
@@ -745,9 +803,14 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The snapshot phase: everything up to the RUnlock below runs under the
+	// read lock and captures the state the off-lock planner works from.
+	_, snapSp := trace.Start(ctx, "plan.snapshot")
 	s.mu.RLock()
 	if s.cfg.budget == 0 {
 		s.mu.RUnlock()
+		snapSp.Fail(ErrBudgetExhausted)
+		snapSp.End()
 		return nil, ErrBudgetExhausted
 	}
 	ws := make([]WorkerID, len(workerIDs))
@@ -755,6 +818,8 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 		w, err := s.lookupWorker(id)
 		if err != nil {
 			s.mu.RUnlock()
+			snapSp.Fail(err)
+			snapSp.End()
 			return nil, err
 		}
 		ws[i] = w
@@ -779,7 +844,9 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 	}
 	if !lockFree {
 		s.mu.RUnlock()
-		return s.requestTasksLocked(ws, workerIDs)
+		snapSp.Attr("path", "locked")
+		snapSp.End()
+		return s.requestTasksLocked(ctx, ws, workerIDs)
 	}
 	// Copy the live exclusions while still under the read lock: pending
 	// pairs plus answers accepted since the snapshot. The copy may go stale
@@ -802,14 +869,19 @@ func (s *Service) RequestTasks(ctx context.Context, workerIDs []string) (map[str
 		pc.skipSet[pk] = struct{}{}
 	}
 	s.mu.RUnlock()
-	return s.requestTasksLockFree(ws, pc)
+	snapSp.AttrInt("gen", int64(pub.gen))
+	snapSp.AttrInt("skip_set", int64(len(pc.skipSet)))
+	snapSp.End()
+	return s.requestTasksLockFree(ctx, ws, pc)
 }
 
 // requestTasksLocked is the write-locked assignment path: plan and commit in
 // one critical section. It serves the batch engines, non-planner assigners,
 // the window before the first publication, and workers newer than the
 // published snapshot.
-func (s *Service) requestTasksLocked(ws []WorkerID, workerIDs []string) (map[string][]string, error) {
+func (s *Service) requestTasksLocked(ctx context.Context, ws []WorkerID, workerIDs []string) (map[string][]string, error) {
+	_, sp := trace.Start(ctx, "plan.locked")
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Re-check under the write lock: the budget may have been spent between
@@ -1049,6 +1121,40 @@ func (s *Service) AnswerCount() int {
 		return 0
 	}
 	return s.eng.TotalAnswers()
+}
+
+// HealthStats is the service-level counter block /healthz and the gauge
+// metrics serve, gathered in one pass.
+type HealthStats struct {
+	Tasks           int `json:"tasks"`
+	Workers         int `json:"workers"`
+	Answers         int `json:"answers"`
+	Pending         int `json:"pending"`
+	RemainingBudget int `json:"remaining_budget"`
+}
+
+// Health gathers every /healthz counter under a single read lock. In
+// background mode the answer count is served from the cached accepted-answer
+// sequence — which by invariant exactly tracks the engine's answer total,
+// and is restored to it on checkpoint restore — instead of recounting
+// through the engine on every scrape; synchronous mode, with no cached
+// sequence, still asks the engine.
+func (s *Service) Health() HealthStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := HealthStats{
+		Tasks:           len(s.tasks),
+		Workers:         len(s.workers),
+		Pending:         len(s.pending),
+		RemainingBudget: s.cfg.budget,
+	}
+	switch {
+	case s.bg != nil:
+		st.Answers = int(s.answerSeq.Load())
+	case s.eng != nil:
+		st.Answers = s.eng.TotalAnswers()
+	}
+	return st
 }
 
 // SetObserver attaches (or, with nil, detaches) an instrumentation observer
